@@ -1,0 +1,46 @@
+// Command cosmic-bench regenerates the paper's evaluation: every table and
+// figure of Section 7, printed as aligned text tables with the paper's own
+// numbers quoted for comparison.
+//
+// Usage:
+//
+//	cosmic-bench                  # run everything, in paper order
+//	cosmic-bench -experiment fig7 # run one experiment
+//	cosmic-bench -list            # list experiment identifiers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "", "experiment to run (empty = all); one of "+strings.Join(experiments.IDs(), ", "))
+	list := flag.Bool("list", false, "list experiment identifiers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	runner := experiments.NewRunner()
+	ids := experiments.IDs()
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		rep, err := runner.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosmic-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+	}
+}

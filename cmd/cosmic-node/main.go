@@ -1,0 +1,32 @@
+// Command cosmic-node is a CoSMIC worker process: it joins a master
+// (cmd/cosmic-run -listen), receives its role, group, and upstream
+// assignment from the System Director, and serves as a Delta or group
+// Sigma node until training completes.
+//
+// Usage:
+//
+//	cosmic-run  -bench tumor -nodes 4 -groups 2 -listen 127.0.0.1:9070 &
+//	cosmic-node -join 127.0.0.1:9070 &   # × 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/deploy"
+)
+
+func main() {
+	join := flag.String("join", "", "master control address to join")
+	flag.Parse()
+	if *join == "" {
+		fmt.Fprintln(os.Stderr, "cosmic-node: -join <addr> is required")
+		os.Exit(2)
+	}
+	if err := deploy.RunWorker(*join); err != nil {
+		fmt.Fprintf(os.Stderr, "cosmic-node: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("cosmic-node: training complete, shutting down")
+}

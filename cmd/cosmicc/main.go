@@ -1,0 +1,141 @@
+// Command cosmicc is the CoSMIC compiler driver: it takes a DSL program (a
+// file, or one of the built-in algorithm families), runs the full front
+// half of the stack — parse, analyze, translate to a dataflow graph, plan
+// the multi-threaded template for the target chip, statically map and
+// schedule — and reports the result. With -verilog it also runs the circuit
+// layer and writes the generated RTL.
+//
+// Usage:
+//
+//	cosmicc -family svm -param M=1740 -chip ultrascale+ -verilog out.v
+//	cosmicc -src mymodel.tabla -param M=4096 -chip pasic-f
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	cosmic "repro"
+)
+
+var familySources = map[string]string{
+	"linreg":   cosmic.SourceLinearRegression,
+	"logreg":   cosmic.SourceLogisticRegression,
+	"svm":      cosmic.SourceSVM,
+	"backprop": cosmic.SourceBackprop,
+	"cf":       cosmic.SourceCollaborativeFiltering,
+}
+
+var chips = map[string]cosmic.Chip{
+	"ultrascale+": cosmic.UltraScalePlus,
+	"pasic-f":     cosmic.PASICF,
+	"pasic-g":     cosmic.PASICG,
+	"zynq":        cosmic.ZynqZC702,
+}
+
+func main() {
+	src := flag.String("src", "", "DSL source file")
+	family := flag.String("family", "", "built-in program: linreg, logreg, svm, backprop, cf")
+	chipName := flag.String("chip", "ultrascale+", "target chip: ultrascale+, pasic-f, pasic-g, zynq")
+	verilogOut := flag.String("verilog", "", "write generated RTL Verilog to this file")
+	dumpSched := flag.Bool("dump-schedule", false, "print the static schedule (per-PE programs, memory schedule)")
+	miniBatch := flag.Int("minibatch", 10000, "node-local mini-batch size for the Planner")
+	tabla := flag.Bool("tabla", false, "compile with the TABLA baseline mapper/template")
+	var params paramFlag
+	flag.Var(&params, "param", "dimension parameter NAME=VALUE (repeatable)")
+	flag.Parse()
+
+	source := ""
+	switch {
+	case *src != "":
+		data, err := os.ReadFile(*src)
+		if err != nil {
+			fatal(err)
+		}
+		source = string(data)
+	case *family != "":
+		s, ok := familySources[*family]
+		if !ok {
+			fatal(fmt.Errorf("unknown family %q", *family))
+		}
+		source = s
+	default:
+		fatal(fmt.Errorf("one of -src or -family is required"))
+	}
+	chip, ok := chips[strings.ToLower(*chipName)]
+	if !ok {
+		fatal(fmt.Errorf("unknown chip %q", *chipName))
+	}
+
+	prog, err := cosmic.Compile(source, params.m, chip, cosmic.Options{
+		MiniBatch:     *miniBatch,
+		TABLABaseline: *tabla,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	stats := prog.Stats()
+	fmt.Printf("target:        %s (%s)\n", chip.Name, chip.Kind)
+	fmt.Printf("plan:          %s\n", prog.Plan())
+	fmt.Printf("dataflow:      %d compute ops, %d data words, %d model words, %d gradients\n",
+		stats.ComputeOps, stats.DataWords, stats.ModelWords, stats.Gradients)
+	fmt.Printf("critical path: %d levels, max width %d, avg width %.1f\n",
+		stats.CriticalPath, stats.MaxWidth, stats.AvgWidth)
+	est, err := prog.Estimate()
+	if err != nil {
+		fatal(err)
+	}
+	bound := "compute-bound"
+	if est.BandwidthBound() {
+		bound = "bandwidth-bound"
+	}
+	fmt.Printf("estimate:      %d cycles/round steady state (%s); batch of %d: %d cycles (%.3f ms)\n",
+		est.Interval, bound, *miniBatch, est.BatchCycles(*miniBatch/prog.Plan().Threads),
+		chip.CyclesToSeconds(float64(est.BatchCycles(*miniBatch/prog.Plan().Threads)))*1e3)
+
+	if *dumpSched {
+		fmt.Println()
+		if err := prog.Schedule().DumpSchedule(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *verilogOut != "" {
+		rtl, err := prog.Verilog()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*verilogOut, []byte(rtl), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("verilog:       %d lines -> %s\n", strings.Count(rtl, "\n"), *verilogOut)
+	}
+}
+
+type paramFlag struct{ m map[string]int }
+
+func (p *paramFlag) String() string { return fmt.Sprint(p.m) }
+
+func (p *paramFlag) Set(v string) error {
+	name, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want NAME=VALUE, got %q", v)
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return err
+	}
+	if p.m == nil {
+		p.m = map[string]int{}
+	}
+	p.m[name] = n
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cosmicc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,155 @@
+// Package cosmic is the public API of this reproduction of "Scale-Out
+// Acceleration for Machine Learning" (Park et al., MICRO-50, 2017): the
+// CoSMIC full computing stack — DSL, compiler, system software, template
+// architecture, and circuit generators — for programmable acceleration of
+// gradient-descent learning at scale.
+//
+// The facade wires the stack's layers together:
+//
+//	Compile     DSL source → dataflow graph → architectural plan →
+//	            static schedule (the programming, compilation and
+//	            architecture layers)
+//	Verilog     compiled program → synthesizable RTL (the circuit layer)
+//	Simulate    compiled program → cycle counts + numeric results on the
+//	            cycle-level model of the template accelerator
+//	Train       data + algorithm → distributed training over a real
+//	            multi-node TCP cluster with Sigma/Delta roles (the system
+//	            layer)
+//
+// The layers themselves live in internal/ packages (dsl, dfg, planner,
+// compiler, accel, verilog, runtime, ...); this package re-exports the
+// types a downstream user needs.
+package cosmic
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/dsl"
+	"repro/internal/perf"
+	"repro/internal/verilog"
+)
+
+// Chip re-exports the chip specification type.
+type Chip = arch.ChipSpec
+
+// Plan re-exports the architectural plan type.
+type Plan = arch.Plan
+
+// The evaluation platforms of the paper (Table 2).
+var (
+	UltraScalePlus = arch.UltraScalePlus
+	PASICF         = arch.PASICF
+	PASICG         = arch.PASICG
+	ZynqZC702      = arch.ZynqZC702
+)
+
+// Options tunes compilation.
+type Options struct {
+	// MiniBatch is the node-local mini-batch size the Planner sizes thread
+	// counts against; defaults to 10,000 (the paper's default).
+	MiniBatch int
+	// MaxThreads caps the worker-thread count (0 = chip limits only).
+	MaxThreads int
+	// TABLABaseline compiles with the prior work's operation-first mapper
+	// and flat-bus template instead of CoSMIC's (for comparisons).
+	TABLABaseline bool
+}
+
+// Program is a fully compiled accelerator program: the analyzed DSL, its
+// dataflow graph, the planned architecture, and the static schedule.
+type Program struct {
+	unit  *dsl.Unit
+	graph *dfg.Graph
+	plan  arch.Plan
+	prog  *compiler.Program
+}
+
+// Compile runs the CoSMIC stack's front half: parse and analyze the DSL
+// source with the given dimension parameters, translate it to a dataflow
+// graph, plan the multi-threaded template for the chip, and statically map
+// and schedule the graph onto it.
+func Compile(source string, params map[string]int, chip Chip, opts Options) (*Program, error) {
+	if opts.MiniBatch <= 0 {
+		opts.MiniBatch = 10000
+	}
+	style := compiler.StyleCoSMIC
+	if opts.TABLABaseline {
+		style = compiler.StyleTABLA
+	}
+	build, err := core.BuildProgram(source, params, chip, core.BuildOptions{
+		MiniBatch:  opts.MiniBatch,
+		MaxThreads: opts.MaxThreads,
+		Style:      style,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{unit: build.Unit, graph: build.Graph, plan: build.Point.Plan, prog: build.Program}, nil
+}
+
+// Plan returns the planned architecture (threads, rows, columns).
+func (p *Program) Plan() Plan { return p.plan }
+
+// MiniBatch returns the mini-batch size the DSL program declares.
+func (p *Program) MiniBatch() int { return p.unit.Program.MiniBatch }
+
+// LearningRate returns the learning rate the DSL program declares.
+func (p *Program) LearningRate() float64 { return p.unit.Program.LearningRate }
+
+// Stats summarizes the program's dataflow graph.
+func (p *Program) Stats() dfg.Stats { return p.graph.Summary() }
+
+// Verilog runs the circuit layer: the Constructor lowers the schedule into
+// synthesizable RTL — schedule-specialized FSMs for FPGAs, microcode ROMs
+// for P-ASICs.
+func (p *Program) Verilog() (string, error) {
+	img, err := verilog.Encode(p.prog)
+	if err != nil {
+		return "", err
+	}
+	return verilog.Generate(img)
+}
+
+// Simulator returns the cycle-level functional simulator of the planned
+// accelerator running this program.
+func (p *Program) Simulator() *accel.Sim { return accel.New(p.prog) }
+
+// Estimate returns the performance-estimation tool's cycle model.
+func (p *Program) Estimate() (perf.Estimate, error) { return perf.FromProgram(p.prog) }
+
+// Schedule exposes the compiled static schedule for inspection.
+func (p *Program) Schedule() *compiler.Program { return p.prog }
+
+// Graph exposes the elaborated dataflow graph.
+func (p *Program) Graph() *dfg.Graph { return p.graph }
+
+// Describe prints a one-paragraph summary of the compiled program.
+func (p *Program) Describe() string {
+	s := p.graph.Summary()
+	bound := "compute-bound"
+	if est, err := perf.FromProgram(p.prog); err == nil && est.BandwidthBound() {
+		bound = "bandwidth-bound"
+	}
+	return fmt.Sprintf(
+		"program: %d ops over %d data + %d model words -> %s, %s (critical path %d, style %s)",
+		s.ComputeOps, s.DataWords, s.ModelWords,
+		p.plan, bound, s.CriticalPath, p.prog.Style)
+}
+
+// Sources for the five algorithm families of the paper's benchmark suite,
+// re-exported for quick starts.
+const (
+	SourceLinearRegression       = dsl.SourceLinearRegression
+	SourceLogisticRegression     = dsl.SourceLogisticRegression
+	SourceSVM                    = dsl.SourceSVM
+	SourceBackprop               = dsl.SourceBackprop
+	SourceCollaborativeFiltering = dsl.SourceCollaborativeFiltering
+	// SourceSoftmax is not in the paper's suite; it demonstrates adding a
+	// new learning model with zero stack changes.
+	SourceSoftmax = dsl.SourceSoftmax
+)

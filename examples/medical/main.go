@@ -1,0 +1,69 @@
+// Medical diagnosis: logistic regression over gene-expression microarrays
+// (the paper's `tumor` benchmark), with the mini-batch sensitivity study of
+// Figures 12/13 in miniature.
+//
+// Small mini-batches aggregate often — accurate but communication-heavy;
+// large ones amortize the exchanges but update the model rarely. The
+// example trains at several batch sizes on a real cluster, then asks the
+// performance estimator where the compute/communication crossover falls for
+// the full-size benchmark on the paper's FPGA.
+//
+//	go run ./examples/medical
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	cosmic "repro"
+)
+
+func main() {
+	bench, err := cosmic.BenchmarkByName("tumor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	alg := bench.Algorithm(0.02)
+	data := bench.Generate(alg, 2000, 11)
+	rng := rand.New(rand.NewSource(11))
+
+	fmt.Printf("tumor (scaled): %d features, %d samples, 4-node cluster\n\n",
+		alg.FeatureSize(), len(data))
+	fmt.Println("batch   rounds  cross-entropy loss")
+	for _, batch := range []int{100, 400, 2000} {
+		model := alg.InitModel(rng)
+		rounds := 3 * len(data) / batch // three epochs each
+		res, err := cosmic.Train(alg, data, model, cosmic.ClusterConfig{
+			Nodes: 4, Groups: 1, Threads: 2,
+			MiniBatch:    batch,
+			LearningRate: bench.DefaultLR(alg),
+			Average:      true,
+			Rounds:       rounds,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7d %-7d %.4f -> %.4f\n", batch, res.Rounds, res.InitialLoss, res.FinalLoss)
+	}
+
+	// Where does the accelerator spend its time at full benchmark scale?
+	full := bench.Algorithm(1)
+	prog, err := cosmic.Compile(full.DSLSource(), full.DSLParams(), cosmic.UltraScalePlus, cosmic.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := prog.Estimate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfull-scale tumor on %s:\n", cosmic.UltraScalePlus.Name)
+	fmt.Printf("  plan %s\n", prog.Plan())
+	fmt.Printf("  steady state: %d cycles/round (memory %d, compute %d, bus %d)",
+		est.Interval, est.MemPerRound, est.ComputePerVec, est.BusPerVec)
+	if est.BandwidthBound() {
+		fmt.Println(" -> bandwidth-bound: more PEs would not help (Figure 15's finding)")
+	} else {
+		fmt.Println(" -> compute-bound")
+	}
+}

@@ -1,0 +1,521 @@
+// Package accel is a cycle-level, functional simulator of CoSMIC's
+// multi-threaded template accelerator (Section 5 of the paper). It stands in
+// for the UltraScale+ FPGA / P-ASIC silicon the paper runs on: the generated
+// Verilog cannot be synthesized here, so this simulator executes the
+// Compiler's static schedules under the same structural constraints the RTL
+// imposes —
+//
+//   - a 2-D array of PEs (Columns per row = memory words per cycle);
+//   - five-stage in-order PE pipelines with a local bypass path;
+//   - three levels of connectivity: bidirectional neighbor links, a shared
+//     bus per row, and a tree bus (with Σ/Π ALUs) across rows, each carrying
+//     one transmission per cycle that every PE on the segment can snoop;
+//   - a smart memory interface that streams data to the PEs round-robin
+//     across threads (Memory Schedule + Thread Index Table), broadcasts
+//     model parameters, and hides latency behind a prefetch buffer;
+//   - MIMD worker threads that each run the whole gradient DFG on their own
+//     data sub-partition and locally accumulate partial updates.
+//
+// Timing follows the classic initiation-interval decomposition of a
+// statically scheduled machine: a single training vector's makespan (an
+// event-driven walk of the schedule with bus contention and transfer
+// latencies) gives the pipeline's fill latency, and the per-round cost in
+// steady state is the occupancy of the bottleneck resource — the busiest
+// PE, the busiest bus segment, or the shared memory interface. The
+// simulator produces both cycle counts and the numeric partial update, so it
+// is checked end-to-end against the pure-Go ml reference.
+package accel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/compiler"
+	"repro/internal/dfg"
+	"repro/internal/dsl"
+)
+
+// PipelineDepth is the PE pipeline depth: read, register, operand-select,
+// execute, write-back.
+const PipelineDepth = 5
+
+// Latencies of the three connectivity levels, in cycles.
+const (
+	// NeighborLatency is a hop over the dedicated bidirectional link
+	// between adjacent PEs in a row.
+	NeighborLatency = 1
+	// RowBusLatency is a transfer over a row's shared bus.
+	RowBusLatency = 2
+	// treeBusBase is the fixed cost of entering and leaving the tree bus;
+	// each tree level adds treeBusPerLevel.
+	treeBusBase     = 4
+	treeBusPerLevel = 2
+)
+
+// Bus identifiers for transmission bookkeeping: row buses use their row
+// index; tree-bus switches use busTree plus the heap index of the lowest
+// common ancestor (so disjoint subtrees transfer concurrently, as in the
+// real hierarchical tree bus); the TABLA-style template uses 8-PE group
+// buses under one global bus.
+const (
+	busNone  = -1
+	busTree  = 1 << 20
+	busFlat  = 1 << 21
+	busGroup = 1 << 22
+	// tablaGroupSize is the PE-group width of TABLA's template.
+	tablaGroupSize = 8
+)
+
+// Sim simulates one accelerator chip configured by a compiled program.
+type Sim struct {
+	prog    *compiler.Program
+	threads int
+
+	// peLoad is the static per-vector occupancy of each PE (ops plus
+	// gradient accumulations); busLoad the per-vector transmissions per
+	// bus segment. Identical across threads and vectors.
+	peLoad  []int64
+	busLoad map[int]int64
+	// startup is the event-simulated makespan of one vector relative to
+	// its first word delivery.
+	startup int64
+	// interval is the steady-state initiation interval of one round (one
+	// vector on every thread).
+	interval int64
+	// streamPerVec is the memory-interface cycles to deliver one vector.
+	streamPerVec int
+}
+
+// New creates a simulator for the compiled program. The thread count comes
+// from the program's plan.
+func New(prog *compiler.Program) *Sim {
+	s := &Sim{prog: prog, threads: prog.Plan.Threads}
+	s.streamPerVec = ceilDiv(len(prog.DataStream), prog.Columns)
+	s.analyze()
+	return s
+}
+
+// analyze derives the static occupancy profile and single-vector makespan.
+func (s *Sim) analyze() {
+	prog := s.prog
+	s.peLoad = make([]int64, prog.NPE)
+	s.busLoad = map[int]int64{}
+
+	seen := map[int64]bool{}
+	for _, id := range prog.IssueOrder {
+		n := prog.Graph.Nodes[id]
+		pe := prog.PE[id]
+		s.peLoad[pe]++
+		for _, a := range n.Args {
+			if a.Op == dfg.OpConst {
+				continue
+			}
+			src := prog.PE[a.ID]
+			if src < 0 || src == pe {
+				continue
+			}
+			bus := s.busFor(src, pe)
+			if bus == busNone {
+				continue
+			}
+			key := int64(a.ID)<<24 | int64(bus)
+			if !seen[key] {
+				seen[key] = true
+				s.busLoad[bus]++
+			}
+		}
+	}
+	for pe, ids := range prog.GradAccum {
+		s.peLoad[pe] += int64(len(ids))
+	}
+
+	s.startup = s.vectorMakespan()
+
+	// Steady-state initiation interval of one round (Threads vectors): the
+	// busiest private resource bounds each thread's vector; the shared
+	// memory interface delivers Threads vectors per round.
+	s.interval = int64(s.threads * s.streamPerVec)
+	for _, l := range s.peLoad {
+		if l > s.interval {
+			s.interval = l
+		}
+	}
+	for _, l := range s.busLoad {
+		if l > s.interval {
+			s.interval = l
+		}
+	}
+	if s.interval < 1 {
+		s.interval = 1
+	}
+}
+
+// busFor classifies the interconnect segment a src→dst transfer rides.
+func (s *Sim) busFor(src, dst int) int {
+	if s.prog.Interconnect == compiler.FlatBus {
+		if src/tablaGroupSize == dst/tablaGroupSize {
+			return busGroup + src/tablaGroupSize
+		}
+		return busFlat
+	}
+	srcRow, dstRow := s.prog.RowOf(src), s.prog.RowOf(dst)
+	switch {
+	case srcRow == dstRow && absInt(s.prog.ColOf(src)-s.prog.ColOf(dst)) == 1:
+		return busNone
+	case srcRow == dstRow:
+		return srcRow
+	default:
+		return busTree + treeLCA(srcRow, dstRow, s.prog.Rows)
+	}
+}
+
+// treeLCA returns the heap index of the lowest common ancestor of two rows
+// in the complete binary tree the tree bus forms over the accelerator's
+// rows: the switch where a cross-row transfer contends.
+func treeLCA(a, b, rows int) int {
+	n := 1
+	for n < rows {
+		n <<= 1
+	}
+	a += n
+	b += n
+	for a != b {
+		if a > b {
+			a >>= 1
+		} else {
+			b >>= 1
+		}
+	}
+	return a
+}
+
+// transferLatency is the cycles a value spends in flight from src to dst
+// once granted its segment.
+func (s *Sim) transferLatency(src, dst int) int64 {
+	if s.prog.Interconnect == compiler.FlatBus {
+		if src/tablaGroupSize == dst/tablaGroupSize {
+			return RowBusLatency
+		}
+		return 2 * RowBusLatency // the global bus spans the whole fabric
+	}
+	srcRow, dstRow := s.prog.RowOf(src), s.prog.RowOf(dst)
+	switch {
+	case srcRow == dstRow && absInt(s.prog.ColOf(src)-s.prog.ColOf(dst)) == 1:
+		return NeighborLatency
+	case srcRow == dstRow:
+		return RowBusLatency
+	default:
+		// The tree bus's latency grows logarithmically with the row span,
+		// the property that keeps the template scalable ("communication
+		// latency only grows by a logarithmic order").
+		span := absInt(srcRow-dstRow) + 1
+		levels := int(math.Ceil(math.Log2(float64(span))))
+		return int64(treeBusBase + treeBusPerLevel*levels)
+	}
+}
+
+// vectorMakespan event-simulates one vector on one thread: in-order PE
+// issue, bus contention (one transmission per segment per cycle, snoopable
+// by every PE on the segment), and word-by-word data delivery from cycle 0.
+func (s *Sim) vectorMakespan() int64 {
+	prog := s.prog
+	g := prog.Graph
+
+	arrival := make([]int64, len(g.Nodes))
+	for k, id := range prog.DataStream {
+		if id >= 0 {
+			arrival[id] = int64(k/prog.Columns) + 1
+		}
+	}
+	// Model parameters are resident before the batch starts (broadcast is
+	// accounted separately in ModelBroadcastCycles).
+
+	peFree := make([]int64, prog.NPE)
+	busFree := map[int]int64{}
+	sent := map[int64]int64{}
+
+	var makespan int64
+	for _, id := range prog.IssueOrder {
+		n := g.Nodes[id]
+		pe := prog.PE[id]
+		ready := peFree[pe]
+		for _, a := range n.Args {
+			if a.Op == dfg.OpConst {
+				continue
+			}
+			at := arrival[a.ID]
+			src := prog.PE[a.ID]
+			if src >= 0 && src != pe {
+				at = s.scheduleTransfer(a.ID, src, pe, at, busFree, sent)
+			}
+			if at > ready {
+				ready = at
+			}
+		}
+		issue := ready
+		peFree[pe] = issue + 1
+		arrival[id] = issue + 1 // bypass path for local consumers
+		if issue+1 > makespan {
+			makespan = issue + 1
+		}
+	}
+	// Per-vector gradient accumulation on the owning PEs.
+	for pe, ids := range prog.GradAccum {
+		if len(ids) == 0 {
+			continue
+		}
+		t := peFree[pe]
+		for _, id := range ids {
+			if arrival[id] > t {
+				t = arrival[id]
+			}
+			t++
+		}
+		if t > makespan {
+			makespan = t
+		}
+	}
+	return makespan
+}
+
+// scheduleTransfer books a bus slot for a value's transmission (or snoops
+// one already made) and returns its arrival at dst.
+func (s *Sim) scheduleTransfer(node, src, dst int, ready int64, busFree map[int]int64, sent map[int64]int64) int64 {
+	// A remote reader sees the value after pipeline write-back, not the
+	// bypass: charge the tail.
+	ready += PipelineDepth - 2
+	bus := s.busFor(src, dst)
+	lat := s.transferLatency(src, dst)
+	if bus == busNone {
+		return ready + lat
+	}
+	key := int64(node)<<24 | int64(bus)
+	if at, ok := sent[key]; ok {
+		return at
+	}
+	start := ready
+	if f := busFree[bus]; f > start {
+		start = f
+	}
+	busFree[bus] = start + 1
+	at := start + lat
+	sent[key] = at
+	return at
+}
+
+// BatchResult is the outcome of one mini-batch on one accelerator.
+type BatchResult struct {
+	// Cycles is the total cycle count: model broadcast, streaming, compute,
+	// local cross-thread aggregation, and gradient write-back.
+	Cycles int64
+	// Partial is the accelerator's locally aggregated partial update: the
+	// averaged per-thread models keyed by model symbol (AggAverage) or the
+	// summed gradients keyed by gradient symbol (AggSum).
+	Partial map[string][]float64
+	// ThreadVectors records how many vectors each thread consumed.
+	ThreadVectors []int
+	// StreamCycles is the memory interface's busy time; ComputeCycles is
+	// the busiest PE's occupancy summed over rounds. Their comparison
+	// drives the Figure 13/15 analyses.
+	StreamCycles, ComputeCycles int64
+}
+
+// ModelBroadcastCycles returns the per-batch model broadcast cost.
+func (s *Sim) ModelBroadcastCycles() int64 {
+	return int64(ceilDiv(len(s.prog.ModelStream), s.prog.Columns))
+}
+
+// AggWritebackCycles returns the end-of-batch cross-thread aggregation and
+// write-back cost: the tree-bus ALUs combine thread partials level by level
+// at Columns words per cycle, then the aggregate streams back to the host.
+func (s *Sim) AggWritebackCycles() int64 {
+	grads := s.prog.Graph.GradientWords()
+	levels := 0
+	if s.threads > 1 {
+		levels = int(math.Ceil(math.Log2(float64(s.threads))))
+	}
+	return int64(ceilDiv(grads, s.prog.Columns) * (levels + 2))
+}
+
+// Interval returns the steady-state initiation interval per round (one
+// vector on every thread).
+func (s *Sim) Interval() int64 { return s.interval }
+
+// Startup returns the single-vector makespan (pipeline fill latency).
+func (s *Sim) Startup() int64 { return s.startup }
+
+// StreamPerVector returns the memory cycles to deliver one vector.
+func (s *Sim) StreamPerVector() int { return s.streamPerVec }
+
+// MaxPELoad returns the busiest PE's per-vector occupancy.
+func (s *Sim) MaxPELoad() int64 {
+	var m int64
+	for _, l := range s.peLoad {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// CyclesForRounds composes the timing model for the given number of rounds
+// (one vector per thread per round), excluding aggregation/write-back.
+func (s *Sim) CyclesForRounds(rounds int) int64 {
+	if rounds <= 0 {
+		return s.ModelBroadcastCycles()
+	}
+	return s.ModelBroadcastCycles() + int64(s.streamPerVec) + s.startup + int64(rounds-1)*s.interval
+}
+
+// RunBatch simulates the accelerator processing one mini-batch: parts[t]
+// holds thread t's data sub-partition as per-vector data bindings. model is
+// the broadcast model; lr and agg define the local update discipline
+// (Equation 3a within each thread).
+func (s *Sim) RunBatch(model map[string][]float64, parts [][]map[string][]float64,
+	lr float64, agg dsl.AggregatorKind) (*BatchResult, error) {
+
+	if len(parts) != s.threads {
+		return nil, fmt.Errorf("accel: %d sub-partitions for %d threads", len(parts), s.threads)
+	}
+	pairs, err := s.prog.Graph.Unit.ModelGradientPairs()
+	if err != nil {
+		return nil, err
+	}
+
+	maxVecs := 0
+	for _, p := range parts {
+		if len(p) > maxVecs {
+			maxVecs = len(p)
+		}
+	}
+
+	res := &BatchResult{
+		Partial:       map[string][]float64{},
+		ThreadVectors: make([]int, s.threads),
+	}
+
+	// Functional state per thread: a local model copy (average mode) or a
+	// gradient accumulator (sum mode).
+	localModels := make([]map[string][]float64, s.threads)
+	gradSums := make([]map[string][]float64, s.threads)
+	for t := 0; t < s.threads; t++ {
+		localModels[t] = copyBindings(model)
+		gradSums[t] = map[string][]float64{}
+		for name, outs := range s.prog.Graph.Outputs {
+			gradSums[t][name] = make([]float64, len(outs))
+		}
+	}
+
+	for round := 0; round < maxVecs; round++ {
+		for t := 0; t < s.threads; t++ {
+			if round >= len(parts[t]) {
+				continue
+			}
+			res.ThreadVectors[t]++
+			bind := dfg.Bindings{Data: parts[t][round], Model: localModels[t]}
+			grads, err := s.prog.Graph.Eval(bind)
+			if err != nil {
+				return nil, err
+			}
+			switch agg {
+			case dsl.AggAverage:
+				// Local SGD step: θ_t ← θ_t − μ·g (Equation 3a).
+				for _, pr := range pairs {
+					mvec := localModels[t][pr[0].Name]
+					gvec := grads[pr[1].Name]
+					for i := range mvec {
+						mvec[i] -= lr * gvec[i]
+					}
+				}
+			case dsl.AggSum:
+				for name, g := range grads {
+					acc := gradSums[t][name]
+					for i := range g {
+						acc[i] += g[i]
+					}
+				}
+			}
+		}
+	}
+
+	res.Cycles = s.CyclesForRounds(maxVecs) + s.AggWritebackCycles()
+	res.StreamCycles = s.ModelBroadcastCycles() + int64(s.streamPerVec)*sumInts(res.ThreadVectors)
+	res.ComputeCycles = s.MaxPELoad() * int64(maxVecs)
+
+	// Functional aggregation across threads (the tree-bus ALUs' job).
+	switch agg {
+	case dsl.AggAverage:
+		for _, pr := range pairs {
+			name := pr[0].Name
+			out := make([]float64, len(model[name]))
+			for t := 0; t < s.threads; t++ {
+				for i, v := range localModels[t][name] {
+					out[i] += v
+				}
+			}
+			for i := range out {
+				out[i] /= float64(s.threads)
+			}
+			res.Partial[name] = out
+		}
+	case dsl.AggSum:
+		for name := range s.prog.Graph.Outputs {
+			out := make([]float64, len(gradSums[0][name]))
+			for t := 0; t < s.threads; t++ {
+				for i, v := range gradSums[t][name] {
+					out[i] += v
+				}
+			}
+			res.Partial[name] = out
+		}
+	}
+	return res, nil
+}
+
+func sameRowAdjacent(p *compiler.Program, a, b int) bool {
+	return p.RowOf(a) == p.RowOf(b) && absInt(p.ColOf(a)-p.ColOf(b)) == 1
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sumInts(xs []int) int64 {
+	var s int64
+	for _, x := range xs {
+		s += int64(x)
+	}
+	return s
+}
+
+func copyBindings(m map[string][]float64) map[string][]float64 {
+	out := make(map[string][]float64, len(m))
+	for k, v := range m {
+		c := make([]float64, len(v))
+		copy(c, v)
+		out[k] = c
+	}
+	return out
+}
+
+// MaxBusLoad returns the busiest bus segment's per-vector transmission
+// count.
+func (s *Sim) MaxBusLoad() int64 {
+	var m int64
+	for _, l := range s.busLoad {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}

@@ -1,0 +1,192 @@
+// Package arch defines the acceleration-platform vocabulary shared by the
+// CoSMIC stack: chip specifications (FPGAs and Programmable ASICs) and the
+// architectural Plan the Planner produces — how the multi-threaded template
+// is stretched or squeezed onto a chip (columns × rows of PEs, threads, and
+// rows per thread).
+package arch
+
+import "fmt"
+
+// ChipKind distinguishes reprogrammable FPGAs from fixed-function
+// programmable ASICs. The Constructor emits schedule-specialized state
+// machines for FPGAs and microcode-driven control for P-ASICs.
+type ChipKind int
+
+// Chip kinds.
+const (
+	FPGA ChipKind = iota
+	PASIC
+)
+
+// String returns the kind name.
+func (k ChipKind) String() string {
+	if k == FPGA {
+		return "FPGA"
+	}
+	return "P-ASIC"
+}
+
+// WordBytes is the size of one datapath word. The template operates on
+// 32-bit values.
+const WordBytes = 4
+
+// ChipSpec is the high-level chip description the Planner consumes: compute
+// budget, on-chip storage, off-chip bandwidth, and frequency (Figure 3's
+// "Number of DSP units, off-chip memory bandwidth, number of BRAMs, size of
+// each BRAM").
+type ChipSpec struct {
+	Name string
+	Kind ChipKind
+
+	// PEBudget is the maximum number of processing engines: DSP slices for
+	// FPGAs, the synthesized PE count for P-ASICs.
+	PEBudget int
+	// StorageKB is the total on-chip buffer storage (BRAM/SRAM) in KB.
+	StorageKB int
+	// MemBandwidthGBps is the off-chip memory bandwidth.
+	MemBandwidthGBps float64
+	// FrequencyMHz is the datapath clock.
+	FrequencyMHz float64
+	// MaxRows structurally caps the row count (routing/congestion limit);
+	// zero means no cap beyond PEBudget/Columns.
+	MaxRows int
+	// TDPWatts is the chip's power budget, used by the Performance-per-Watt
+	// comparison.
+	TDPWatts float64
+
+	// LUTs and FlipFlops describe the FPGA fabric for resource-utilization
+	// reports (Table 3); zero for P-ASICs.
+	LUTs, FlipFlops int
+	// AreaMM2 and TechnologyNM describe P-ASIC synthesis results; zero for
+	// FPGAs.
+	AreaMM2      float64
+	TechnologyNM int
+}
+
+// Columns returns the number of PEs per row. The Planner sets it "equal to
+// the number of words that can be fetched in parallel from memory" — fewer
+// would waste bandwidth, more would pressure the interconnect — rounded
+// down to a power of two so memory bursts, the shifter, and reduction
+// trees stay aligned.
+func (c ChipSpec) Columns() int {
+	words := int(c.MemBandwidthGBps * 1e9 / (c.FrequencyMHz * 1e6 * WordBytes))
+	if words > c.PEBudget {
+		words = c.PEBudget
+	}
+	n := 1
+	for n*2 <= words {
+		n *= 2
+	}
+	return n
+}
+
+// RowLimit returns the maximum number of PE rows: PEBudget/Columns, capped
+// by the structural MaxRows.
+func (c ChipSpec) RowLimit() int {
+	r := c.PEBudget / c.Columns()
+	if r < 1 {
+		r = 1
+	}
+	if c.MaxRows > 0 && r > c.MaxRows {
+		r = c.MaxRows
+	}
+	return r
+}
+
+// StorageWords returns the on-chip storage budget in words.
+func (c ChipSpec) StorageWords() int { return c.StorageKB * 1024 / WordBytes }
+
+// CyclesToSeconds converts a cycle count at this chip's frequency.
+func (c ChipSpec) CyclesToSeconds(cycles float64) float64 {
+	return cycles / (c.FrequencyMHz * 1e6)
+}
+
+// The evaluation platforms of Table 2, plus the Zynq chip TABLA originally
+// targeted (for the related-work comparison).
+var (
+	// UltraScalePlus is the Xilinx Virtex UltraScale+ VU9P, the paper's
+	// FPGA platform, synthesized at 150 MHz. The 9720 KB storage budget is
+	// the usable BRAM total from Table 3; 76.8 GB/s of DDR4 bandwidth
+	// yields 128 memory words per cycle at 150 MHz, and the 48-row cap
+	// matches the paper's design-space sweep ("rows from 1 to 48, the
+	// maximum number of rows in UltraScale+").
+	UltraScalePlus = ChipSpec{
+		Name: "UltraScale+ VU9P", Kind: FPGA,
+		PEBudget: 6840, StorageKB: 9720,
+		MemBandwidthGBps: 76.8, FrequencyMHz: 150, MaxRows: 48,
+		TDPWatts: 42, LUTs: 1182240, FlipFlops: 2364480,
+	}
+
+	// PASICF matches the FPGA's PE count class and off-chip bandwidth at
+	// 1 GHz (Table 2, P-ASIC F: 768 PEs, 29 mm², 11 W, 45 nm). Keeping
+	// byte bandwidth fixed while raising frequency leaves only ~19 words
+	// per cycle — the paper's point that frequency alone does not deliver
+	// proportional speedup.
+	PASICF = ChipSpec{
+		Name: "P-ASIC-F", Kind: PASIC,
+		PEBudget: 768, StorageKB: 4096,
+		MemBandwidthGBps: 76.8, FrequencyMHz: 1000,
+		TDPWatts: 11, AreaMM2: 29, TechnologyNM: 45,
+	}
+
+	// PASICG matches the GPU's core count and bandwidth (Table 2, P-ASIC
+	// G: 2880 PEs, 105 mm², 37 W): 288 GB/s at 1 GHz is 72 words/cycle.
+	PASICG = ChipSpec{
+		Name: "P-ASIC-G", Kind: PASIC,
+		PEBudget: 2880, StorageKB: 8192,
+		MemBandwidthGBps: 288, FrequencyMHz: 1000,
+		TDPWatts: 37, AreaMM2: 105, TechnologyNM: 45,
+	}
+
+	// ZynqZC702 is the low-power FPGA TABLA originally targeted (220 DSP
+	// slices), kept for the related-work comparison.
+	ZynqZC702 = ChipSpec{
+		Name: "Zynq ZC702", Kind: FPGA,
+		PEBudget: 220, StorageKB: 560,
+		MemBandwidthGBps: 4.2, FrequencyMHz: 150, MaxRows: 16,
+		TDPWatts: 2, LUTs: 53200, FlipFlops: 106400,
+	}
+)
+
+// Plan is the Planner's output: the shape of the multi-threaded template on
+// a chip. All threads get the same allocation, at row granularity.
+type Plan struct {
+	Chip ChipSpec
+	// Columns is the number of PEs per row (= memory words per cycle).
+	Columns int
+	// Threads is the number of MIMD worker threads on the chip.
+	Threads int
+	// RowsPerThread is the number of PE rows allocated to each thread.
+	RowsPerThread int
+}
+
+// PEsPerThread returns RowsPerThread × Columns.
+func (p Plan) PEsPerThread() int { return p.RowsPerThread * p.Columns }
+
+// TotalRows returns the rows instantiated across all threads.
+func (p Plan) TotalRows() int { return p.Threads * p.RowsPerThread }
+
+// TotalPEs returns the PEs instantiated across all threads.
+func (p Plan) TotalPEs() int { return p.TotalRows() * p.Columns }
+
+// Validate checks the plan fits its chip.
+func (p Plan) Validate() error {
+	if p.Columns <= 0 || p.Threads <= 0 || p.RowsPerThread <= 0 {
+		return fmt.Errorf("arch: degenerate plan %+v", p)
+	}
+	if p.TotalRows() > p.Chip.RowLimit() {
+		return fmt.Errorf("arch: plan uses %d rows, chip %s allows %d",
+			p.TotalRows(), p.Chip.Name, p.Chip.RowLimit())
+	}
+	if p.TotalPEs() > p.Chip.PEBudget {
+		return fmt.Errorf("arch: plan uses %d PEs, chip %s has %d",
+			p.TotalPEs(), p.Chip.Name, p.Chip.PEBudget)
+	}
+	return nil
+}
+
+// String renders the plan in the paper's TxRy notation (x threads, y rows).
+func (p Plan) String() string {
+	return fmt.Sprintf("T%d×R%d on %s (%d cols, %d PEs/thread)",
+		p.Threads, p.TotalRows(), p.Chip.Name, p.Columns, p.PEsPerThread())
+}

@@ -1,0 +1,101 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestColumnsArePowersOfTwo(t *testing.T) {
+	check := func(bwTenths uint16, freqMHz uint16) bool {
+		c := ChipSpec{
+			PEBudget:         4096,
+			MemBandwidthGBps: float64(bwTenths%2000)/10 + 0.1,
+			FrequencyMHz:     float64(freqMHz%2000) + 1,
+		}
+		cols := c.Columns()
+		if cols < 1 || cols > c.PEBudget {
+			return false
+		}
+		return cols&(cols-1) == 0 // power of two
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnsNeverExceedWordRate(t *testing.T) {
+	c := ChipSpec{PEBudget: 10000, MemBandwidthGBps: 76.8, FrequencyMHz: 150}
+	words := c.MemBandwidthGBps * 1e9 / (c.FrequencyMHz * 1e6 * WordBytes)
+	if float64(c.Columns()) > words {
+		t.Errorf("columns %d exceed the %f words/cycle the memory delivers", c.Columns(), words)
+	}
+}
+
+func TestRowLimitRespectsBothBounds(t *testing.T) {
+	noCap := ChipSpec{PEBudget: 1024, MemBandwidthGBps: 25.6, FrequencyMHz: 100} // 64 cols
+	if r := noCap.RowLimit(); r != 16 {
+		t.Errorf("row limit = %d, want 16", r)
+	}
+	capped := noCap
+	capped.MaxRows = 5
+	if r := capped.RowLimit(); r != 5 {
+		t.Errorf("capped row limit = %d, want 5", r)
+	}
+}
+
+func TestPaperPlatformConstants(t *testing.T) {
+	// Table 2 cross-checks.
+	if arch := UltraScalePlus; arch.PEBudget != 6840 || arch.TDPWatts != 42 || arch.FrequencyMHz != 150 {
+		t.Errorf("UltraScale+ = %+v", arch)
+	}
+	if PASICF.PEBudget != 768 || PASICF.AreaMM2 != 29 || PASICF.TDPWatts != 11 {
+		t.Errorf("P-ASIC-F = %+v", PASICF)
+	}
+	if PASICG.PEBudget != 2880 || PASICG.AreaMM2 != 105 || PASICG.TDPWatts != 37 {
+		t.Errorf("P-ASIC-G = %+v", PASICG)
+	}
+	// Both P-ASICs run at 1 GHz, 45 nm.
+	for _, c := range []ChipSpec{PASICF, PASICG} {
+		if c.FrequencyMHz != 1000 || c.TechnologyNM != 45 || c.Kind != PASIC {
+			t.Errorf("%s = %+v", c.Name, c)
+		}
+	}
+}
+
+func TestCyclesToSeconds(t *testing.T) {
+	c := ChipSpec{FrequencyMHz: 150}
+	if s := c.CyclesToSeconds(150e6); s != 1 {
+		t.Errorf("150M cycles at 150 MHz = %g s", s)
+	}
+}
+
+func TestPlanAccounting(t *testing.T) {
+	p := Plan{Chip: UltraScalePlus, Columns: 128, Threads: 4, RowsPerThread: 8}
+	if p.PEsPerThread() != 1024 || p.TotalRows() != 32 || p.TotalPEs() != 4096 {
+		t.Errorf("plan accounting: %d/%d/%d", p.PEsPerThread(), p.TotalRows(), p.TotalPEs())
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	if s := p.String(); !strings.Contains(s, "T4×R32") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestPlanValidateRejectsOverflow(t *testing.T) {
+	over := Plan{Chip: UltraScalePlus, Columns: 128, Threads: 7, RowsPerThread: 7} // 49 rows > 48
+	if err := over.Validate(); err == nil {
+		t.Error("expected row-limit error")
+	}
+	degenerate := Plan{Chip: UltraScalePlus}
+	if err := degenerate.Validate(); err == nil {
+		t.Error("expected degenerate-plan error")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if FPGA.String() != "FPGA" || PASIC.String() != "P-ASIC" {
+		t.Error("kind strings")
+	}
+}

@@ -1,0 +1,90 @@
+// Package core wires CoSMIC's five layers into the end-to-end build
+// pipeline — the stack's primary contribution is precisely this cohesion:
+//
+//	programming   dsl.ParseAndAnalyze   the math DSL → analyzed program
+//	compilation   dfg.Translate         program → dataflow graph
+//	architecture  planner.Plan          graph + chip → template plan
+//	compilation   compiler.Compile      graph + plan → static schedule
+//	circuit       verilog.Encode/Generate schedule → synthesizable RTL
+//
+// The public facade (package cosmic at the repository root) delegates here;
+// the experiments and command-line drivers use the same path, so there is
+// exactly one way a DSL program becomes an accelerator.
+package core
+
+import (
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/dfg"
+	"repro/internal/dsl"
+	"repro/internal/perf"
+	"repro/internal/planner"
+	"repro/internal/verilog"
+)
+
+// BuildOptions tunes the pipeline.
+type BuildOptions struct {
+	// MiniBatch is the node-local mini-batch size the Planner sizes
+	// thread counts against (0 = the DSL program's own declaration).
+	MiniBatch int
+	// MaxThreads caps the worker-thread count (0 = chip limits only).
+	MaxThreads int
+	// Style selects CoSMIC's data-first mapping or the TABLA baseline.
+	Style compiler.Style
+}
+
+// Build is the fully compiled result: every layer's artifact.
+type Build struct {
+	Unit    *dsl.Unit
+	Graph   *dfg.Graph
+	Point   planner.DesignPoint
+	Program *compiler.Program
+}
+
+// BuildProgram runs the stack front to back (everything except RTL
+// emission, which Verilog does on demand).
+func BuildProgram(source string, params map[string]int, chip arch.ChipSpec, opts BuildOptions) (*Build, error) {
+	unit, err := dsl.ParseAndAnalyze(source, params)
+	if err != nil {
+		return nil, err
+	}
+	graph, err := dfg.Translate(unit)
+	if err != nil {
+		return nil, err
+	}
+	miniBatch := opts.MiniBatch
+	if miniBatch <= 0 {
+		miniBatch = unit.Program.MiniBatch
+	}
+	maxThreads := opts.MaxThreads
+	if opts.Style == compiler.StyleTABLA {
+		maxThreads = 1
+	}
+	point, err := planner.Plan(graph, chip, planner.Options{
+		MiniBatch:  miniBatch,
+		Style:      opts.Style,
+		MaxThreads: maxThreads,
+	})
+	if err != nil {
+		return nil, err
+	}
+	prog, err := compiler.Compile(graph, point.Plan, opts.Style)
+	if err != nil {
+		return nil, err
+	}
+	return &Build{Unit: unit, Graph: graph, Point: point, Program: prog}, nil
+}
+
+// Verilog runs the circuit layer over the build.
+func (b *Build) Verilog() (string, error) {
+	img, err := verilog.Encode(b.Program)
+	if err != nil {
+		return "", err
+	}
+	return verilog.Generate(img)
+}
+
+// Estimate returns the performance model for the build.
+func (b *Build) Estimate() (perf.Estimate, error) {
+	return perf.FromProgram(b.Program)
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/dsl"
+)
+
+func TestBuildProgramEndToEnd(t *testing.T) {
+	b, err := BuildProgram(dsl.SourceSVM, map[string]int{"M": 64}, arch.UltraScalePlus, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Unit == nil || b.Graph == nil || b.Program == nil {
+		t.Fatal("incomplete build")
+	}
+	// With no explicit mini-batch, the Planner uses the DSL's declaration.
+	if b.Unit.Program.MiniBatch != 10000 {
+		t.Errorf("declared mini-batch %d", b.Unit.Program.MiniBatch)
+	}
+	if err := b.Point.Plan.Validate(); err != nil {
+		t.Error(err)
+	}
+	est, err := b.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Interval <= 0 {
+		t.Errorf("estimate interval %d", est.Interval)
+	}
+	rtl, err := b.Verilog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rtl, "cosmic_top") {
+		t.Error("RTL missing top module")
+	}
+}
+
+func TestBuildProgramTABLAForcesSingleThread(t *testing.T) {
+	b, err := BuildProgram(dsl.SourceSVM, map[string]int{"M": 64}, arch.UltraScalePlus,
+		BuildOptions{Style: compiler.StyleTABLA, MaxThreads: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Point.Plan.Threads != 1 {
+		t.Errorf("TABLA build has %d threads", b.Point.Plan.Threads)
+	}
+}
+
+func TestBuildProgramPropagatesFrontendErrors(t *testing.T) {
+	if _, err := BuildProgram("nonsense!", nil, arch.UltraScalePlus, BuildOptions{}); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := BuildProgram(dsl.SourceSVM, nil, arch.UltraScalePlus, BuildOptions{}); err == nil {
+		t.Error("expected missing-parameter error")
+	}
+}

@@ -1,0 +1,214 @@
+// Package cosmicnet is the wire layer of CoSMIC's system software: a
+// length-prefixed binary framing protocol over TCP that Sigma and Delta
+// nodes use to exchange model parameters, partial gradient updates, and
+// control messages. The paper's system targets commodity networking ("the
+// nodes communicate through conventional TCP/IP stack via a NIC"); this
+// package is the same design over Go's net.Conn.
+package cosmicnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync/atomic"
+)
+
+// MsgType discriminates frames on the wire.
+type MsgType uint8
+
+// Message types.
+const (
+	// MsgHello registers a node with the director, carrying its listen
+	// address.
+	MsgHello MsgType = iota + 1
+	// MsgConfig tells a node its role, group, peers, and training
+	// hyperparameters.
+	MsgConfig
+	// MsgModel broadcasts the current model parameters for the next
+	// mini-batch.
+	MsgModel
+	// MsgPartial carries a node's locally aggregated partial update to its
+	// group Sigma node.
+	MsgPartial
+	// MsgGroupAggregate carries a group Sigma's combined partial to the
+	// master Sigma.
+	MsgGroupAggregate
+	// MsgDone ends training.
+	MsgDone
+	// MsgAck acknowledges a control message.
+	MsgAck
+)
+
+var msgNames = map[MsgType]string{
+	MsgHello: "hello", MsgConfig: "config", MsgModel: "model",
+	MsgPartial: "partial", MsgGroupAggregate: "group-aggregate",
+	MsgDone: "done", MsgAck: "ack",
+}
+
+// String names the message type.
+func (t MsgType) String() string {
+	if s, ok := msgNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Frame is one protocol message.
+type Frame struct {
+	Type MsgType
+	// Seq is the mini-batch sequence number (for Model/Partial frames).
+	Seq uint32
+	// From is the sender's node ID.
+	From uint32
+	// Weight is the aggregation credit a Partial/GroupAggregate carries
+	// (number of node partials behind the payload).
+	Weight float64
+	// Payload is the vector body for data frames or an encoded control
+	// blob for control frames.
+	Payload []float64
+	// Text carries small string payloads (e.g. the Hello listen address).
+	Text string
+}
+
+// MaxFrameBytes bounds a frame's wire size; a frame larger than this is
+// corrupt (the largest legitimate payload is a full model vector).
+const MaxFrameBytes = 256 << 20
+
+// header: type(1) seq(4) from(4) weight(8) textLen(4) payloadLen(4)
+const headerBytes = 25
+
+// WriteFrame encodes and writes one frame.
+func WriteFrame(w io.Writer, f *Frame) error {
+	_, err := writeFrame(w, f)
+	return err
+}
+
+// writeFrame reports the bytes written.
+func writeFrame(w io.Writer, f *Frame) (int, error) {
+	textLen := len(f.Text)
+	payloadLen := len(f.Payload) * 8
+	total := headerBytes + textLen + payloadLen
+	if total > MaxFrameBytes {
+		return 0, fmt.Errorf("cosmicnet: frame of %d bytes exceeds limit", total)
+	}
+	buf := make([]byte, 4+total)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(total))
+	buf[4] = byte(f.Type)
+	binary.LittleEndian.PutUint32(buf[5:], f.Seq)
+	binary.LittleEndian.PutUint32(buf[9:], f.From)
+	binary.LittleEndian.PutUint64(buf[13:], math.Float64bits(f.Weight))
+	binary.LittleEndian.PutUint32(buf[21:], uint32(textLen))
+	binary.LittleEndian.PutUint32(buf[25:], uint32(len(f.Payload)))
+	copy(buf[29:], f.Text)
+	off := 29 + textLen
+	for _, v := range f.Payload {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	n, err := w.Write(buf)
+	return n, err
+}
+
+// ReadFrame reads and decodes one frame.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	f, _, err := readFrame(r)
+	return f, err
+}
+
+// readFrame reports the bytes consumed.
+func readFrame(r io.Reader) (*Frame, int, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, 0, err
+	}
+	total := binary.LittleEndian.Uint32(lenBuf[:])
+	if total < headerBytes || total > MaxFrameBytes {
+		return nil, 4, fmt.Errorf("cosmicnet: bad frame length %d", total)
+	}
+	buf := make([]byte, total)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, 4, err
+	}
+	f := &Frame{
+		Type:   MsgType(buf[0]),
+		Seq:    binary.LittleEndian.Uint32(buf[1:]),
+		From:   binary.LittleEndian.Uint32(buf[5:]),
+		Weight: math.Float64frombits(binary.LittleEndian.Uint64(buf[9:])),
+	}
+	textLen := binary.LittleEndian.Uint32(buf[17:])
+	payloadLen := binary.LittleEndian.Uint32(buf[21:])
+	if uint32(len(buf)) != headerBytes+textLen+payloadLen*8 {
+		return nil, 4 + int(total), fmt.Errorf("cosmicnet: inconsistent frame: total %d, text %d, payload %d",
+			total, textLen, payloadLen)
+	}
+	f.Text = string(buf[headerBytes : headerBytes+textLen])
+	f.Payload = make([]float64, payloadLen)
+	off := headerBytes + int(textLen)
+	for i := range f.Payload {
+		f.Payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	return f, 4 + int(total), nil
+}
+
+// Conn wraps a net.Conn with frame I/O and byte accounting (the
+// communication-volume numbers Figures 13/14 reason about).
+type Conn struct {
+	net.Conn
+	sent, received atomic.Int64
+}
+
+// Dial connects to a peer node.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{Conn: c}, nil
+}
+
+// Send writes one frame.
+func (c *Conn) Send(f *Frame) error {
+	n, err := writeFrame(c.Conn, f)
+	c.sent.Add(int64(n))
+	return err
+}
+
+// Recv reads one frame.
+func (c *Conn) Recv() (*Frame, error) {
+	f, n, err := readFrame(c.Conn)
+	c.received.Add(int64(n))
+	return f, err
+}
+
+// BytesSent returns the total frame bytes written on this connection.
+func (c *Conn) BytesSent() int64 { return c.sent.Load() }
+
+// BytesReceived returns the total frame bytes read on this connection.
+func (c *Conn) BytesReceived() int64 { return c.received.Load() }
+
+// Listener accepts framed connections.
+type Listener struct {
+	net.Listener
+}
+
+// Listen opens a TCP listener on addr ("127.0.0.1:0" for an ephemeral
+// port).
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{Listener: l}, nil
+}
+
+// AcceptConn accepts the next framed connection.
+func (l *Listener) AcceptConn() (*Conn, error) {
+	c, err := l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{Conn: c}, nil
+}

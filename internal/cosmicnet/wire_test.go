@@ -1,0 +1,187 @@
+package cosmicnet
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{Type: MsgHello, From: 3, Text: "127.0.0.1:9999"},
+		{Type: MsgModel, Seq: 42, Payload: []float64{1, -2.5, math.Pi}},
+		{Type: MsgPartial, Seq: 7, From: 2, Weight: 3.5, Payload: []float64{0.25}},
+		{Type: MsgDone},
+		{Type: MsgGroupAggregate, Seq: 1, From: 1, Weight: 4, Payload: make([]float64, 10000)},
+	}
+	for _, f := range frames {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Payload == nil {
+			f.Payload = []float64{}
+		}
+		if !reflect.DeepEqual(f, got) {
+			t.Errorf("round trip mismatch:\n sent %+v\n got  %+v", f, got)
+		}
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	check := func(seq, from uint32, weight float64, payload []float64, text string) bool {
+		if math.IsNaN(weight) {
+			return true
+		}
+		for _, v := range payload {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		f := &Frame{Type: MsgPartial, Seq: seq, From: from, Weight: weight, Payload: payload, Text: text}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, f); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Seq != seq || got.From != from || got.Weight != weight || got.Text != text {
+			return false
+		}
+		if len(got.Payload) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if got.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	// Length below the header size.
+	var buf bytes.Buffer
+	buf.Write([]byte{1, 0, 0, 0})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("expected error for undersized frame")
+	}
+	// Length exceeding the cap.
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("expected error for oversized frame")
+	}
+	// Inconsistent inner lengths.
+	f := &Frame{Type: MsgModel, Payload: []float64{1, 2}}
+	buf.Reset()
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4+21] = 0xee // corrupt the text length
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Error("expected error for inconsistent frame")
+	}
+	// Truncated stream.
+	if _, err := ReadFrame(bytes.NewReader(raw[:8])); err == nil {
+		t.Error("expected error for truncated frame")
+	}
+}
+
+func TestLoopbackConn(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan *Frame, 1)
+	go func() {
+		conn, err := ln.AcceptConn()
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer conn.Close()
+		f, err := conn.Recv()
+		if err != nil {
+			done <- nil
+			return
+		}
+		_ = conn.Send(&Frame{Type: MsgAck, Seq: f.Seq})
+		done <- f
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(&Frame{Type: MsgModel, Seq: 9, Payload: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Type != MsgAck || ack.Seq != 9 {
+		t.Errorf("ack = %+v", ack)
+	}
+	if f := <-done; f == nil || len(f.Payload) != 3 {
+		t.Errorf("server frame = %+v", f)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	if MsgModel.String() != "model" || MsgType(99).String() == "" {
+		t.Error("bad MsgType strings")
+	}
+}
+
+func TestConnByteAccounting(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan int64, 1)
+	go func() {
+		conn, err := ln.AcceptConn()
+		if err != nil {
+			done <- -1
+			return
+		}
+		defer conn.Close()
+		if _, err := conn.Recv(); err != nil {
+			done <- -1
+			return
+		}
+		done <- conn.BytesReceived()
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(&Frame{Type: MsgModel, Payload: make([]float64, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	sent := c.BytesSent()
+	if sent < 800 { // 100 float64s plus framing
+		t.Errorf("sent %d bytes, expected at least the payload", sent)
+	}
+	if got := <-done; got != sent {
+		t.Errorf("receiver counted %d bytes, sender %d", got, sent)
+	}
+}

@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/ml"
+)
+
+// Binary dataset files let deployments ship pre-generated shards to worker
+// machines instead of regenerating them (the paper's nodes each store a
+// partition Dᵢ of the training data on local disks). The format is a small
+// header followed by packed little-endian float64 rows:
+//
+//	magic "CSMD" | version u32 | samples u32 | xLen u32 | yLen u32
+//	then samples × (xLen + yLen) float64 values
+const (
+	fileMagic   = "CSMD"
+	fileVersion = 1
+)
+
+// Save writes samples to w. All samples must share the first sample's
+// geometry.
+func Save(w io.Writer, samples []ml.Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("dataset: nothing to save")
+	}
+	xLen, yLen := len(samples[0].X), len(samples[0].Y)
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return err
+	}
+	for _, v := range []uint32{fileVersion, uint32(len(samples)), uint32(xLen), uint32(yLen)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 8)
+	writeF := func(x float64) error {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+		_, err := bw.Write(buf)
+		return err
+	}
+	for i, s := range samples {
+		if len(s.X) != xLen || len(s.Y) != yLen {
+			return fmt.Errorf("dataset: sample %d geometry %dx%d, want %dx%d",
+				i, len(s.X), len(s.Y), xLen, yLen)
+		}
+		for _, v := range s.X {
+			if err := writeF(v); err != nil {
+				return err
+			}
+		}
+		for _, v := range s.Y {
+			if err := writeF(v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) ([]ml.Sample, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	var version, count, xLen, yLen uint32
+	for _, p := range []*uint32{&version, &count, &xLen, &yLen} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if version != fileVersion {
+		return nil, fmt.Errorf("dataset: unsupported version %d", version)
+	}
+	const maxSaneWords = 1 << 30
+	if uint64(count)*uint64(xLen+yLen) > maxSaneWords {
+		return nil, fmt.Errorf("dataset: implausible size %d×(%d+%d)", count, xLen, yLen)
+	}
+	buf := make([]byte, 8)
+	readF := func() (float64, error) {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf)), nil
+	}
+	out := make([]ml.Sample, count)
+	for i := range out {
+		s := ml.Sample{X: make([]float64, xLen), Y: make([]float64, yLen)}
+		for j := range s.X {
+			v, err := readF()
+			if err != nil {
+				return nil, fmt.Errorf("dataset: truncated at sample %d: %w", i, err)
+			}
+			s.X[j] = v
+		}
+		for j := range s.Y {
+			v, err := readF()
+			if err != nil {
+				return nil, fmt.Errorf("dataset: truncated at sample %d: %w", i, err)
+			}
+			s.Y[j] = v
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// SaveFile writes samples to path.
+func SaveFile(path string, samples []ml.Sample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, samples); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) ([]ml.Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	b, _ := ByName("tumor")
+	alg := b.Algorithm(0.02)
+	orig := b.Generate(alg, 64, 5)
+
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("loaded %d samples, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		for j := range orig[i].X {
+			if got[i].X[j] != orig[i].X[j] {
+				t.Fatalf("sample %d X[%d] differs", i, j)
+			}
+		}
+		for j := range orig[i].Y {
+			if got[i].Y[j] != orig[i].Y[j] {
+				t.Fatalf("sample %d Y[%d] differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.csmd")
+	samples := []ml.Sample{
+		{X: []float64{1, 2}, Y: []float64{3}},
+		{X: []float64{-4, 5.5}, Y: []float64{0}},
+	}
+	if err := SaveFile(path, samples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].X[1] != 5.5 {
+		t.Fatalf("loaded %+v", got)
+	}
+}
+
+func TestSaveRejectsRaggedAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, nil); err == nil {
+		t.Error("empty save accepted")
+	}
+	ragged := []ml.Sample{
+		{X: []float64{1}, Y: []float64{1}},
+		{X: []float64{1, 2}, Y: []float64{1}},
+	}
+	if err := Save(&buf, ragged); err == nil {
+		t.Error("ragged geometry accepted")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	samples := []ml.Sample{{X: []float64{1, 2, 3}, Y: []float64{4}}}
+	var buf bytes.Buffer
+	if err := Save(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte("NOPE"), raw[4:]...)
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated body.
+	if _, err := Load(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Error("truncated file accepted")
+	}
+	// Implausible declared size.
+	huge := append([]byte{}, raw...)
+	huge[8], huge[9], huge[10], huge[11] = 0xff, 0xff, 0xff, 0xff // count
+	if _, err := Load(bytes.NewReader(huge)); err == nil {
+		t.Error("implausible header accepted")
+	}
+}

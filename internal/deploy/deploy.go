@@ -1,0 +1,314 @@
+// Package deploy runs CoSMIC's system layer across OS processes: a master
+// process hosts the System Director and the master Sigma; worker processes
+// (cmd/cosmic-node) join over TCP, receive their role, group, and upstream
+// assignment from the Director (the MsgConfig protocol), and then run the
+// ordinary Delta / group-Sigma loops of package runtime. The in-process
+// Cluster of package runtime is the same machinery with goroutine nodes;
+// this package is the multi-machine deployment the paper's 16-node EC2
+// experiments used.
+//
+// The Director's handshake is two-phase, because a Delta's upstream address
+// is its group Sigma's listener, which exists only after that Sigma is
+// configured:
+//
+//	worker → master   MsgHello                   (join)
+//	master → sigmas   MsgConfig{role, ...}       (phase 1)
+//	sigma  → master   MsgAck{listener address}
+//	master → deltas   MsgConfig{role, upstream}  (phase 2)
+//	workers           dial upstream and run; training proceeds as in
+//	                  package runtime
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"repro/internal/cosmicnet"
+	"repro/internal/dataset"
+	"repro/internal/dsl"
+	"repro/internal/ml"
+	"repro/internal/runtime"
+)
+
+// Spec is the System Specification of Figure 3 — the deployment-level
+// inputs to the stack (number of nodes, number of groups, workload) — plus
+// the training hyperparameters the Director distributes.
+type Spec struct {
+	Nodes  int `json:"nodes"`
+	Groups int `json:"groups"`
+
+	// Benchmark and Scale select the workload; every node generates its
+	// own shard deterministically from Seed and its node ID.
+	Benchmark string  `json:"benchmark"`
+	Scale     float64 `json:"scale"`
+	Samples   int     `json:"samples"` // per node
+	Seed      int64   `json:"seed"`
+
+	MiniBatch    int     `json:"mini_batch"`
+	Rounds       int     `json:"rounds"`
+	Threads      int     `json:"threads"`
+	LearningRate float64 `json:"learning_rate"`
+	Average      bool    `json:"average"`
+}
+
+// Validate fills defaults and rejects nonsense.
+func (s *Spec) Validate() error {
+	if s.Nodes < 1 {
+		return fmt.Errorf("deploy: %d nodes", s.Nodes)
+	}
+	if s.Groups < 1 {
+		s.Groups = 1
+	}
+	if s.Groups > s.Nodes {
+		return fmt.Errorf("deploy: %d groups for %d nodes", s.Groups, s.Nodes)
+	}
+	if s.Scale <= 0 || s.Scale > 1 {
+		s.Scale = 0.02
+	}
+	if s.Samples <= 0 {
+		s.Samples = 512
+	}
+	if s.Threads <= 0 {
+		s.Threads = 2
+	}
+	if s.Rounds <= 0 {
+		s.Rounds = 10
+	}
+	if s.MiniBatch <= 0 {
+		s.MiniBatch = s.Nodes * 64
+	}
+	if _, err := dataset.ByName(s.Benchmark); err != nil {
+		return err
+	}
+	return nil
+}
+
+// agg returns the aggregator kind.
+func (s Spec) agg() dsl.AggregatorKind {
+	if s.Average {
+		return dsl.AggAverage
+	}
+	return dsl.AggSum
+}
+
+// workerConfig is the MsgConfig payload.
+type workerConfig struct {
+	NodeID       uint32  `json:"node_id"`
+	Role         int     `json:"role"`
+	Group        int     `json:"group"`
+	UpstreamAddr string  `json:"upstream_addr"`
+	Members      int     `json:"members"`
+	Spec         Spec    `json:"spec"`
+	LR           float64 `json:"lr"`
+}
+
+// buildNode constructs the local node for a config: engine, shard, and the
+// runtime Node.
+func buildNode(cfg workerConfig) (*runtime.Node, error) {
+	bench, err := dataset.ByName(cfg.Spec.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	alg := bench.Algorithm(cfg.Spec.Scale)
+	lr := cfg.LR
+	if lr == 0 {
+		lr = bench.DefaultLR(alg)
+	}
+	shard := bench.Generate(alg, cfg.Spec.Samples, cfg.Spec.Seed+int64(cfg.NodeID))
+	engine := &runtime.RefEngine{Alg: alg, Threads: cfg.Spec.Threads, LR: lr, Agg: cfg.Spec.agg()}
+	perNode := cfg.Spec.MiniBatch / cfg.Spec.Nodes
+	if perNode < 1 {
+		perNode = 1
+	}
+	return runtime.StartNode(runtime.NodeConfig{
+		ID:           cfg.NodeID,
+		Role:         runtime.Role(cfg.Role),
+		Group:        cfg.Group,
+		UpstreamAddr: cfg.UpstreamAddr,
+		Members:      cfg.Members,
+		Engine:       engine,
+		ModelSize:    alg.ModelSize(),
+		Agg:          cfg.Spec.agg(),
+		LR:           lr,
+		ShardBatch:   perNode,
+	}, shard)
+}
+
+// Result reports a distributed run from the master's side.
+type Result struct {
+	Model       []float64
+	Stats       runtime.TrainStats
+	InitialLoss float64
+	FinalLoss   float64
+}
+
+// RunMaster listens on controlAddr, admits spec.Nodes-1 workers, assigns
+// roles, drives training, and shuts the cluster down. It blocks until
+// training completes.
+func RunMaster(controlAddr string, spec Spec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := runtime.Assign(spec.Nodes, spec.Groups)
+	if err != nil {
+		return nil, err
+	}
+
+	control, err := net.Listen("tcp", controlAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer control.Close()
+
+	bench, _ := dataset.ByName(spec.Benchmark)
+	alg := bench.Algorithm(spec.Scale)
+	lr := spec.LearningRate
+	if lr == 0 {
+		lr = bench.DefaultLR(alg)
+	}
+
+	// The master node itself (group 0's Sigma + top-level combiner).
+	masterCfg := workerConfig{
+		NodeID: 0, Role: int(runtime.RoleMasterSigma), Group: 0,
+		Members: len(topo.Members[0]), Spec: spec, LR: lr,
+	}
+	master, err := buildNode(masterCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer master.Close()
+
+	// Phase 0: admit every worker's join connection.
+	type joined struct {
+		conn *cosmicnet.Conn
+	}
+	workers := make([]joined, 0, spec.Nodes-1)
+	for len(workers) < spec.Nodes-1 {
+		raw, err := control.Accept()
+		if err != nil {
+			return nil, err
+		}
+		conn := &cosmicnet.Conn{Conn: raw}
+		f, err := conn.Recv()
+		if err != nil || f.Type != cosmicnet.MsgHello {
+			conn.Close()
+			continue
+		}
+		workers = append(workers, joined{conn: conn})
+	}
+
+	sendConfig := func(w joined, cfg workerConfig) error {
+		blob, err := json.Marshal(cfg)
+		if err != nil {
+			return err
+		}
+		return w.conn.Send(&cosmicnet.Frame{Type: cosmicnet.MsgConfig, Text: string(blob)})
+	}
+
+	// Phase 1: configure group Sigmas (workers 0..Groups-2 become node IDs
+	// 1..Groups-1) and collect their data-plane listener addresses.
+	sigmaAddr := make([]string, spec.Groups)
+	sigmaAddr[0] = master.Addr()
+	for g := 1; g < spec.Groups; g++ {
+		w := workers[g-1]
+		cfg := workerConfig{
+			NodeID: uint32(g), Role: int(runtime.RoleGroupSigma), Group: g,
+			UpstreamAddr: master.Addr(), Members: len(topo.Members[g]),
+			Spec: spec, LR: lr,
+		}
+		if err := sendConfig(w, cfg); err != nil {
+			return nil, err
+		}
+		ack, err := w.conn.Recv()
+		if err != nil || ack.Type != cosmicnet.MsgAck {
+			return nil, fmt.Errorf("deploy: sigma %d did not ack: %v", g, err)
+		}
+		sigmaAddr[g] = ack.Text
+	}
+
+	// Phase 2: configure Deltas.
+	for id := spec.Groups; id < spec.Nodes; id++ {
+		w := workers[id-1]
+		group := topo.GroupOf[id]
+		cfg := workerConfig{
+			NodeID: uint32(id), Role: int(runtime.RoleDelta), Group: group,
+			UpstreamAddr: sigmaAddr[group], Spec: spec, LR: lr,
+		}
+		if err := sendConfig(w, cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	// Wait for the data plane to assemble, then train.
+	direct := (spec.Groups - 1) + (len(topo.Members[0]) - 1)
+	master.WaitMembers(direct)
+
+	model := alg.InitModel(rand.New(rand.NewSource(spec.Seed)))
+	res := &Result{}
+	full := bench.Generate(alg, spec.Samples, spec.Seed) // master's view of the loss
+	res.InitialLoss = ml.MeanLoss(alg, model, full)
+
+	trained, stats, err := master.DriveTraining(runtime.DriveConfig{
+		Groups:           spec.Groups,
+		GroupZeroMembers: len(topo.Members[0]),
+		ModelSize:        alg.ModelSize(),
+		Agg:              spec.agg(),
+		LR:               lr,
+		MiniBatch:        spec.MiniBatch,
+	}, model, spec.Rounds)
+	if err != nil {
+		return nil, err
+	}
+	master.SendDone()
+	res.Model = trained
+	res.Stats = stats
+	res.FinalLoss = ml.MeanLoss(alg, trained, full)
+
+	// Give the workers a moment to read the Done before the control
+	// connections drop.
+	for _, w := range workers {
+		w.conn.SetDeadline(time.Now().Add(2 * time.Second))
+		w.conn.Close()
+	}
+	return res, nil
+}
+
+// RunWorker joins the master at controlAddr, receives its assignment, and
+// runs its node loop until training completes.
+func RunWorker(controlAddr string) error {
+	conn, err := cosmicnet.Dial(controlAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.Send(&cosmicnet.Frame{Type: cosmicnet.MsgHello}); err != nil {
+		return err
+	}
+	f, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	if f.Type != cosmicnet.MsgConfig {
+		return fmt.Errorf("deploy: expected config, got %v", f.Type)
+	}
+	var cfg workerConfig
+	if err := json.Unmarshal([]byte(f.Text), &cfg); err != nil {
+		return err
+	}
+	node, err := buildNode(cfg)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	if runtime.Role(cfg.Role) == runtime.RoleGroupSigma {
+		// Report the data-plane listener so the Director can point this
+		// group's Deltas at it.
+		if err := conn.Send(&cosmicnet.Frame{Type: cosmicnet.MsgAck, From: cfg.NodeID, Text: node.Addr()}); err != nil {
+			return err
+		}
+	}
+	return node.Run()
+}

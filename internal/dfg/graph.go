@@ -1,0 +1,337 @@
+// Package dfg implements CoSMIC's Translator: it elaborates an analyzed DSL
+// program into a Dataflow Graph (DFG) of scalar operations, the intermediate
+// representation consumed by the Planner (architecture layer) and the
+// Compiler (mapping/scheduling layer).
+//
+// Nodes produce exactly one value. Leaf nodes carry training data (DATA),
+// model parameters (MODEL) or constants; interior nodes are arithmetic,
+// comparison, select, or nonlinear operations; nodes assigned to gradient
+// variables are the graph's outputs. Reductions (Σ, Π) are expanded into
+// balanced binary trees, mirroring the logarithmic-depth reduction the
+// template architecture's tree bus performs in hardware.
+package dfg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dsl"
+)
+
+// Op enumerates DFG operation kinds.
+type Op int
+
+// DFG operations. OpData/OpModel/OpConst are leaves.
+const (
+	OpData Op = iota
+	OpModel
+	OpConst
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpNeg
+	OpGT
+	OpLT
+	OpGE
+	OpLE
+	OpEQ
+	OpNE
+	OpSelect // Args[0] ? Args[1] : Args[2]
+	OpSigmoid
+	OpGaussian
+	OpLog
+	OpExp
+	OpSqrt
+	OpTanh
+	OpRelu
+	OpAbs
+	OpSign
+)
+
+var opNames = [...]string{
+	OpData: "data", OpModel: "model", OpConst: "const",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpNeg: "neg",
+	OpGT: ">", OpLT: "<", OpGE: ">=", OpLE: "<=", OpEQ: "==", OpNE: "!=",
+	OpSelect: "select", OpSigmoid: "sigmoid", OpGaussian: "gaussian",
+	OpLog: "log", OpExp: "exp", OpSqrt: "sqrt", OpTanh: "tanh",
+	OpRelu: "relu", OpAbs: "abs", OpSign: "sign",
+}
+
+// String returns the operation's printable name.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+// IsLeaf reports whether the op is a graph input (no computation).
+func (op Op) IsLeaf() bool { return op == OpData || op == OpModel || op == OpConst }
+
+// IsNonlinear reports whether the op is implemented by the PE's lookup-table
+// nonlinear unit rather than its ALU.
+func (op Op) IsNonlinear() bool {
+	switch op {
+	case OpSigmoid, OpGaussian, OpLog, OpExp, OpSqrt, OpTanh, OpDiv:
+		return true
+	}
+	return false
+}
+
+// Node is a single DFG vertex producing one scalar value.
+type Node struct {
+	ID   int
+	Op   Op
+	Args []*Node
+
+	// Const holds the literal value for OpConst leaves.
+	Const float64
+	// Var and Index identify the symbol element for OpData/OpModel leaves
+	// and for gradient output nodes (via Graph.Outputs).
+	Var   string
+	Index int
+
+	// Consumers lists nodes that use this node's value (filled by the
+	// translator).
+	Consumers []*Node
+
+	// Level is the node's ASAP depth (leaves at 0). Height is the longest
+	// path from this node to any output, used as scheduling priority (the
+	// Compiler "prioritizes scheduling operations that have the longest
+	// dependence chain").
+	Level  int
+	Height int
+}
+
+// Graph is an elaborated dataflow graph for one worker thread's gradient
+// computation.
+type Graph struct {
+	// Nodes in creation order; creation order is topological (arguments
+	// always precede their consumers).
+	Nodes []*Node
+	// DataLeaves and ModelLeaves index leaf nodes by symbol name, in flat
+	// element order (missing elements are nil if never referenced).
+	DataLeaves  map[string][]*Node
+	ModelLeaves map[string][]*Node
+	// Outputs maps each gradient symbol to its element-producing nodes in
+	// flat element order.
+	Outputs map[string][]*Node
+	// OutputOrder lists gradient symbol names in declaration order.
+	OutputOrder []string
+	Unit        *dsl.Unit
+}
+
+// NumOps returns the number of compute (non-leaf) nodes.
+func (g *Graph) NumOps() int {
+	n := 0
+	for _, nd := range g.Nodes {
+		if !nd.Op.IsLeaf() {
+			n++
+		}
+	}
+	return n
+}
+
+// OpCensus returns compute-node counts per operation.
+func (g *Graph) OpCensus() map[Op]int {
+	c := map[Op]int{}
+	for _, nd := range g.Nodes {
+		if !nd.Op.IsLeaf() {
+			c[nd.Op]++
+		}
+	}
+	return c
+}
+
+// HasNonlinear reports whether any node requires the LUT nonlinear unit.
+func (g *Graph) HasNonlinear() bool {
+	for _, nd := range g.Nodes {
+		if nd.Op.IsNonlinear() {
+			return true
+		}
+	}
+	return false
+}
+
+// CriticalPath returns the longest compute-node chain in the graph, the
+// lower bound on single-thread latency.
+func (g *Graph) CriticalPath() int {
+	max := 0
+	for _, nd := range g.Nodes {
+		if nd.Level > max {
+			max = nd.Level
+		}
+	}
+	return max
+}
+
+// WidthProfile returns, per ASAP level, the number of compute nodes at that
+// level: the fine-grained parallelism profile that bounds how many PEs a
+// single thread can keep busy.
+func (g *Graph) WidthProfile() []int {
+	prof := make([]int, g.CriticalPath()+1)
+	for _, nd := range g.Nodes {
+		if !nd.Op.IsLeaf() {
+			prof[nd.Level]++
+		}
+	}
+	return prof
+}
+
+// MaxWidth returns the maximum of the width profile.
+func (g *Graph) MaxWidth() int {
+	max := 0
+	for _, w := range g.WidthProfile() {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// AvgWidth returns the mean compute width per level, a measure of how much
+// fine-grained parallelism a single thread exposes.
+func (g *Graph) AvgWidth() float64 {
+	cp := g.CriticalPath()
+	if cp == 0 {
+		return 0
+	}
+	return float64(g.NumOps()) / float64(cp)
+}
+
+// StorageWords estimates the per-thread on-chip storage footprint in words:
+// one word per referenced data element, model parameter, and live interim
+// value. The Planner uses this as DFG.storage() when bounding thread count.
+func (g *Graph) StorageWords() int {
+	words := 0
+	for _, leaves := range g.DataLeaves {
+		for _, n := range leaves {
+			if n != nil {
+				words++
+			}
+		}
+	}
+	for _, leaves := range g.ModelLeaves {
+		for _, n := range leaves {
+			if n != nil {
+				words++
+			}
+		}
+	}
+	for _, nd := range g.Nodes {
+		if !nd.Op.IsLeaf() {
+			words++
+		}
+	}
+	return words
+}
+
+// DataWords returns the number of distinct training-data elements the graph
+// reads per input vector.
+func (g *Graph) DataWords() int {
+	n := 0
+	for _, leaves := range g.DataLeaves {
+		for _, leaf := range leaves {
+			if leaf != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ModelWords returns the number of distinct model parameters the graph
+// reads.
+func (g *Graph) ModelWords() int {
+	n := 0
+	for _, leaves := range g.ModelLeaves {
+		for _, leaf := range leaves {
+			if leaf != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// GradientWords returns the total number of gradient output elements.
+func (g *Graph) GradientWords() int {
+	n := 0
+	for _, outs := range g.Outputs {
+		n += len(outs)
+	}
+	return n
+}
+
+// Validate checks structural invariants: IDs are dense and creation order is
+// topological. It returns the first violation found.
+func (g *Graph) Validate() error {
+	for i, nd := range g.Nodes {
+		if nd.ID != i {
+			return fmt.Errorf("dfg: node %d has ID %d", i, nd.ID)
+		}
+		for _, a := range nd.Args {
+			if a.ID >= nd.ID {
+				return fmt.Errorf("dfg: node %d consumes later node %d", nd.ID, a.ID)
+			}
+		}
+		if nd.Op.IsLeaf() && len(nd.Args) != 0 {
+			return fmt.Errorf("dfg: leaf node %d has arguments", nd.ID)
+		}
+	}
+	for name, outs := range g.Outputs {
+		for i, o := range outs {
+			if o == nil {
+				return fmt.Errorf("dfg: output %s[%d] is nil", name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// SortedOutputNames returns gradient symbol names sorted, for deterministic
+// iteration when order does not matter semantically.
+func (g *Graph) SortedOutputNames() []string {
+	names := make([]string, 0, len(g.Outputs))
+	for n := range g.Outputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats summarizes the graph for reports and the Planner.
+type Stats struct {
+	Nodes        int
+	ComputeOps   int
+	DataWords    int
+	ModelWords   int
+	Gradients    int
+	CriticalPath int
+	MaxWidth     int
+	AvgWidth     float64
+	StorageWords int
+	Nonlinear    bool
+	MulOps       int
+	AddSubOps    int
+}
+
+// Summary computes the graph's statistics.
+func (g *Graph) Summary() Stats {
+	census := g.OpCensus()
+	return Stats{
+		Nodes:        len(g.Nodes),
+		ComputeOps:   g.NumOps(),
+		DataWords:    g.DataWords(),
+		ModelWords:   g.ModelWords(),
+		Gradients:    g.GradientWords(),
+		CriticalPath: g.CriticalPath(),
+		MaxWidth:     g.MaxWidth(),
+		AvgWidth:     g.AvgWidth(),
+		StorageWords: g.StorageWords(),
+		Nonlinear:    g.HasNonlinear(),
+		MulOps:       census[OpMul],
+		AddSubOps:    census[OpAdd] + census[OpSub],
+	}
+}

@@ -1,0 +1,284 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VarKind classifies a declared DSL variable according to its semantics in
+// the learning algorithm.
+type VarKind int
+
+// Variable kinds. The kind determines where the value lives at runtime:
+// model inputs/outputs stream from training data, model parameters are
+// broadcast before each mini-batch, gradients are the program's outputs, and
+// everything computed in between is interim state.
+const (
+	KindModelInput VarKind = iota
+	KindModelOutput
+	KindModel
+	KindGradient
+	KindIterator
+	KindInterim // implicitly declared by assignment to an undeclared name
+)
+
+var varKindNames = [...]string{
+	KindModelInput:  "model_input",
+	KindModelOutput: "model_output",
+	KindModel:       "model",
+	KindGradient:    "gradient",
+	KindIterator:    "iterator",
+	KindInterim:     "interim",
+}
+
+// String returns the DSL keyword for the kind.
+func (k VarKind) String() string {
+	if int(k) < len(varKindNames) {
+		return varKindNames[k]
+	}
+	return fmt.Sprintf("VarKind(%d)", int(k))
+}
+
+// AggregatorKind selects how partial gradients from parallel workers are
+// combined: parallelized SGD averages partial model updates, batched
+// gradient descent sums partial gradients.
+type AggregatorKind int
+
+// Aggregation operators.
+const (
+	AggAverage AggregatorKind = iota
+	AggSum
+)
+
+// String returns the DSL name of the aggregator.
+func (a AggregatorKind) String() string {
+	switch a {
+	case AggAverage:
+		return "average"
+	case AggSum:
+		return "sum"
+	}
+	return fmt.Sprintf("AggregatorKind(%d)", int(a))
+}
+
+// Decl is a variable declaration, e.g. "model w[M];" or "iterator i[0:M];".
+type Decl struct {
+	Kind VarKind
+	Name string
+	Dims []Expr // dimension extents; nil for scalars
+	// Lo and Hi give the iterator range [Lo:Hi) for iterator declarations.
+	Lo, Hi Expr
+	Pos    Pos
+}
+
+// Assign is an assignment statement "lhs = expr;". The left-hand side may be
+// subscripted with iterator expressions, in which case the statement is
+// implicitly repeated for every point of the iteration space.
+type Assign struct {
+	Name    string
+	Indices []Expr
+	RHS     Expr
+	Pos     Pos
+}
+
+// Program is a parsed DSL program: declarations, the gradient-formula
+// statements, and the scale-out directives (aggregator, mini-batch size,
+// learning rate).
+type Program struct {
+	Decls      []*Decl
+	Stmts      []*Assign
+	Aggregator AggregatorKind
+	// HasAggregator records whether the program declared one explicitly.
+	HasAggregator bool
+	MiniBatch     int
+	LearningRate  float64
+	Source        string
+}
+
+// Expr is a DSL expression node.
+type Expr interface {
+	expr()
+	// String renders the expression in DSL syntax.
+	String() string
+	// Position returns the source position of the expression.
+	Position() Pos
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Value float64
+	Pos   Pos
+}
+
+// VarRef references a scalar variable or an element of an array variable.
+type VarRef struct {
+	Name    string
+	Indices []Expr
+	Pos     Pos
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators.
+const (
+	OpAdd BinaryOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpGT
+	OpLT
+	OpGE
+	OpLE
+	OpEQ
+	OpNE
+)
+
+var binaryOpNames = [...]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpGT: ">", OpLT: "<", OpGE: ">=", OpLE: "<=", OpEQ: "==", OpNE: "!=",
+}
+
+// String returns the operator's DSL spelling.
+func (op BinaryOp) String() string {
+	if int(op) < len(binaryOpNames) {
+		return binaryOpNames[op]
+	}
+	return fmt.Sprintf("BinaryOp(%d)", int(op))
+}
+
+// BinaryExpr is "X op Y".
+type BinaryExpr struct {
+	Op   BinaryOp
+	X, Y Expr
+	Pos  Pos
+}
+
+// UnaryExpr is unary negation "-X".
+type UnaryExpr struct {
+	X   Expr
+	Pos Pos
+}
+
+// CondExpr is the ternary conditional "Cond ? Then : Else".
+type CondExpr struct {
+	Cond, Then, Else Expr
+	Pos              Pos
+}
+
+// ReduceKind selects the reduction operator of a Reduce expression.
+type ReduceKind int
+
+// Reductions. Sum corresponds to Σ, Prod to Π.
+const (
+	ReduceSum ReduceKind = iota
+	ReduceProd
+)
+
+// Reduce is a reduction over an iterator, e.g. "sum[i](w[i]*x[i])".
+type Reduce struct {
+	Kind ReduceKind
+	Iter string
+	Body Expr
+	Pos  Pos
+}
+
+// CallExpr is a nonlinear function application, e.g. "sigmoid(z)". The set
+// of legal function names is defined by package dfg's operator table.
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+	Pos  Pos
+}
+
+func (*NumberLit) expr()  {}
+func (*VarRef) expr()     {}
+func (*BinaryExpr) expr() {}
+func (*UnaryExpr) expr()  {}
+func (*CondExpr) expr()   {}
+func (*Reduce) expr()     {}
+func (*CallExpr) expr()   {}
+
+// Position returns the literal's source position.
+func (e *NumberLit) Position() Pos { return e.Pos }
+
+// Position returns the reference's source position.
+func (e *VarRef) Position() Pos { return e.Pos }
+
+// Position returns the expression's source position.
+func (e *BinaryExpr) Position() Pos { return e.Pos }
+
+// Position returns the expression's source position.
+func (e *UnaryExpr) Position() Pos { return e.Pos }
+
+// Position returns the expression's source position.
+func (e *CondExpr) Position() Pos { return e.Pos }
+
+// Position returns the reduction's source position.
+func (e *Reduce) Position() Pos { return e.Pos }
+
+// Position returns the call's source position.
+func (e *CallExpr) Position() Pos { return e.Pos }
+
+// String renders the literal.
+func (e *NumberLit) String() string {
+	s := fmt.Sprintf("%g", e.Value)
+	return s
+}
+
+// String renders the variable reference with its subscripts.
+func (e *VarRef) String() string {
+	if len(e.Indices) == 0 {
+		return e.Name
+	}
+	parts := make([]string, len(e.Indices))
+	for i, ix := range e.Indices {
+		parts[i] = ix.String()
+	}
+	return fmt.Sprintf("%s[%s]", e.Name, strings.Join(parts, ", "))
+}
+
+// String renders the binary expression parenthesized.
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.X, e.Op, e.Y)
+}
+
+// String renders the negation.
+func (e *UnaryExpr) String() string { return fmt.Sprintf("(-%s)", e.X) }
+
+// String renders the conditional.
+func (e *CondExpr) String() string {
+	return fmt.Sprintf("(%s ? %s : %s)", e.Cond, e.Then, e.Else)
+}
+
+// String renders the reduction.
+func (e *Reduce) String() string {
+	name := "sum"
+	if e.Kind == ReduceProd {
+		name = "pi"
+	}
+	return fmt.Sprintf("%s[%s](%s)", name, e.Iter, e.Body)
+}
+
+// String renders the function call.
+func (e *CallExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Fn, strings.Join(parts, ", "))
+}
+
+// LinesOfCode reports the number of non-empty, non-comment source lines in
+// the program, the metric Table 1 of the paper reports per benchmark.
+func (p *Program) LinesOfCode() int {
+	n := 0
+	for _, line := range strings.Split(p.Source, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format pretty-prints a parsed program back to canonical DSL source:
+// declarations first (in original order), then statements, then the
+// scale-out directives. Formatting then re-parsing yields a structurally
+// identical program, which the tests check as a round-trip property.
+func Format(p *Program) string {
+	var b strings.Builder
+	for _, d := range p.Decls {
+		b.WriteString(formatDecl(d))
+		b.WriteByte('\n')
+	}
+	if len(p.Decls) > 0 && len(p.Stmts) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, st := range p.Stmts {
+		b.WriteString(formatAssign(st))
+		b.WriteByte('\n')
+	}
+	if len(p.Stmts) > 0 {
+		b.WriteByte('\n')
+	}
+	if p.HasAggregator {
+		fmt.Fprintf(&b, "aggregator %s;\n", p.Aggregator)
+	}
+	fmt.Fprintf(&b, "minibatch %d;\n", p.MiniBatch)
+	fmt.Fprintf(&b, "learning_rate = %g;\n", p.LearningRate)
+	return b.String()
+}
+
+func formatDecl(d *Decl) string {
+	if d.Kind == KindIterator {
+		return fmt.Sprintf("iterator %s[%s:%s];", d.Name, formatExpr(d.Lo, 0), formatExpr(d.Hi, 0))
+	}
+	if len(d.Dims) == 0 {
+		return fmt.Sprintf("%s %s;", d.Kind, d.Name)
+	}
+	dims := make([]string, len(d.Dims))
+	for i, dim := range d.Dims {
+		dims[i] = formatExpr(dim, 0)
+	}
+	return fmt.Sprintf("%s %s[%s];", d.Kind, d.Name, strings.Join(dims, ", "))
+}
+
+func formatAssign(a *Assign) string {
+	lhs := a.Name
+	if len(a.Indices) > 0 {
+		parts := make([]string, len(a.Indices))
+		for i, ix := range a.Indices {
+			parts[i] = formatExpr(ix, 0)
+		}
+		lhs = fmt.Sprintf("%s[%s]", a.Name, strings.Join(parts, ", "))
+	}
+	return fmt.Sprintf("%s = %s;", lhs, formatExpr(a.RHS, 0))
+}
+
+// Operator precedence levels for minimal parenthesization.
+const (
+	precTernary = iota
+	precCompare
+	precAdd
+	precMul
+	precUnary
+	precPrimary
+)
+
+func precOf(op BinaryOp) int {
+	switch op {
+	case OpAdd, OpSub:
+		return precAdd
+	case OpMul, OpDiv:
+		return precMul
+	default:
+		return precCompare
+	}
+}
+
+// formatExpr renders e, parenthesizing when its precedence is below the
+// context's.
+func formatExpr(e Expr, ctx int) string {
+	switch e := e.(type) {
+	case *NumberLit:
+		return fmt.Sprintf("%g", e.Value)
+	case *VarRef:
+		if len(e.Indices) == 0 {
+			return e.Name
+		}
+		parts := make([]string, len(e.Indices))
+		for i, ix := range e.Indices {
+			parts[i] = formatExpr(ix, 0)
+		}
+		return fmt.Sprintf("%s[%s]", e.Name, strings.Join(parts, ", "))
+	case *UnaryExpr:
+		s := "-" + formatExpr(e.X, precUnary)
+		if ctx > precUnary {
+			return "(" + s + ")"
+		}
+		return s
+	case *BinaryExpr:
+		p := precOf(e.Op)
+		// Left-associative: the right child needs one level more.
+		s := fmt.Sprintf("%s %s %s", formatExpr(e.X, p), e.Op, formatExpr(e.Y, p+1))
+		if p < ctx {
+			return "(" + s + ")"
+		}
+		return s
+	case *CondExpr:
+		s := fmt.Sprintf("%s ? %s : %s",
+			formatExpr(e.Cond, precCompare), formatExpr(e.Then, precTernary), formatExpr(e.Else, precTernary))
+		if ctx > precTernary {
+			return "(" + s + ")"
+		}
+		return s
+	case *Reduce:
+		name := "sum"
+		if e.Kind == ReduceProd {
+			name = "pi"
+		}
+		return fmt.Sprintf("%s[%s](%s)", name, e.Iter, formatExpr(e.Body, 0))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = formatExpr(a, 0)
+		}
+		return fmt.Sprintf("%s(%s)", e.Fn, strings.Join(args, ", "))
+	}
+	return fmt.Sprintf("/* unknown %T */", e)
+}

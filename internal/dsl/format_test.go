@@ -1,0 +1,142 @@
+package dsl
+
+import (
+	"reflect"
+	"testing"
+)
+
+// stripPositions zeroes source positions so ASTs can be compared
+// structurally.
+func stripPositions(p *Program) {
+	for _, d := range p.Decls {
+		d.Pos = Pos{}
+		for _, dim := range d.Dims {
+			stripExprPos(dim)
+		}
+		if d.Lo != nil {
+			stripExprPos(d.Lo)
+		}
+		if d.Hi != nil {
+			stripExprPos(d.Hi)
+		}
+	}
+	for _, st := range p.Stmts {
+		st.Pos = Pos{}
+		for _, ix := range st.Indices {
+			stripExprPos(ix)
+		}
+		stripExprPos(st.RHS)
+	}
+	p.Source = ""
+}
+
+func stripExprPos(e Expr) {
+	switch e := e.(type) {
+	case *NumberLit:
+		e.Pos = Pos{}
+	case *VarRef:
+		e.Pos = Pos{}
+		for _, ix := range e.Indices {
+			stripExprPos(ix)
+		}
+	case *UnaryExpr:
+		e.Pos = Pos{}
+		stripExprPos(e.X)
+	case *BinaryExpr:
+		e.Pos = Pos{}
+		stripExprPos(e.X)
+		stripExprPos(e.Y)
+	case *CondExpr:
+		e.Pos = Pos{}
+		stripExprPos(e.Cond)
+		stripExprPos(e.Then)
+		stripExprPos(e.Else)
+	case *Reduce:
+		e.Pos = Pos{}
+		stripExprPos(e.Body)
+	case *CallExpr:
+		e.Pos = Pos{}
+		for _, a := range e.Args {
+			stripExprPos(a)
+		}
+	}
+}
+
+// TestFormatRoundTrip: formatting then re-parsing every benchmark program
+// (and the extension program) yields a structurally identical AST.
+func TestFormatRoundTrip(t *testing.T) {
+	sources := map[string]string{
+		"linreg":   SourceLinearRegression,
+		"logreg":   SourceLogisticRegression,
+		"svm":      SourceSVM,
+		"backprop": SourceBackprop,
+		"cf":       SourceCollaborativeFiltering,
+		"softmax":  SourceSoftmax,
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			orig, err := Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			formatted := Format(orig)
+			again, err := Parse(formatted)
+			if err != nil {
+				t.Fatalf("formatted source does not parse: %v\n%s", err, formatted)
+			}
+			stripPositions(orig)
+			stripPositions(again)
+			if !reflect.DeepEqual(orig, again) {
+				t.Errorf("round trip changed the AST:\n--- formatted ---\n%s", formatted)
+			}
+		})
+	}
+}
+
+// TestFormatPreservesPrecedence: minimal parenthesization must not change
+// evaluation structure.
+func TestFormatPreservesPrecedence(t *testing.T) {
+	cases := []string{
+		"g = a + b * c; aggregator sum;",
+		"g = (a + b) * c; aggregator sum;",
+		"g = a - b - c; aggregator sum;",
+		"g = a - (b - c); aggregator sum;",
+		"g = a / b / c; aggregator sum;",
+		"g = -a * b; aggregator sum;",
+		"g = -(a * b); aggregator sum;",
+		"g = a < b ? c + 1 : d * 2; aggregator sum;",
+		"g = (a < b ? c : d) + 1; aggregator sum;",
+		"g = sum[i](a * b + c); aggregator sum;",
+	}
+	for _, src := range cases {
+		orig, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		again, err := Parse(Format(orig))
+		if err != nil {
+			t.Fatalf("%q: formatted does not parse: %v", src, err)
+		}
+		stripPositions(orig)
+		stripPositions(again)
+		if !reflect.DeepEqual(orig.Stmts, again.Stmts) {
+			t.Errorf("%q: round trip changed structure:\n%s", src, Format(orig))
+		}
+	}
+}
+
+// TestFormatIsStable: formatting is idempotent.
+func TestFormatIsStable(t *testing.T) {
+	orig, err := Parse(SourceBackprop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := Format(orig)
+	reparsed, err := Parse(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twice := Format(reparsed); once != twice {
+		t.Errorf("formatting is not idempotent:\n--- once ---\n%s--- twice ---\n%s", once, twice)
+	}
+}

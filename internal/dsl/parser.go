@@ -1,0 +1,434 @@
+package dsl
+
+import "strconv"
+
+// Parser is a recursive-descent parser for the CoSMIC DSL.
+type Parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+// Parse parses a complete DSL program.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, src: src}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) accept(k TokenKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokenKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return Token{}, errorf(t.Pos, "expected %s, found %s %q", k, t.Kind, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{Source: p.src, MiniBatch: 1, LearningRate: 0.01}
+	for p.cur().Kind != TokEOF {
+		switch p.cur().Kind {
+		case TokModelInput, TokModelOutput, TokModel, TokGradient:
+			d, err := p.parseDataDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Decls = append(prog.Decls, d)
+		case TokIterator:
+			d, err := p.parseIteratorDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Decls = append(prog.Decls, d)
+		case TokAggregator:
+			if err := p.parseAggregator(prog); err != nil {
+				return nil, err
+			}
+		case TokMinibatch:
+			p.next()
+			tok, err := p.expect(TokNumber)
+			if err != nil {
+				return nil, err
+			}
+			v, err := strconv.Atoi(tok.Text)
+			if err != nil || v <= 0 {
+				return nil, errorf(tok.Pos, "mini-batch size must be a positive integer, got %q", tok.Text)
+			}
+			prog.MiniBatch = v
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		case TokLearnRate:
+			p.next()
+			if _, err := p.expect(TokAssign); err != nil {
+				return nil, err
+			}
+			neg := p.accept(TokMinus)
+			tok, err := p.expect(TokNumber)
+			if err != nil {
+				return nil, err
+			}
+			v, err := strconv.ParseFloat(tok.Text, 64)
+			if err != nil {
+				return nil, errorf(tok.Pos, "bad learning rate %q", tok.Text)
+			}
+			if neg {
+				v = -v
+			}
+			prog.LearningRate = v
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		case TokIdent:
+			s, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			prog.Stmts = append(prog.Stmts, s)
+		default:
+			t := p.cur()
+			return nil, errorf(t.Pos, "unexpected %s %q at top level", t.Kind, t.Text)
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseAggregator(prog *Program) error {
+	p.next() // 'aggregator'
+	tok, err := p.expect(TokIdent)
+	if err != nil {
+		// Allow "aggregator sum;" even though sum is a keyword.
+		if p.cur().Kind == TokSum {
+			tok = p.next()
+		} else {
+			return err
+		}
+	}
+	switch tok.Text {
+	case "average", "avg":
+		prog.Aggregator = AggAverage
+	case "sum":
+		prog.Aggregator = AggSum
+	default:
+		return errorf(tok.Pos, "unknown aggregator %q (want average or sum)", tok.Text)
+	}
+	prog.HasAggregator = true
+	_, err = p.expect(TokSemi)
+	return err
+}
+
+func (p *Parser) parseDataDecl() (*Decl, error) {
+	kindTok := p.next()
+	var kind VarKind
+	switch kindTok.Kind {
+	case TokModelInput:
+		kind = KindModelInput
+	case TokModelOutput:
+		kind = KindModelOutput
+	case TokModel:
+		kind = KindModel
+	case TokGradient:
+		kind = KindGradient
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &Decl{Kind: kind, Name: name.Text, Pos: kindTok.Pos}
+	if p.accept(TokLBracket) {
+		for {
+			dim, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Dims = append(d.Dims, dim)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) parseIteratorDecl() (*Decl, error) {
+	kw := p.next() // 'iterator'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBracket); err != nil {
+		return nil, err
+	}
+	lo, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRBracket); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &Decl{Kind: KindIterator, Name: name.Text, Lo: lo, Hi: hi, Pos: kw.Pos}, nil
+}
+
+func (p *Parser) parseAssign() (*Assign, error) {
+	name := p.next()
+	a := &Assign{Name: name.Text, Pos: name.Pos}
+	if p.accept(TokLBracket) {
+		for {
+			ix, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			a.Indices = append(a.Indices, ix)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	a.RHS = rhs
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// parseExpr parses a full expression (lowest precedence: ternary).
+func (p *Parser) parseExpr() (Expr, error) {
+	cond, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokQuestion {
+		return cond, nil
+	}
+	q := p.next()
+	thenE, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	elseE, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Cond: cond, Then: thenE, Else: elseE, Pos: q.Pos}, nil
+}
+
+var comparisonOps = map[TokenKind]BinaryOp{
+	TokGT: OpGT, TokLT: OpLT, TokGE: OpGE, TokLE: OpLE, TokEQ: OpEQ, TokNE: OpNE,
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	x, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := comparisonOps[p.cur().Kind]; ok {
+		t := p.next()
+		y, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: op, X: x, Y: y, Pos: t.Pos}, nil
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	x, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokPlus:
+			t := p.next()
+			y, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			x = &BinaryExpr{Op: OpAdd, X: x, Y: y, Pos: t.Pos}
+		case TokMinus:
+			t := p.next()
+			y, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			x = &BinaryExpr{Op: OpSub, X: x, Y: y, Pos: t.Pos}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokStar:
+			t := p.next()
+			y, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			x = &BinaryExpr{Op: OpMul, X: x, Y: y, Pos: t.Pos}
+		case TokSlash:
+			t := p.next()
+			y, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			x = &BinaryExpr{Op: OpDiv, X: x, Y: y, Pos: t.Pos}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.cur().Kind == TokMinus {
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{X: x, Pos: t.Pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errorf(t.Pos, "bad number %q", t.Text)
+		}
+		return &NumberLit{Value: v, Pos: t.Pos}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokSum, TokPi:
+		p.next()
+		kind := ReduceSum
+		if t.Kind == TokPi {
+			kind = ReduceProd
+		}
+		if _, err := p.expect(TokLBracket); err != nil {
+			return nil, err
+		}
+		iter, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &Reduce{Kind: kind, Iter: iter.Text, Body: body, Pos: t.Pos}, nil
+	case TokIdent:
+		p.next()
+		// Function call?
+		if p.cur().Kind == TokLParen {
+			p.next()
+			call := &CallExpr{Fn: t.Text, Pos: t.Pos}
+			if p.cur().Kind != TokRParen {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		ref := &VarRef{Name: t.Text, Pos: t.Pos}
+		if p.accept(TokLBracket) {
+			for {
+				ix, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				ref.Indices = append(ref.Indices, ix)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+		}
+		return ref, nil
+	}
+	return nil, errorf(t.Pos, "unexpected %s %q in expression", t.Kind, t.Text)
+}

@@ -1,0 +1,192 @@
+package dsl
+
+// This file holds the DSL source for the five algorithm families of the
+// paper's benchmark suite (Table 1). Each source is parameterized by named
+// dimensions supplied at analysis time, so the same program instantiates
+// both benchmarks of a family (e.g. stock and texture for linear
+// regression) at their respective geometries.
+
+// SourceLinearRegression is the linear-regression training program
+// (benchmarks: stock, texture). Parameter M is the feature count.
+const SourceLinearRegression = `
+// Linear regression: predict y = w . x, squared loss.
+model_input x[M];
+model_output y;
+model w[M];
+gradient g[M];
+iterator i[0:M];
+
+// Prediction: Sigma_i w_i * x_i
+p = sum[i](w[i] * x[i]);
+// Error term of the squared loss.
+e = p - y;
+// Partial gradient: dL/dw_i = e * x_i
+g[i] = e * x[i];
+
+aggregator average;
+minibatch 10000;
+learning_rate = 0.001;
+`
+
+// SourceLogisticRegression is the logistic-regression training program
+// (benchmarks: tumor, cancer1). Parameter M is the feature count.
+const SourceLogisticRegression = `
+// Logistic regression: p = sigmoid(w . x), cross-entropy loss.
+model_input x[M];
+model_output y;
+model w[M];
+gradient g[M];
+iterator i[0:M];
+
+z = sum[i](w[i] * x[i]);
+p = sigmoid(z);
+e = p - y;
+g[i] = e * x[i];
+
+aggregator average;
+minibatch 10000;
+learning_rate = 0.01;
+`
+
+// SourceSVM is the support-vector-machine training program (benchmarks:
+// face, cancer2). Parameter M is the feature count. The gradient is the
+// subgradient of the hinge loss max(0, 1 - y * (w . x)).
+const SourceSVM = `
+// Support vector machine with hinge loss.
+model_input x[M];
+model_output y;
+model w[M];
+gradient g[M];
+iterator i[0:M];
+
+// Margin: y * (Sigma_i w_i * x_i)
+s = sum[i](w[i] * x[i]);
+c = s * y;
+// Subgradient of the hinge loss: -y*x_i inside the margin, 0 outside.
+g[i] = (c < 1) ? (0 - y * x[i]) : 0;
+
+aggregator average;
+minibatch 10000;
+learning_rate = 0.01;
+`
+
+// SourceBackprop is the two-layer perceptron backpropagation program
+// (benchmarks: mnist, acoustic). Parameters: IN (input features), HID
+// (hidden units), OUT (output units).
+const SourceBackprop = `
+// Backpropagation for a fully connected IN x HID x OUT perceptron with
+// sigmoid activations and squared loss.
+model_input x[IN];
+model_output y[OUT];
+model w1[HID, IN];
+model w2[OUT, HID];
+gradient g1[HID, IN];
+gradient g2[OUT, HID];
+iterator i[0:IN];
+iterator j[0:HID];
+iterator k[0:OUT];
+
+// Forward pass.
+h[j] = sigmoid(sum[i](w1[j, i] * x[i]));
+o[k] = sigmoid(sum[j](w2[k, j] * h[j]));
+
+// Output-layer delta: (o - y) * o * (1 - o).
+d2[k] = (o[k] - y[k]) * o[k] * (1 - o[k]);
+// Output-layer weight gradient.
+g2[k, j] = d2[k] * h[j];
+
+// Backpropagated error into the hidden layer.
+e[j] = sum[k](d2[k] * w2[k, j]);
+d1[j] = e[j] * h[j] * (1 - h[j]);
+// Hidden-layer weight gradient.
+g1[j, i] = d1[j] * x[i];
+
+aggregator average;
+minibatch 10000;
+learning_rate = 0.1;
+`
+
+// SourceCollaborativeFiltering is the matrix-factorization recommender
+// program (benchmarks: movielens, netflix). Parameters: NU (users), NV
+// (items), K (latent factor rank). Each training vector one-hot encodes a
+// (user, item) pair with its rating.
+const SourceCollaborativeFiltering = `
+// Collaborative filtering by low-rank matrix factorization. A training
+// record is a one-hot user vector, a one-hot item vector, and the rating.
+model_input xu[NU];
+model_input xv[NV];
+model_output r;
+model u[NU, K];
+model v[NV, K];
+gradient gu[NU, K];
+gradient gv[NV, K];
+iterator a[0:NU];
+iterator b[0:NV];
+iterator k[0:K];
+
+// Gather the active user and item factor rows.
+uf[k] = sum[a](u[a, k] * xu[a]);
+vf[k] = sum[b](v[b, k] * xv[b]);
+
+// Rating error of the factor model.
+e = sum[k](uf[k] * vf[k]) - r;
+
+// Gradients flow back only through the active rows.
+gu[a, k] = e * xu[a] * vf[k];
+gv[b, k] = e * xv[b] * uf[k];
+
+aggregator average;
+minibatch 10000;
+learning_rate = 0.05;
+`
+
+// MustParseAndAnalyze parses and analyzes src with params, panicking on
+// error. Intended for the embedded benchmark sources, which are known-good.
+func MustParseAndAnalyze(src string, params map[string]int) *Unit {
+	u, err := ParseAndAnalyze(src, params)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// ParseAndAnalyze parses and analyzes src with params.
+func ParseAndAnalyze(src string, params map[string]int) (*Unit, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(prog, params)
+}
+
+// SourceSoftmax is a multi-class softmax (multinomial logistic) regression
+// program — an algorithm the paper lists as expressible ("softmax
+// functions") but does not benchmark. It exists to demonstrate the stack's
+// extensibility claim: a new learning model is a new DSL program, with no
+// changes to the compiler, planner, simulator, or runtime. Parameters: M
+// (features), C (classes).
+const SourceSoftmax = `
+// Softmax regression: p_c = exp(w_c . x) / Sigma_k exp(w_k . x),
+// cross-entropy loss against a one-hot label.
+model_input x[M];
+model_output y[C];
+model w[C, M];
+gradient g[C, M];
+iterator i[0:M];
+iterator c[0:C];
+
+// Class scores and their exponentials.
+z[c] = sum[i](w[c, i] * x[i]);
+e[c] = exp(z[c]);
+// Partition function.
+s = sum[c](e[c]);
+// Predicted class probabilities (the divide runs on the LUT unit).
+p[c] = e[c] / s;
+// Gradient: (p - y) outer x.
+d[c] = p[c] - y[c];
+g[c, i] = d[c] * x[i];
+
+aggregator average;
+minibatch 10000;
+learning_rate = 0.1;
+`

@@ -1,0 +1,317 @@
+// Package dsl implements the CoSMIC programming layer: a math-oriented
+// domain-specific language (an extension of the TABLA DSL) in which a
+// programmer expresses a learning algorithm as its partial-gradient formula,
+// an aggregation operator, and a mini-batch size.
+//
+// The language has five data types that carry the semantics of learning
+// algorithms — model_input, model_output, model, gradient, and iterator —
+// and statements that are one-to-one with mathematical formulas, e.g.
+//
+//	s = sum[i](w[i] * x[i]);
+//
+// for the term Σᵢ wᵢ·xᵢ. Programs are parsed into an AST (this package) and
+// translated into a dataflow graph by package dfg.
+package dsl
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+
+	// Keywords.
+	TokModelInput
+	TokModelOutput
+	TokModel
+	TokGradient
+	TokIterator
+	TokAggregator
+	TokMinibatch
+	TokLearnRate
+	TokSum
+	TokPi
+
+	// Punctuation and operators.
+	TokSemi     // ;
+	TokComma    // ,
+	TokLBracket // [
+	TokRBracket // ]
+	TokLParen   // (
+	TokRParen   // )
+	TokAssign   // =
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokGT       // >
+	TokLT       // <
+	TokGE       // >=
+	TokLE       // <=
+	TokEQ       // ==
+	TokNE       // !=
+	TokQuestion // ?
+	TokColon    // :
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF:         "EOF",
+	TokIdent:       "identifier",
+	TokNumber:      "number",
+	TokModelInput:  "model_input",
+	TokModelOutput: "model_output",
+	TokModel:       "model",
+	TokGradient:    "gradient",
+	TokIterator:    "iterator",
+	TokAggregator:  "aggregator",
+	TokMinibatch:   "minibatch",
+	TokLearnRate:   "learning_rate",
+	TokSum:         "sum",
+	TokPi:          "pi",
+	TokSemi:        ";",
+	TokComma:       ",",
+	TokLBracket:    "[",
+	TokRBracket:    "]",
+	TokLParen:      "(",
+	TokRParen:      ")",
+	TokAssign:      "=",
+	TokPlus:        "+",
+	TokMinus:       "-",
+	TokStar:        "*",
+	TokSlash:       "/",
+	TokGT:          ">",
+	TokLT:          "<",
+	TokGE:          ">=",
+	TokLE:          "<=",
+	TokEQ:          "==",
+	TokNE:          "!=",
+	TokQuestion:    "?",
+	TokColon:       ":",
+}
+
+// String returns the printable name of the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"model_input":   TokModelInput,
+	"model_output":  TokModelOutput,
+	"model":         TokModel,
+	"gradient":      TokGradient,
+	"iterator":      TokIterator,
+	"aggregator":    TokAggregator,
+	"minibatch":     TokMinibatch,
+	"learning_rate": TokLearnRate,
+	"sum":           TokSum,
+	"pi":            TokPi,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+// Error is a DSL front-end error carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("dsl: %s: %s", e.Pos, e.Msg) }
+
+func errorf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lexer tokenizes DSL source text.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *Lexer) peekByte() (byte, bool) {
+	if lx.off >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.off], true
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// skipSpaceAndComments consumes whitespace and //-to-end-of-line comments.
+func (lx *Lexer) skipSpaceAndComments() {
+	for {
+		c, ok := lx.peekByte()
+		if !ok {
+			return
+		}
+		if isSpace(c) {
+			lx.advance()
+			continue
+		}
+		if c == '/' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '/' {
+			for {
+				c, ok := lx.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				lx.advance()
+			}
+			continue
+		}
+		return
+	}
+}
+
+// Next returns the next token, or an error on an illegal character.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpaceAndComments()
+	pos := Pos{Line: lx.line, Col: lx.col}
+	c, ok := lx.peekByte()
+	if !ok {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for {
+			c, ok := lx.peekByte()
+			if !ok || !isIdentCont(c) {
+				break
+			}
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, isKW := keywords[text]; isKW {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	case isDigit(c) || c == '.':
+		start := lx.off
+		seenDot := false
+		seenExp := false
+		for {
+			c, ok := lx.peekByte()
+			if !ok {
+				break
+			}
+			if isDigit(c) {
+				lx.advance()
+				continue
+			}
+			if c == '.' && !seenDot && !seenExp {
+				seenDot = true
+				lx.advance()
+				continue
+			}
+			if (c == 'e' || c == 'E') && !seenExp && lx.off > start {
+				seenExp = true
+				lx.advance()
+				if c2, ok2 := lx.peekByte(); ok2 && (c2 == '+' || c2 == '-') {
+					lx.advance()
+				}
+				continue
+			}
+			break
+		}
+		text := lx.src[start:lx.off]
+		if text == "." {
+			return Token{}, errorf(pos, "unexpected character %q", c)
+		}
+		return Token{Kind: TokNumber, Text: text, Pos: pos}, nil
+	}
+	lx.advance()
+	single := map[byte]TokenKind{
+		';': TokSemi, ',': TokComma, '[': TokLBracket, ']': TokRBracket,
+		'(': TokLParen, ')': TokRParen, '+': TokPlus, '-': TokMinus,
+		'*': TokStar, '/': TokSlash, '?': TokQuestion, ':': TokColon,
+	}
+	if k, isSingle := single[c]; isSingle {
+		return Token{Kind: k, Text: string(c), Pos: pos}, nil
+	}
+	two := func(next byte, with, without TokenKind) (Token, error) {
+		if c2, ok := lx.peekByte(); ok && c2 == next {
+			lx.advance()
+			return Token{Kind: with, Text: string(c) + string(next), Pos: pos}, nil
+		}
+		return Token{Kind: without, Text: string(c), Pos: pos}, nil
+	}
+	switch c {
+	case '=':
+		return two('=', TokEQ, TokAssign)
+	case '>':
+		return two('=', TokGE, TokGT)
+	case '<':
+		return two('=', TokLE, TokLT)
+	case '!':
+		tok, err := two('=', TokNE, TokEOF)
+		if err == nil && tok.Kind == TokEOF {
+			return Token{}, errorf(pos, "unexpected character '!'")
+		}
+		return tok, err
+	}
+	return Token{}, errorf(pos, "unexpected character %q", c)
+}
+
+// Tokenize lexes the entire source and returns all tokens including the
+// trailing EOF token.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

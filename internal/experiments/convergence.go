@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/dsl"
+	"repro/internal/ml"
+	"repro/internal/runtime"
+)
+
+// Convergence is an extra experiment beyond the paper's figures, testing
+// the claim its Figure 12/13 discussion leans on: "reducing the aggregation
+// rate can adversely affect training convergence [74-78]". Under batched
+// gradient descent (the summing aggregator), the model only moves once per
+// aggregation round, so at a fixed training budget (passes over the data) a
+// larger mini-batch means fewer updates and a higher final loss. Unlike the
+// timing figures, this runs *functionally* on the real distributed runtime:
+// goroutine nodes over loopback TCP, Sigma/Delta hierarchy, circular-buffer
+// aggregation. (The averaging aggregator — parallelized SGD — is far less
+// sensitive, because workers keep taking local steps between aggregations;
+// that robustness is exactly why the paper defaults to it.)
+func Convergence() (Report, error) {
+	rep := Report{
+		ID:     "Extra: convergence",
+		Title:  "Final loss vs mini-batch size at a fixed training budget (real 4-node cluster)",
+		Header: []string{"benchmark", "b=32", "b=256", "b=2048", "degrades"},
+	}
+	const (
+		nodes   = 4
+		samples = 2048
+		epochs  = 1 // a tight budget, where the aggregation rate matters
+	)
+	batches := []int{32, 256, 2048}
+
+	for _, name := range []string{"tumor", "face", "stock"} {
+		bench, err := dataset.ByName(name)
+		if err != nil {
+			return rep, err
+		}
+		alg := bench.Algorithm(0.01)
+		data := bench.Generate(alg, samples, 17)
+		shards := ml.Partition(data, nodes)
+		// Batched gradient descent takes per-round steps scaled by 1/b, so
+		// it tolerates a larger rate than per-sample SGD.
+		lr := 20 * bench.DefaultLR(alg)
+
+		row := []string{name}
+		var losses []float64
+		for _, b := range batches {
+			cl, err := runtime.Launch(runtime.ClusterOptions{
+				Nodes: nodes, Groups: 1,
+				Engines: func(int) runtime.Engine {
+					return &runtime.RefEngine{Alg: alg, Threads: 2, LR: lr, Agg: dsl.AggSum}
+				},
+				Shards:    func(id int) []ml.Sample { return shards[id] },
+				ModelSize: alg.ModelSize(),
+				Agg:       dsl.AggSum,
+				LR:        lr,
+				MiniBatch: b,
+			})
+			if err != nil {
+				return rep, err
+			}
+			rounds := epochs * samples / b
+			model := alg.InitModel(rand.New(rand.NewSource(17)))
+			trained, _, err := cl.Train(model, rounds)
+			if err != nil {
+				cl.Close()
+				return rep, err
+			}
+			if err := cl.Shutdown(); err != nil {
+				cl.Close()
+				return rep, err
+			}
+			cl.Close()
+			loss := ml.MeanLoss(alg, trained, data)
+			losses = append(losses, loss)
+			row = append(row, fmt.Sprintf("%.4f", loss))
+		}
+		degrades := "yes"
+		if losses[len(losses)-1] <= losses[0] {
+			degrades = "no"
+		}
+		row = append(row, degrades)
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Summary = []string{
+		"expected shape: loss does not improve (usually degrades) as the mini-batch",
+		"grows at a fixed budget — the convergence cost the throughput gains of",
+		"Figures 12/13 trade against",
+	}
+	return rep, nil
+}

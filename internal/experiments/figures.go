@@ -1,0 +1,428 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/dataset"
+	"repro/internal/platform"
+)
+
+// Fig7 — speedup over the 4-node Spark baseline as the cluster grows from 4
+// to 8 to 16 nodes, for Spark and FPGA-accelerated CoSMIC.
+// Paper: CoSMIC averages 12.6×/23.1×/33.8×, Spark 1.0×/1.4×/1.8×.
+func Fig7(pl *Pipeline) (Report, error) {
+	sizes := []int{4, 8, 16}
+	rep := Report{
+		ID:    "Figure 7",
+		Title: "Speedup over 4-node Spark (baseline: 4-CPU-Spark)",
+		Header: []string{"benchmark", "4-CPU", "8-CPU", "16-CPU",
+			"4-FPGA", "8-FPGA", "16-FPGA"},
+	}
+	geoms := map[string][]float64{}
+	for _, b := range dataset.Benchmarks {
+		pt, err := pl.Point(b, arch.UltraScalePlus)
+		if err != nil {
+			return rep, err
+		}
+		base := NewSparkSystem(4).EpochTime(b).Total()
+		row := []string{b.Name}
+		for _, n := range sizes {
+			sp := Speedup(base, NewSparkSystem(n).EpochTime(b).Total())
+			row = append(row, fmtX(sp))
+			geoms[fmt.Sprintf("%d-CPU", n)] = append(geoms[fmt.Sprintf("%d-CPU", n)], sp)
+		}
+		for _, n := range sizes {
+			sp := Speedup(base, NewCosmicSystem(n).EpochTime(pt).Total())
+			row = append(row, fmtX(sp))
+			geoms[fmt.Sprintf("%d-FPGA", n)] = append(geoms[fmt.Sprintf("%d-FPGA", n)], sp)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Summary = []string{
+		fmt.Sprintf("geomean: 4/8/16-FPGA-CoSMIC = %s / %s / %s (paper: 12.6x / 23.1x / 33.8x)",
+			fmtX(geomean(geoms["4-FPGA"])), fmtX(geomean(geoms["8-FPGA"])), fmtX(geomean(geoms["16-FPGA"]))),
+		fmt.Sprintf("geomean: 4/8/16-CPU-Spark  = %s / %s / %s (paper: 1.0x / 1.4x / 1.8x)",
+			fmtX(geomean(geoms["4-CPU"])), fmtX(geomean(geoms["8-CPU"])), fmtX(geomean(geoms["16-CPU"]))),
+	}
+	return rep, nil
+}
+
+// Fig8 — scalability: each system normalized to its own 4-node
+// configuration. Paper: CoSMIC 1.8×/2.7× at 8/16 nodes, Spark 1.3×/1.8×.
+func Fig8(pl *Pipeline) (Report, error) {
+	rep := Report{
+		ID:     "Figure 8",
+		Title:  "Scalability vs own 4-node baseline",
+		Header: []string{"benchmark", "CoSMIC-8", "CoSMIC-16", "Spark-8", "Spark-16"},
+	}
+	var c8, c16, s8, s16 []float64
+	for _, b := range dataset.Benchmarks {
+		pt, err := pl.Point(b, arch.UltraScalePlus)
+		if err != nil {
+			return rep, err
+		}
+		cosmicBase := NewCosmicSystem(4).EpochTime(pt).Total()
+		sparkBase := NewSparkSystem(4).EpochTime(b).Total()
+		vc8 := Speedup(cosmicBase, NewCosmicSystem(8).EpochTime(pt).Total())
+		vc16 := Speedup(cosmicBase, NewCosmicSystem(16).EpochTime(pt).Total())
+		vs8 := Speedup(sparkBase, NewSparkSystem(8).EpochTime(b).Total())
+		vs16 := Speedup(sparkBase, NewSparkSystem(16).EpochTime(b).Total())
+		c8, c16, s8, s16 = append(c8, vc8), append(c16, vc16), append(s8, vs8), append(s16, vs16)
+		rep.Rows = append(rep.Rows, []string{b.Name, fmtX(vc8), fmtX(vc16), fmtX(vs8), fmtX(vs16)})
+	}
+	rep.Summary = []string{
+		fmt.Sprintf("geomean CoSMIC 8/16 nodes: %s / %s (paper: 1.8x / 2.7x)",
+			fmtX(geomean(c8)), fmtX(geomean(c16))),
+		fmt.Sprintf("geomean Spark  8/16 nodes: %s / %s (paper: 1.3x / 1.8x)",
+			fmtX(geomean(s8)), fmtX(geomean(s16))),
+	}
+	return rep, nil
+}
+
+// platformPoints plans a benchmark on the three accelerator chips.
+func platformPoints(pl *Pipeline, b dataset.Benchmark) (fpga, pf, pg BenchPoint, err error) {
+	if fpga, err = pl.Point(b, arch.UltraScalePlus); err != nil {
+		return
+	}
+	if pf, err = pl.Point(b, arch.PASICF); err != nil {
+		return
+	}
+	pg, err = pl.Point(b, arch.PASICG)
+	return
+}
+
+// Fig9 — system-wide speedup of the 3-node P-ASIC and GPU systems over
+// 3-FPGA-CoSMIC. Paper: P-ASIC-F 1.2×, P-ASIC-G 2.3×, GPU 1.5×.
+func Fig9(pl *Pipeline) (Report, error) {
+	rep := Report{
+		ID:     "Figure 9",
+		Title:  "System-wide speedup over 3-FPGA-CoSMIC",
+		Header: []string{"benchmark", "P-ASIC-F", "P-ASIC-G", "GPU"},
+	}
+	sys := NewCosmicSystem(3)
+	var fs, gs, gpus []float64
+	for _, b := range dataset.Benchmarks {
+		fpga, pf, pg, err := platformPoints(pl, b)
+		if err != nil {
+			return rep, err
+		}
+		base := sys.EpochTime(fpga).Total()
+		vf := Speedup(base, sys.EpochTime(pf).Total())
+		vg := Speedup(base, sys.EpochTime(pg).Total())
+		vgpu := Speedup(base, sys.GPUEpochTime(b).Total())
+		fs, gs, gpus = append(fs, vf), append(gs, vg), append(gpus, vgpu)
+		rep.Rows = append(rep.Rows, []string{b.Name, fmtX(vf), fmtX(vg), fmtX(vgpu)})
+	}
+	rep.Summary = []string{
+		fmt.Sprintf("geomean: P-ASIC-F %s, P-ASIC-G %s, GPU %s (paper: 1.2x, 2.3x, 1.5x)",
+			fmtX(geomean(fs)), fmtX(geomean(gs)), fmtX(geomean(gpus))),
+	}
+	return rep, nil
+}
+
+// Fig10 — computation-only speedup over the FPGA (system software
+// excluded). Paper: P-ASIC-F 1.5×, P-ASIC-G 11.4×, GPU 1.9× (GPU dominated
+// by 20.3×/12.8× on the backpropagation pair).
+func Fig10(pl *Pipeline) (Report, error) {
+	rep := Report{
+		ID:     "Figure 10",
+		Title:  "Computation speedup over FPGA (no system software)",
+		Header: []string{"benchmark", "P-ASIC-F", "P-ASIC-G", "GPU"},
+	}
+	sys := NewCosmicSystem(3)
+	var fs, gs, gpus []float64
+	for _, b := range dataset.Benchmarks {
+		fpga, pf, pg, err := platformPoints(pl, b)
+		if err != nil {
+			return rep, err
+		}
+		base := sys.EpochTime(fpga).ComputeSeconds
+		vf := Speedup(base, sys.EpochTime(pf).ComputeSeconds)
+		vg := Speedup(base, sys.EpochTime(pg).ComputeSeconds)
+		vgpu := Speedup(base, sys.GPUEpochTime(b).ComputeSeconds)
+		fs, gs, gpus = append(fs, vf), append(gs, vg), append(gpus, vgpu)
+		rep.Rows = append(rep.Rows, []string{b.Name, fmtX(vf), fmtX(vg), fmtX(vgpu)})
+	}
+	rep.Summary = []string{
+		fmt.Sprintf("geomean: P-ASIC-F %s, P-ASIC-G %s, GPU %s (paper: 1.5x, 11.4x, 1.9x)",
+			fmtX(geomean(fs)), fmtX(geomean(gs)), fmtX(geomean(gpus))),
+		"shape check: the GPU's large wins concentrate on the backpropagation pair (mnist, acoustic)",
+	}
+	return rep, nil
+}
+
+// Fig11 — Performance-per-Watt of the FPGA and P-ASIC systems relative to
+// the 3-GPU system. Paper: FPGA 4.2×, P-ASIC-F 6.9×, P-ASIC-G 8.2×.
+func Fig11(pl *Pipeline) (Report, error) {
+	rep := Report{
+		ID:     "Figure 11",
+		Title:  "Performance-per-Watt vs 3-GPU-CoSMIC",
+		Header: []string{"benchmark", "FPGA", "P-ASIC-F", "P-ASIC-G"},
+	}
+	sys := NewCosmicSystem(3)
+	var fp, ff, fg []float64
+	for _, b := range dataset.Benchmarks {
+		fpga, pf, pg, err := platformPoints(pl, b)
+		if err != nil {
+			return rep, err
+		}
+		gpuPW := platform.PerfPerWatt(sys.GPUEpochTime(b).Total(), platform.PlatformGPU, 3)
+		vf := platform.PerfPerWatt(sys.EpochTime(fpga).Total(), platform.PlatformFPGA, 3) / gpuPW
+		vpf := platform.PerfPerWatt(sys.EpochTime(pf).Total(), platform.PlatformPASICF, 3) / gpuPW
+		vpg := platform.PerfPerWatt(sys.EpochTime(pg).Total(), platform.PlatformPASICG, 3) / gpuPW
+		fp, ff, fg = append(fp, vf), append(ff, vpf), append(fg, vpg)
+		rep.Rows = append(rep.Rows, []string{b.Name, fmtX(vf), fmtX(vpf), fmtX(vpg)})
+	}
+	rep.Summary = []string{
+		fmt.Sprintf("geomean: FPGA %s, P-ASIC-F %s, P-ASIC-G %s (paper: 4.2x, 6.9x, 8.2x)",
+			fmtX(geomean(fp)), fmtX(geomean(ff)), fmtX(geomean(fg))),
+	}
+	return rep, nil
+}
+
+// batchSweep is the Figure 12/13 mini-batch range.
+var batchSweep = []int{500, 2000, 10000, 50000, 100000}
+
+// Fig12 — performance vs mini-batch size on 3 nodes, for CoSMIC and Spark,
+// both normalized to 3-node Spark at b=10,000. Paper: CoSMIC is 16.8×
+// faster at b=500 and 9.1× at b=100,000.
+func Fig12(pl *Pipeline) (Report, error) {
+	rep := Report{
+		ID:     "Figure 12",
+		Title:  "Speedup vs mini-batch size (baseline: 3-node Spark at b=10,000)",
+		Header: []string{"benchmark", "system", "b=500", "b=2000", "b=10000", "b=50000", "b=100000"},
+	}
+	gaps := map[int][]float64{}
+	for _, b := range dataset.Benchmarks {
+		pt, err := pl.Point(b, arch.UltraScalePlus)
+		if err != nil {
+			return rep, err
+		}
+		baseSys := NewSparkSystem(3)
+		base := baseSys.EpochTime(b).Total()
+		cRow := []string{b.Name, "CoSMIC"}
+		sRow := []string{"", "Spark"}
+		for _, batch := range batchSweep {
+			cs := NewCosmicSystem(3)
+			cs.MiniBatch = batch
+			ss := NewSparkSystem(3)
+			ss.MiniBatch = batch
+			ct := cs.EpochTime(pt).Total()
+			st := ss.EpochTime(b).Total()
+			cRow = append(cRow, fmtX(Speedup(base, ct)))
+			sRow = append(sRow, fmtX(Speedup(base, st)))
+			gaps[batch] = append(gaps[batch], st/ct)
+		}
+		rep.Rows = append(rep.Rows, cRow, sRow)
+	}
+	rep.Summary = []string{
+		fmt.Sprintf("geomean CoSMIC-over-Spark gap at matched b: b=500 %s, b=100000 %s (paper: 16.8x, 9.1x)",
+			fmtX(geomean(gaps[500])), fmtX(geomean(gaps[100000]))),
+	}
+	return rep, nil
+}
+
+// Fig13 — fraction of 3-FPGA-CoSMIC runtime spent computing vs
+// communicating as the mini-batch grows. Paper: computation is 12% of the
+// runtime at b=500 and 95% at b=100,000.
+func Fig13(pl *Pipeline) (Report, error) {
+	rep := Report{
+		ID:     "Figure 13",
+		Title:  "Fraction of 3-FPGA-CoSMIC runtime in computation vs mini-batch size",
+		Header: []string{"benchmark", "b=500", "b=2000", "b=10000", "b=50000", "b=100000"},
+	}
+	fractions := map[int][]float64{}
+	for _, b := range dataset.Benchmarks {
+		pt, err := pl.Point(b, arch.UltraScalePlus)
+		if err != nil {
+			return rep, err
+		}
+		row := []string{b.Name}
+		for _, batch := range batchSweep {
+			cs := NewCosmicSystem(3)
+			cs.MiniBatch = batch
+			t := cs.EpochTime(pt)
+			frac := t.ComputeSeconds / t.Total()
+			row = append(row, fmt.Sprintf("%.0f%%", 100*frac))
+			fractions[batch] = append(fractions[batch], frac)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	avg := func(batch int) float64 {
+		s := 0.0
+		for _, f := range fractions[batch] {
+			s += f
+		}
+		return s / float64(len(fractions[batch]))
+	}
+	rep.Summary = []string{
+		fmt.Sprintf("average compute fraction: b=500 %.0f%%, b=100000 %.0f%% (paper: 12%%, 95%%)",
+			100*avg(500), 100*avg(100000)),
+	}
+	return rep, nil
+}
+
+// Fig14 — where 3-FPGA-CoSMIC's speedup over 3-node Spark comes from: the
+// FPGAs (computation) vs the specialized system software (aggregation,
+// networking, management). Paper: 20.7× from FPGAs, 28.4× from the system
+// software.
+func Fig14(pl *Pipeline) (Report, error) {
+	rep := Report{
+		ID:     "Figure 14",
+		Title:  "Speedup breakdown: FPGAs vs specialized system software (3 nodes)",
+		Header: []string{"benchmark", "FPGA (compute)", "system software"},
+	}
+	cs := NewCosmicSystem(3)
+	ss := NewSparkSystem(3)
+	var comp, sw []float64
+	for _, b := range dataset.Benchmarks {
+		pt, err := pl.Point(b, arch.UltraScalePlus)
+		if err != nil {
+			return rep, err
+		}
+		ct := cs.EpochTime(pt)
+		st := ss.EpochTime(b)
+		vc := Speedup(st.ComputeSeconds, ct.ComputeSeconds)
+		vs := Speedup(st.CommSeconds, ct.CommSeconds)
+		comp, sw = append(comp, vc), append(sw, vs)
+		rep.Rows = append(rep.Rows, []string{b.Name, fmtX(vc), fmtX(vs)})
+	}
+	rep.Summary = []string{
+		fmt.Sprintf("geomean: FPGAs %s, system software %s (paper: 20.7x, 28.4x)",
+			fmtX(geomean(comp)), fmtX(geomean(sw))),
+	}
+	return rep, nil
+}
+
+// Fig15 — sensitivity of per-vector accelerator throughput to the number of
+// PEs (a) and off-chip bandwidth (b). Paper: the backpropagation and
+// collaborative-filtering benchmarks gain from PEs (compute-bound), the
+// linear-model families do not (bandwidth-bound), and vice versa.
+func Fig15(pl *Pipeline) (Report, error) {
+	rep := Report{
+		ID:    "Figure 15",
+		Title: "Speedup vs PE count (rows 1..32 at 128 columns) and vs bandwidth",
+		Header: []string{"benchmark", "PEs 128", "512", "1024", "2048", "4096",
+			"BW 0.5x", "1x", "2x", "4x"},
+	}
+	rowSweep := []int{1, 4, 8, 16, 32}
+	bwSweep := []float64{0.5, 1, 2, 4}
+	for _, b := range dataset.Benchmarks {
+		row := []string{b.Name}
+		var basePerVec float64
+		for i, rows := range rowSweep {
+			pt, err := pl.PointAt(b, arch.UltraScalePlus, 1, rows)
+			if err != nil {
+				return rep, err
+			}
+			perVec := pt.Chip.CyclesToSeconds(pt.Estimate.CyclesPerVector())
+			if i == 0 {
+				basePerVec = perVec
+			}
+			row = append(row, fmtX(basePerVec/perVec))
+		}
+		var baseBW float64
+		for i, f := range bwSweep {
+			chip := arch.UltraScalePlus
+			chip.Name = fmt.Sprintf("UltraScale+ BW×%g", f)
+			chip.MemBandwidthGBps *= f
+			pt, err := pl.Point(b, chip)
+			if err != nil {
+				return rep, err
+			}
+			perVec := pt.Chip.CyclesToSeconds(pt.Estimate.CyclesPerVector())
+			if i == 0 {
+				baseBW = perVec
+			}
+			row = append(row, fmtX(baseBW/perVec))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Summary = []string{
+		"shape check: backprop/cf benchmarks scale with PEs (compute-bound);",
+		"linreg/logreg/svm benchmarks scale with bandwidth instead (bandwidth-bound)",
+		"(rows sweep tops at 32 — the largest power-of-two array; the paper's 48-row",
+		"points correspond to our 32-row ones)",
+	}
+	return rep, nil
+}
+
+// fig16Benchmarks are the four benchmarks the paper plots.
+var fig16Benchmarks = []string{"mnist", "movielens", "stock", "tumor"}
+
+// Fig16 — design-space exploration: speedup of TxRy configurations over
+// T1×R1. Paper: mnist and movielens peak at 48 rows; stock and tumor
+// saturate beyond 16; at fixed rows, more threads always help.
+func Fig16(pl *Pipeline) (Report, error) {
+	rep := Report{
+		ID:     "Figure 16",
+		Title:  "Design-space exploration: speedup over T1xR1",
+		Header: []string{"benchmark", "config", "speedup"},
+	}
+	rowSweep := []int{1, 2, 4, 8, 16, 32}
+	threadSweep := []int{1, 2, 4, 8}
+	for _, name := range fig16Benchmarks {
+		b, err := dataset.ByName(name)
+		if err != nil {
+			return rep, err
+		}
+		base, err := pl.PointAt(b, arch.UltraScalePlus, 1, 1)
+		if err != nil {
+			return rep, err
+		}
+		basePerVec := base.Estimate.CyclesPerVector()
+		bestCfg, bestSp := "", 0.0
+		for _, rows := range rowSweep {
+			for _, threads := range threadSweep {
+				if rows%threads != 0 {
+					continue
+				}
+				pt, err := pl.PointAt(b, arch.UltraScalePlus, threads, rows/threads)
+				if err != nil {
+					return rep, err
+				}
+				sp := basePerVec / pt.Estimate.CyclesPerVector()
+				cfg := fmt.Sprintf("T%d×R%d", threads, rows)
+				rep.Rows = append(rep.Rows, []string{b.Name, cfg, fmtX(sp)})
+				if sp > bestSp {
+					bestSp, bestCfg = sp, cfg
+				}
+			}
+		}
+		rep.Summary = append(rep.Summary,
+			fmt.Sprintf("%s: optimum %s at %s", b.Name, bestCfg, fmtX(bestSp)))
+	}
+	return rep, nil
+}
+
+// Fig17 — CoSMIC's template and compiler vs TABLA's, at the same PE count
+// on UltraScale+. Paper: CoSMIC is 3.9× faster on average.
+func Fig17(pl *Pipeline) (Report, error) {
+	rep := Report{
+		ID:     "Figure 17",
+		Title:  "CoSMIC template architecture vs TABLA's (same PEs, UltraScale+)",
+		Header: []string{"benchmark", "speedup over TABLA"},
+	}
+	var sps []float64
+	for _, b := range dataset.Benchmarks {
+		cosmic, err := pl.Point(b, arch.UltraScalePlus)
+		if err != nil {
+			return rep, err
+		}
+		// TABLA: operation-first mapping, flat shared bus, single thread,
+		// on the same fabric.
+		tabla, err := pl.PointWithStyle(b, arch.UltraScalePlus, compiler.StyleTABLA, 1)
+		if err != nil {
+			return rep, err
+		}
+		sp := tabla.Estimate.CyclesPerVector() / cosmic.Estimate.CyclesPerVector()
+		sps = append(sps, sp)
+		rep.Rows = append(rep.Rows, []string{b.Name, fmtX(sp)})
+	}
+	rep.Summary = []string{
+		fmt.Sprintf("geomean: %s (paper: 3.9x)", fmtX(geomean(sps))),
+	}
+	return rep, nil
+}

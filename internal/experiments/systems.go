@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/dataset"
+	"repro/internal/platform"
+	"repro/internal/sparksim"
+)
+
+// SystemTime decomposes a training run's wall time.
+type SystemTime struct {
+	// ComputeSeconds is the accelerator/CPU gradient-computation time.
+	ComputeSeconds float64
+	// CommSeconds is inter-node networking plus host-side aggregation and
+	// framework overhead.
+	CommSeconds float64
+}
+
+// Total returns compute + communication.
+func (t SystemTime) Total() float64 { return t.ComputeSeconds + t.CommSeconds }
+
+// Mini-batch semantics: per Section 2.2 of the paper, "the mini-batch size
+// [b] is the amount of LOCAL data that is processed before each aggregation
+// step" — so a cluster of N nodes consumes N·b samples per aggregation
+// round, and one epoch takes V/(b·N) rounds. Both systems are charged the
+// same number of rounds.
+func aggregationsPerEpoch(b dataset.Benchmark, miniBatch, nodes int) float64 {
+	return float64(b.NumVectors) / (float64(miniBatch) * float64(nodes))
+}
+
+// groupsFor picks the aggregation-tree fan-out for a cluster: one group up
+// to four nodes, then more (the hierarchy exists "to avoid overwhelming a
+// single Sigma node").
+func groupsFor(nodes int) int {
+	switch {
+	case nodes <= 4:
+		return 1
+	case nodes <= 9:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// exchangeBytes is the size of one partial-update exchange. Dense models
+// ship whole; collaborative filtering's partial updates are sparse — a node
+// only ever touches the factor rows of the users and items in its own data
+// shard, so its exchanges are bounded both by the rows its mini-batch
+// touched and by its shard's row population, moving as (row index, K
+// values) records.
+func exchangeBytes(b dataset.Benchmark, perNodeBatch, nodes int) int64 {
+	modelBytes := int64(b.ModelParams()) * arch.WordBytes
+	if b.Family != dataset.FamilyCF {
+		return modelBytes
+	}
+	k := b.Topology[2]
+	touched := int64(2*perNodeBatch) * int64(k+1) * arch.WordBytes
+	shardRows := int64((b.Topology[0]+b.Topology[1])/nodes+1) * int64(k+1) * arch.WordBytes
+	if shardRows < touched {
+		touched = shardRows
+	}
+	if touched < modelBytes {
+		return touched
+	}
+	return modelBytes
+}
+
+// CosmicSystem models a CoSMIC deployment: accelerator-equipped nodes under
+// the specialized system software.
+type CosmicSystem struct {
+	Nodes     int
+	MiniBatch int // per-node samples per aggregation (Section 2.2)
+	Net       platform.NetworkSpec
+	CPU       platform.CPUSpec
+}
+
+// NewCosmicSystem returns the paper's deployment defaults for a cluster of
+// the given size.
+func NewCosmicSystem(nodes int) CosmicSystem {
+	return CosmicSystem{
+		Nodes:     nodes,
+		MiniBatch: DefaultMiniBatch,
+		Net:       platform.GigabitEthernet,
+		CPU:       platform.XeonE3,
+	}
+}
+
+// EpochTime returns one training epoch's time for a benchmark whose
+// accelerator cost is given by point.
+func (s CosmicSystem) EpochTime(point BenchPoint) SystemTime {
+	aggs := aggregationsPerEpoch(point.Bench, s.MiniBatch, s.Nodes)
+	compute := point.BatchSeconds(s.MiniBatch)
+	comm := platform.CosmicCommSeconds(s.Net, s.CPU,
+		exchangeBytes(point.Bench, s.MiniBatch, s.Nodes), s.Nodes, groupsFor(s.Nodes))
+	return SystemTime{
+		ComputeSeconds: aggs * compute,
+		CommSeconds:    aggs * comm,
+	}
+}
+
+// GPUEpochTime returns one epoch's time for the GPU-accelerated CoSMIC
+// system (the paper extends CoSMIC's runtime to drive GPUs; the system
+// software side is identical).
+func (s CosmicSystem) GPUEpochTime(b dataset.Benchmark) SystemTime {
+	full, err := fullGeometry(b)
+	if err != nil {
+		return SystemTime{}
+	}
+	aggs := aggregationsPerEpoch(b, s.MiniBatch, s.Nodes)
+	ops := int64(full.Ops) * int64(s.MiniBatch)
+	bytes := platform.GPUBatchBytes(b.Family, full.DataWords, full.ModelWords, s.MiniBatch)
+	compute := platform.GPUBatchSeconds(platform.TeslaK40, b.Family, ops, bytes)
+	comm := platform.CosmicCommSeconds(s.Net, s.CPU,
+		exchangeBytes(b, s.MiniBatch, s.Nodes), s.Nodes, groupsFor(s.Nodes))
+	return SystemTime{
+		ComputeSeconds: aggs * compute,
+		CommSeconds:    aggs * comm,
+	}
+}
+
+// SparkSystem models the baseline: Spark 2.1 + MLlib on CPU nodes.
+type SparkSystem struct {
+	Nodes     int
+	MiniBatch int // per-node samples per aggregation, as for CoSMIC
+	Cost      sparksim.CostModel
+	Net       platform.NetworkSpec
+}
+
+// NewSparkSystem returns the paper's Spark deployment for a cluster size.
+func NewSparkSystem(nodes int) SparkSystem {
+	return SparkSystem{
+		Nodes:     nodes,
+		MiniBatch: DefaultMiniBatch,
+		Cost:      sparksim.DefaultCostModel(nodes),
+		Net:       platform.GigabitEthernet,
+	}
+}
+
+// cpuNodeGemmFlops is the per-node sustained rate for the matrix-matrix
+// heavy backpropagation benchmarks (OpenBLAS GEMM on 4 AVX2 cores).
+const cpuNodeGemmFlops = 40e9
+
+// dramBytesPerSecond bounds the element-wise families: BLAS-1 dot/axpy
+// kernels stream operands from DRAM.
+const dramBytesPerSecond = 25e9
+
+// scanSecondsPerRow is the cost of MLlib's per-iteration RDD traversal —
+// Spark's mini-batch sampling visits every row of every partition to select
+// the batch, a well-known cost of GradientDescent.runMiniBatchSGD on large
+// RDDs.
+const scanSecondsPerRow = 25e-9
+
+// EpochTime returns one training epoch's time under Spark: per aggregation
+// round, a torrent broadcast of the weights, a treeAggregate stage pipeline
+// (driver scheduling + task launches + the full-RDD sampling scan +
+// gradient compute + dense-gradient shipping), and the driver update.
+func (s SparkSystem) EpochTime(b dataset.Benchmark) SystemTime {
+	full, err := fullGeometry(b)
+	if err != nil {
+		return SystemTime{}
+	}
+	aggs := aggregationsPerEpoch(b, s.MiniBatch, s.Nodes)
+	modelBytes := int64(b.ModelParams()) * arch.WordBytes
+	partitions := s.Nodes * s.Cost.CoresPerExecutor * 2
+	slots := s.Nodes * s.Cost.CoresPerExecutor
+
+	// Gradient compute for the round's N·b samples (gradient + loss).
+	batch := s.MiniBatch * s.Nodes
+	var compute float64
+	switch b.Family {
+	case dataset.FamilyBackprop:
+		ops := float64(full.Ops) * float64(batch) * 2
+		compute = ops / (cpuNodeGemmFlops * float64(s.Nodes))
+	case dataset.FamilyCF:
+		// Sparse gradient per rating: two K-wide rows in, two out.
+		k := float64(b.Topology[2])
+		bytes := float64(batch) * (6*k + 3) * 8
+		compute = bytes / (dramBytesPerSecond * float64(s.Nodes))
+	default:
+		// Element-wise: x, w and the gradient stream per sample.
+		bytes := float64(batch) * float64(full.DataWords) * 8 * 3
+		compute = bytes / (dramBytesPerSecond * float64(s.Nodes))
+	}
+
+	// System software per round. Task launches serialize at the driver —
+	// the well-known Spark driver bottleneck that erodes its scaling as
+	// executors (and hence tasks) multiply.
+	sched := 3 * s.Cost.StageLatency // treeAggregate stage pipeline
+	tasks := float64(partitions) * s.Cost.TaskOverhead
+	scan := float64(b.NumVectors) * scanSecondsPerRow / float64(slots)
+	broadcast := 2 * float64(modelBytes) / s.Cost.NetworkBytesPerSecond // torrent
+	// MLlib's treeAggregate ships dense gradient vectors per partition.
+	shuffle := float64(int64(partitions)*modelBytes) / (s.Cost.NetworkBytesPerSecond * float64(s.Nodes))
+	comm := sched + tasks + scan + broadcast + shuffle
+
+	return SystemTime{
+		ComputeSeconds: aggs * compute,
+		CommSeconds:    aggs * comm,
+	}
+}
+
+// geomean computes the geometric mean of positive values, the averaging
+// the paper's "on average" speedups use.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(vals)))
+}
+
+// Speedup returns baseline/measured.
+func Speedup(baseline, measured float64) float64 {
+	if measured == 0 {
+		return 0
+	}
+	return baseline / measured
+}
+
+// fmtX renders a speedup as "12.3x".
+func fmtX(v float64) string { return fmt.Sprintf("%.1fx", v) }

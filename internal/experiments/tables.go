@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/dataset"
+	"repro/internal/dsl"
+	"repro/internal/planner"
+)
+
+// Table1 — the benchmark suite: algorithms, domains, model geometry, DSL
+// lines of code, and dataset sizes, regenerated from the registry and the
+// actual DSL programs.
+func Table1() (Report, error) {
+	rep := Report{
+		ID:    "Table 1",
+		Title: "Benchmarks, algorithms, application domains, and datasets",
+		Header: []string{"name", "algorithm", "domain", "features", "topology",
+			"model KB", "LoC", "# vectors", "data GB"},
+	}
+	for _, b := range dataset.Benchmarks {
+		alg := b.Algorithm(1)
+		prog, err := dsl.Parse(alg.DSLSource())
+		if err != nil {
+			return rep, err
+		}
+		topo := ""
+		for i, d := range b.Topology {
+			if i > 0 {
+				topo += "x"
+			}
+			topo += fmt.Sprint(d)
+		}
+		rep.Rows = append(rep.Rows, []string{
+			b.Name, string(b.Family), b.Domain,
+			fmt.Sprint(b.Features), topo,
+			fmt.Sprintf("%.0f", b.ModelKB()),
+			fmt.Sprint(prog.LinesOfCode()),
+			fmt.Sprint(b.NumVectors),
+			fmt.Sprintf("%.1f", b.DataGB),
+		})
+	}
+	rep.Summary = []string{
+		"paper LoC range: 22-55 (this DSL's programs are parameterized, so one",
+		"program serves both benchmarks of a family; LoC is the program's size)",
+	}
+	return rep, nil
+}
+
+// Table2 — the evaluation platforms.
+func Table2() Report {
+	rep := Report{
+		ID:     "Table 2",
+		Title:  "CPU, GPU, FPGA, and P-ASICs",
+		Header: []string{"platform", "compute", "memory/BW", "TDP", "frequency", "technology"},
+	}
+	rep.Rows = append(rep.Rows,
+		[]string{"Xeon E3-1275 v5", "4 cores", "32 GB DDR4", "80 W", "3.6 GHz", "14 nm"},
+		[]string{"Tesla K40c", "2880 cores", "12 GB / 288 GB/s", "235 W", "875 MHz", "28 nm"},
+	)
+	for _, c := range []arch.ChipSpec{arch.UltraScalePlus, arch.PASICF, arch.PASICG} {
+		compute := fmt.Sprintf("%d DSP slices", c.PEBudget)
+		tech := "16 nm"
+		if c.Kind == arch.PASIC {
+			compute = fmt.Sprintf("%d PEs, %.0f mm²", c.PEBudget, c.AreaMM2)
+			tech = fmt.Sprintf("%d nm", c.TechnologyNM)
+		}
+		rep.Rows = append(rep.Rows, []string{
+			c.Name, compute,
+			fmt.Sprintf("%d KB / %.1f GB/s", c.StorageKB, c.MemBandwidthGBps),
+			fmt.Sprintf("%.0f W", c.TDPWatts),
+			fmt.Sprintf("%.0f MHz", c.FrequencyMHz),
+			tech,
+		})
+	}
+	rep.Summary = []string{
+		fmt.Sprintf("derived: UltraScale+ %d columns × %d rows max; P-ASIC-F %d cols; P-ASIC-G %d cols",
+			arch.UltraScalePlus.Columns(), arch.UltraScalePlus.RowLimit(),
+			arch.PASICF.Columns(), arch.PASICG.Columns()),
+	}
+	return rep
+}
+
+// Table3 — the Planner's chosen thread count and the FPGA resource
+// utilization per benchmark.
+func Table3(pl *Pipeline) (Report, error) {
+	rep := Report{
+		ID:    "Table 3",
+		Title: "Number of threads and FPGA resource utilization",
+		Header: []string{"name", "threads", "rows", "LUTs", "util",
+			"FFs", "util", "BRAM KB", "util", "DSPs", "util"},
+	}
+	chip := arch.UltraScalePlus
+	for _, b := range dataset.Benchmarks {
+		pt, err := pl.Point(b, chip)
+		if err != nil {
+			return rep, err
+		}
+		g, err := benchGraph(b, probeScale(b))
+		if err != nil {
+			return rep, err
+		}
+		res := planner.EstimateResources(pt.Plan, g)
+		luts, ffs, bram, dsps := res.Utilization(chip)
+		rep.Rows = append(rep.Rows, []string{
+			b.Name,
+			fmt.Sprint(pt.Plan.Threads),
+			fmt.Sprint(pt.Plan.TotalRows()),
+			fmt.Sprint(res.LUTs), fmt.Sprintf("%.1f%%", 100*luts),
+			fmt.Sprint(res.FlipFlops), fmt.Sprintf("%.1f%%", 100*ffs),
+			fmt.Sprint(res.BRAMBytes / 1024), fmt.Sprintf("%.1f%%", 100*bram),
+			fmt.Sprint(res.DSPs), fmt.Sprintf("%.1f%%", 100*dsps),
+		})
+	}
+	rep.Summary = []string{
+		"paper shape: compute-bound benchmarks (backprop, cf) use most of the",
+		"fabric; bandwidth-bound ones use ~20% of LUTs/DSPs; BRAM is ~85-89%",
+		"everywhere (the prefetch buffer absorbs what the datapath leaves)",
+	}
+	return rep, nil
+}

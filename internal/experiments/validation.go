@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/accel"
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/dataset"
+	"repro/internal/dsl"
+	"repro/internal/ml"
+	"repro/internal/perf"
+)
+
+// Validation reproduces the paper's claim that the Planner's "performance
+// estimation tool [is] validated against the hardware": for every benchmark
+// (at probe scale, where the full cycle-level simulation is tractable), it
+// compares the estimator's batch-cycle prediction against the simulator's
+// measured count, and checks the functional output once more against the
+// pure-Go reference. The simulator is this reproduction's "hardware".
+func Validation(pl *Pipeline) (Report, error) {
+	rep := Report{
+		ID:    "Extra: validation",
+		Title: "Performance estimator vs cycle-level simulation (and functional check)",
+		Header: []string{"benchmark", "plan", "estimated", "simulated", "error",
+			"numerics"},
+	}
+	const vectorsPerThread = 6
+	rng := rand.New(rand.NewSource(23))
+	var worst float64
+
+	for _, b := range dataset.Benchmarks {
+		s := probeScale(b)
+		alg := b.Algorithm(s)
+		g, err := benchGraph(b, s)
+		if err != nil {
+			return rep, err
+		}
+		chip := miniChip(arch.UltraScalePlus, s)
+		plan := arch.Plan{Chip: chip, Columns: chip.Columns(), Threads: 2, RowsPerThread: 2}
+		if plan.Validate() != nil {
+			plan.RowsPerThread = 1
+		}
+		prog, err := compiler.Compile(g, plan, compiler.StyleCoSMIC)
+		if err != nil {
+			return rep, err
+		}
+		est, err := perf.FromProgram(prog)
+		if err != nil {
+			return rep, err
+		}
+		estimated := est.BatchCycles(vectorsPerThread)
+
+		// Measure: run real vectors through the simulator.
+		sim := accel.New(prog)
+		batch := b.Generate(alg, vectorsPerThread*plan.Threads, 23)
+		parts := make([][]map[string][]float64, plan.Threads)
+		for ti, part := range ml.Partition(batch, plan.Threads) {
+			for _, smp := range part {
+				parts[ti] = append(parts[ti], alg.PackSample(smp))
+			}
+		}
+		model := alg.InitModel(rng)
+		res, err := sim.RunBatch(alg.PackModel(model), parts, 0.01, dsl.AggSum)
+		if err != nil {
+			return rep, err
+		}
+
+		errPct := 100 * math.Abs(float64(estimated-res.Cycles)) / float64(res.Cycles)
+		if errPct > worst {
+			worst = errPct
+		}
+
+		// Functional check against the reference.
+		want := ml.AccumulateGradients(alg, model, batch)
+		got := alg.UnpackGradient(res.Partial)
+		numerics := "exact"
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				numerics = fmt.Sprintf("MISMATCH at %d", i)
+				break
+			}
+		}
+		rep.Rows = append(rep.Rows, []string{
+			b.Name,
+			fmt.Sprintf("T%d×R%d", plan.Threads, plan.TotalRows()),
+			fmt.Sprint(estimated),
+			fmt.Sprint(res.Cycles),
+			fmt.Sprintf("%.1f%%", errPct),
+			numerics,
+		})
+	}
+	rep.Summary = []string{
+		fmt.Sprintf("worst estimation error: %.1f%% — the estimator is exact by construction for", worst),
+		"steady-state cycles (both derive from the same static schedule), so residual",
+		"error comes only from the end-of-batch aggregation accounting",
+	}
+	return rep, nil
+}

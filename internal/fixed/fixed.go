@@ -1,0 +1,219 @@
+// Package fixed implements the fixed-point arithmetic of the template
+// accelerator's datapath. The PEs are built from DSP slices — integer
+// multiply-accumulate units — and implement expensive nonlinearities with
+// lookup tables (Section 5.1: "the non-linear unit is a look-up table that
+// implements expensive operations like sigmoid, gaussian, divide, and
+// logarithm"). The float64 simulator in package accel abstracts this away;
+// this package models the real number format so quantization effects on
+// training can be measured.
+//
+// The default format is Q16.16: a 32-bit word with 16 fractional bits, the
+// common choice for TABLA-class statistical ML accelerators.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Num is a raw fixed-point value. Arithmetic intermediates need headroom,
+// so Num is 64-bit even though the datapath word is 32-bit: Format.clamp
+// saturates results back into the word's range, as the DSP slices do.
+type Num int64
+
+// Format fixes the binary point and word width.
+type Format struct {
+	// FracBits is the number of fractional bits (16 for Q16.16).
+	FracBits uint
+	// WordBits is the datapath width (32 for the template's PEs).
+	WordBits uint
+}
+
+// Q16 is the template datapath's default format.
+var Q16 = Format{FracBits: 16, WordBits: 32}
+
+// one returns the fixed-point representation of 1.0.
+func (f Format) one() Num { return 1 << f.FracBits }
+
+// limits returns the saturation bounds of the word.
+func (f Format) limits() (lo, hi Num) {
+	hi = Num(1)<<(f.WordBits-1) - 1
+	return -hi - 1, hi
+}
+
+// clamp saturates to the word range (DSP-slice overflow behaviour is
+// configured to saturate, not wrap, for learning workloads).
+func (f Format) clamp(v Num) Num {
+	lo, hi := f.limits()
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// FromFloat quantizes x (round to nearest, saturating).
+func (f Format) FromFloat(x float64) Num {
+	if math.IsNaN(x) {
+		return 0
+	}
+	return f.clamp(Num(math.RoundToEven(x * float64(f.one()))))
+}
+
+// ToFloat converts back to float64.
+func (f Format) ToFloat(v Num) float64 {
+	return float64(v) / float64(f.one())
+}
+
+// Eps returns the quantization step.
+func (f Format) Eps() float64 { return 1 / float64(f.one()) }
+
+// Add returns a+b, saturating.
+func (f Format) Add(a, b Num) Num { return f.clamp(a + b) }
+
+// Sub returns a−b, saturating.
+func (f Format) Sub(a, b Num) Num { return f.clamp(a - b) }
+
+// Mul returns a·b with rounding, saturating — one DSP multiply plus the
+// post-shift.
+func (f Format) Mul(a, b Num) Num {
+	prod := a * b
+	// Round to nearest: add half an ulp before the shift.
+	half := Num(1) << (f.FracBits - 1)
+	if prod >= 0 {
+		prod += half
+	} else {
+		prod -= half
+	}
+	return f.clamp(prod >> f.FracBits)
+}
+
+// Div returns a/b with rounding, saturating (the LUT-assisted reciprocal
+// path in hardware; exact division here).
+func (f Format) Div(a, b Num) Num {
+	if b == 0 {
+		_, hi := f.limits()
+		if a < 0 {
+			lo, _ := f.limits()
+			return lo
+		}
+		return hi
+	}
+	num := a << f.FracBits
+	q := num / b
+	// Round toward nearest by examining the remainder.
+	r := num % b
+	if r != 0 {
+		if (r < 0) == (b < 0) { // same sign: positive quotient direction
+			if 2*abs(r) >= abs(b) {
+				q++
+			}
+		} else {
+			if 2*abs(r) >= abs(b) {
+				q--
+			}
+		}
+	}
+	return f.clamp(q)
+}
+
+func abs(v Num) Num {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// String formats the value in the Q notation.
+func (f Format) String() string {
+	return fmt.Sprintf("Q%d.%d", f.WordBits-f.FracBits, f.FracBits)
+}
+
+// LUT is a lookup table with linear interpolation over [Lo, Hi] — the PE's
+// nonlinear unit. Inputs outside the range clamp to the edge entries, which
+// is the right behaviour for the saturating functions (sigmoid, tanh,
+// gaussian) the suite uses.
+type LUT struct {
+	fmtq    Format
+	lo, hi  float64
+	entries []Num
+	scale   float64 // entries per unit of x
+}
+
+// NewLUT samples fn at n+1 points over [lo, hi].
+func NewLUT(f Format, fn func(float64) float64, lo, hi float64, n int) *LUT {
+	if n < 2 {
+		n = 2
+	}
+	l := &LUT{fmtq: f, lo: lo, hi: hi, entries: make([]Num, n+1)}
+	step := (hi - lo) / float64(n)
+	for i := range l.entries {
+		l.entries[i] = f.FromFloat(fn(lo + float64(i)*step))
+	}
+	l.scale = float64(n) / (hi - lo)
+	return l
+}
+
+// Eval looks x up with linear interpolation.
+func (l *LUT) Eval(x Num) Num {
+	xf := l.fmtq.ToFloat(x)
+	pos := (xf - l.lo) * l.scale
+	if pos <= 0 {
+		return l.entries[0]
+	}
+	if pos >= float64(len(l.entries)-1) {
+		return l.entries[len(l.entries)-1]
+	}
+	i := int(pos)
+	frac := pos - float64(i)
+	a, b := l.entries[i], l.entries[i+1]
+	return a + Num(frac*float64(b-a))
+}
+
+// Unit bundles the LUTs one PE's nonlinear unit holds. Entry counts follow
+// the template's BRAM-backed 1024-entry tables.
+type Unit struct {
+	F        Format
+	Sigmoid  *LUT
+	Tanh     *LUT
+	Gaussian *LUT
+	Exp      *LUT
+	Log      *LUT
+	Sqrt     *LUT
+}
+
+// NewUnit builds the standard nonlinear unit for a format.
+func NewUnit(f Format) *Unit {
+	const n = 1024
+	return &Unit{
+		F:        f,
+		Sigmoid:  NewLUT(f, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }, -8, 8, n),
+		Tanh:     NewLUT(f, math.Tanh, -4, 4, n),
+		Gaussian: NewLUT(f, func(x float64) float64 { return math.Exp(-x * x) }, -4, 4, n),
+		Exp:      NewLUT(f, math.Exp, -8, 8, n),
+		Log:      NewLUT(f, math.Log, 1.0/256, 8, n),
+		Sqrt:     NewLUT(f, math.Sqrt, 0, 16, n),
+	}
+}
+
+// Vector helpers for fixed-point models.
+
+// QuantizeVec converts a float vector to fixed point.
+func (f Format) QuantizeVec(xs []float64) []Num {
+	out := make([]Num, len(xs))
+	for i, x := range xs {
+		out[i] = f.FromFloat(x)
+	}
+	return out
+}
+
+// DequantizeVec converts back to floats.
+func (f Format) DequantizeVec(vs []Num) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = f.ToFloat(v)
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package fixed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dfg"
+	"repro/internal/dsl"
+	"repro/internal/ml"
+)
+
+func TestRoundTripProperty(t *testing.T) {
+	f := Q16
+	check := func(x float64) bool {
+		if math.IsNaN(x) || math.Abs(x) > 30000 {
+			return true
+		}
+		back := f.ToFloat(f.FromFloat(x))
+		return math.Abs(back-x) <= f.Eps()/2+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithmeticAccuracy(t *testing.T) {
+	f := Q16
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 1000; i++ {
+		a := rng.NormFloat64() * 10
+		b := rng.NormFloat64() * 10
+		qa, qb := f.FromFloat(a), f.FromFloat(b)
+		if got, want := f.ToFloat(f.Add(qa, qb)), a+b; math.Abs(got-want) > 2*f.Eps() {
+			t.Fatalf("add(%g,%g) = %g, want %g", a, b, got, want)
+		}
+		if got, want := f.ToFloat(f.Mul(qa, qb)), a*b; math.Abs(got-want) > (math.Abs(a)+math.Abs(b)+1)*f.Eps() {
+			t.Fatalf("mul(%g,%g) = %g, want %g", a, b, got, want)
+		}
+		if b != 0 {
+			// Error budget: quantizing b by δ perturbs a/b by |a/b²|·δ.
+			budget := (math.Abs(a/b)*(1+1/math.Abs(b)) + 1) * f.Eps()
+			if got, want := f.ToFloat(f.Div(qa, qb)), a/b; math.Abs(want) < 1000 &&
+				math.Abs(got-want) > budget {
+				t.Fatalf("div(%g,%g) = %g, want %g (budget %g)", a, b, got, want, budget)
+			}
+		}
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	f := Q16
+	lo, hi := f.limits()
+	big := f.FromFloat(30000)
+	if got := f.Mul(big, big); got != hi {
+		t.Errorf("overflowing mul = %d, want saturation at %d", got, hi)
+	}
+	if got := f.Add(lo, -f.one()); got != lo {
+		t.Errorf("underflowing add = %d, want saturation at %d", got, lo)
+	}
+	if got := f.Div(f.one(), 0); got != hi {
+		t.Errorf("1/0 = %d, want +saturation", got)
+	}
+	if got := f.Div(-f.one(), 0); got != lo {
+		t.Errorf("-1/0 = %d, want -saturation", got)
+	}
+	if got := f.FromFloat(math.NaN()); got != 0 {
+		t.Errorf("NaN quantized to %d", got)
+	}
+}
+
+func TestLUTAccuracy(t *testing.T) {
+	f := Q16
+	unit := NewUnit(f)
+	for x := -6.0; x <= 6; x += 0.037 {
+		want := 1 / (1 + math.Exp(-x))
+		got := f.ToFloat(unit.Sigmoid.Eval(f.FromFloat(x)))
+		if math.Abs(got-want) > 1e-3 {
+			t.Fatalf("sigmoid(%g) = %g, want %g", x, got, want)
+		}
+	}
+	// Out-of-range inputs clamp to the saturated edges.
+	if got := f.ToFloat(unit.Sigmoid.Eval(f.FromFloat(100))); math.Abs(got-1) > 1e-3 {
+		t.Errorf("sigmoid(100) = %g", got)
+	}
+	if got := f.ToFloat(unit.Sigmoid.Eval(f.FromFloat(-100))); math.Abs(got) > 1e-3 {
+		t.Errorf("sigmoid(-100) = %g", got)
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if Q16.String() != "Q16.16" {
+		t.Errorf("format = %s", Q16)
+	}
+}
+
+// TestFixedEvalTracksFloatEval: the fixed-point DFG evaluation stays within
+// quantization-scale error of the exact evaluation for every family.
+func TestFixedEvalTracksFloatEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	ev := NewEvaluator(Q16)
+	algs := []ml.Algorithm{
+		&ml.LinearRegression{M: 12},
+		&ml.LogisticRegression{M: 12},
+		&ml.SVM{M: 12},
+		&ml.MLP{In: 5, Hid: 4, Out: 2},
+	}
+	for _, alg := range algs {
+		t.Run(alg.Name(), func(t *testing.T) {
+			unit, err := dsl.ParseAndAnalyze(alg.DSLSource(), alg.DSLParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := dfg.Translate(unit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 10; trial++ {
+				model := alg.InitModel(rng)
+				s := ml.Sample{X: make([]float64, alg.FeatureSize()), Y: make([]float64, alg.OutputSize())}
+				for j := range s.X {
+					s.X[j] = rng.NormFloat64()
+				}
+				s.Y[0] = 1
+				bind := dfg.Bindings{Data: alg.PackSample(s), Model: alg.PackModel(model)}
+				exact, err := g.Eval(bind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				quant, err := ev.Eval(g, bind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for name, wv := range exact {
+					for i := range wv {
+						// Error budget: quantization noise accumulates along
+						// the reduction; scale with the graph depth and the
+						// value's magnitude.
+						budget := 1e-3 * (1 + math.Abs(wv[i])) * float64(g.CriticalPath())
+						if d := math.Abs(quant[name][i] - wv[i]); d > budget {
+							t.Fatalf("trial %d: %s[%d]: fixed %g vs exact %g (|Δ|=%g > %g)",
+								trial, name, i, quant[name][i], wv[i], d, budget)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFixedPointTrainingConverges is the hardware-fidelity headline: SGD
+// whose gradients come from the Q16.16 fixed-point datapath converges to a
+// loss close to exact-arithmetic SGD.
+func TestFixedPointTrainingConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	alg := &ml.LogisticRegression{M: 16}
+	unit, err := dsl.ParseAndAnalyze(alg.DSLSource(), alg.DSLParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dfg.Translate(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(Q16)
+
+	truth := make([]float64, alg.M)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	data := make([]ml.Sample, 300)
+	for i := range data {
+		x := make([]float64, alg.M)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		y := 0.0
+		if ml.Dot(truth, x) > 0 {
+			y = 1
+		}
+		data[i] = ml.Sample{X: x, Y: []float64{y}}
+	}
+
+	const lr = 0.1
+	train := func(useFixed bool) float64 {
+		model := make([]float64, alg.M)
+		for epoch := 0; epoch < 4; epoch++ {
+			for _, s := range data {
+				var grad []float64
+				bind := dfg.Bindings{Data: alg.PackSample(s), Model: alg.PackModel(model)}
+				if useFixed {
+					outs, err := ev.Eval(g, bind)
+					if err != nil {
+						t.Fatal(err)
+					}
+					grad = alg.UnpackGradient(outs)
+				} else {
+					outs, err := g.Eval(bind)
+					if err != nil {
+						t.Fatal(err)
+					}
+					grad = alg.UnpackGradient(outs)
+				}
+				ml.AXPY(-lr, grad, model)
+			}
+		}
+		return ml.MeanLoss(alg, model, data)
+	}
+	exact := train(false)
+	fixedLoss := train(true)
+	if fixedLoss > 2*exact+0.05 {
+		t.Errorf("fixed-point training loss %g far above exact %g", fixedLoss, exact)
+	}
+	initial := ml.MeanLoss(alg, make([]float64, alg.M), data)
+	if fixedLoss >= initial/2 {
+		t.Errorf("fixed-point training barely learned: %g -> %g", initial, fixedLoss)
+	}
+}
+
+func TestQuantizeVecRoundTrip(t *testing.T) {
+	f := Q16
+	xs := []float64{0, 1.5, -2.25, 100.125}
+	back := f.DequantizeVec(f.QuantizeVec(xs))
+	for i := range xs {
+		if math.Abs(back[i]-xs[i]) > f.Eps() {
+			t.Errorf("vec[%d]: %g -> %g", i, xs[i], back[i])
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsl"
+)
+
+// TestPredictConsistentWithLoss: for the squared-loss families the loss
+// must equal ½(prediction − label)².
+func TestPredictConsistentWithLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	lin := &LinearRegression{M: 8}
+	model := lin.InitModel(rng)
+	for i := 0; i < 10; i++ {
+		s := randomSample(lin, rng)
+		pred := lin.Predict(model, s.X)[0]
+		want := 0.5 * (pred - s.Y[0]) * (pred - s.Y[0])
+		if got := lin.Loss(model, s); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("loss %g, want %g from prediction", got, want)
+		}
+	}
+}
+
+// TestTrainedModelPredictsWell: after training, classification accuracy on
+// the training distribution is high for every classifier family.
+func TestTrainedModelPredictsWell(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+
+	t.Run("svm", func(t *testing.T) {
+		a := &SVM{M: 10}
+		truth := make([]float64, a.M)
+		for i := range truth {
+			truth[i] = rng.NormFloat64()
+		}
+		data := make([]Sample, 400)
+		for i := range data {
+			s := randomSample(a, rng)
+			if Dot(truth, s.X) >= 0 {
+				s.Y[0] = 1
+			} else {
+				s.Y[0] = -1
+			}
+			data[i] = s
+		}
+		cfg := SGDConfig{LearningRate: 0.05, MiniBatch: 100, Aggregator: dsl.AggAverage}
+		res := Train(a, cfg, a.InitModel(rng), data, 2, 10)
+		acc, err := Accuracy(a, res.Model, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc < 0.9 {
+			t.Errorf("trained SVM accuracy %.2f", acc)
+		}
+	})
+
+	t.Run("softmax", func(t *testing.T) {
+		a := &Softmax{M: 8, C: 3}
+		truth := make([]float64, a.ModelSize())
+		for i := range truth {
+			truth[i] = rng.NormFloat64()
+		}
+		data := make([]Sample, 400)
+		for i := range data {
+			s := softmaxSample(a, rng)
+			for c := range s.Y {
+				s.Y[c] = 0
+			}
+			best, bestZ := 0, math.Inf(-1)
+			for c := 0; c < a.C; c++ {
+				if z := Dot(truth[c*a.M:(c+1)*a.M], s.X); z > bestZ {
+					best, bestZ = c, z
+				}
+			}
+			s.Y[best] = 1
+			data[i] = s
+		}
+		cfg := SGDConfig{LearningRate: 0.2, MiniBatch: 100, Aggregator: dsl.AggAverage}
+		res := Train(a, cfg, a.InitModel(rng), data, 2, 12)
+		acc, err := Accuracy(a, res.Model, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc < 0.85 {
+			t.Errorf("trained softmax accuracy %.2f", acc)
+		}
+	})
+}
+
+// TestRMSEDropsWithTraining: the recommender's rating RMSE falls as it
+// trains.
+func TestRMSEDropsWithTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	a := &CF{NU: 12, NV: 16, K: 4}
+	truth := a.InitModel(rng)
+	Scale(3, truth)
+	data := make([]Sample, 500)
+	for i := range data {
+		s := randomSample(a, rng)
+		s.Y[0] = a.Predict(truth, s.X)[0]
+		data[i] = s
+	}
+	model := a.InitModel(rng)
+	before, err := RMSE(a, model, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SGDConfig{LearningRate: 0.05, MiniBatch: 100, Aggregator: dsl.AggAverage}
+	res := Train(a, cfg, model, data, 2, 10)
+	after, err := RMSE(a, res.Model, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before/2 {
+		t.Errorf("RMSE %g -> %g; recommender barely improved", before, after)
+	}
+}
+
+func TestAccuracyErrors(t *testing.T) {
+	lin := &LinearRegression{M: 2}
+	if _, err := Accuracy(lin, []float64{0, 0}, []Sample{{X: []float64{1, 1}, Y: []float64{0}}}); err == nil {
+		t.Error("linear regression must not have a classification accuracy")
+	}
+	svm := &SVM{M: 2}
+	if _, err := Accuracy(svm, []float64{0, 0}, nil); err == nil {
+		t.Error("empty data must error")
+	}
+	if _, err := RMSE(svm, []float64{0, 0}, nil); err == nil {
+		t.Error("empty data must error")
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if argmax([]float64{0.1, 0.7, 0.2}) != 1 {
+		t.Error("argmax broken")
+	}
+	if argmax([]float64{3}) != 0 {
+		t.Error("argmax singleton broken")
+	}
+}

@@ -1,0 +1,130 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/dsl"
+)
+
+func softmaxSample(a *Softmax, rng *rand.Rand) Sample {
+	s := Sample{X: make([]float64, a.M), Y: make([]float64, a.C)}
+	for i := range s.X {
+		s.X[i] = rng.NormFloat64()
+	}
+	s.Y[rng.Intn(a.C)] = 1
+	return s
+}
+
+func TestSoftmaxGradientFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	a := &Softmax{M: 6, C: 4}
+	for trial := 0; trial < 5; trial++ {
+		model := a.InitModel(rng)
+		s := softmaxSample(a, rng)
+		grad := make([]float64, a.ModelSize())
+		a.Gradient(model, s, grad)
+		const h = 1e-6
+		for i := range model {
+			orig := model[i]
+			model[i] = orig + h
+			lp := a.Loss(model, s)
+			model[i] = orig - h
+			lm := a.Loss(model, s)
+			model[i] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-grad[i]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("dL/dw[%d]: analytic %g, numeric %g", i, grad[i], num)
+			}
+		}
+	}
+}
+
+// TestSoftmaxDSLMatchesReference: the new model flows through the DSL and
+// translator with no stack changes and computes the same gradients.
+func TestSoftmaxDSLMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	a := &Softmax{M: 5, C: 3}
+	unit, err := dsl.ParseAndAnalyze(a.DSLSource(), a.DSLParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dfg.Translate(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		model := a.InitModel(rng)
+		s := softmaxSample(a, rng)
+		want := make([]float64, a.ModelSize())
+		a.Gradient(model, s, want)
+		outs, err := g.Eval(dfg.Bindings{Data: a.PackSample(s), Model: a.PackModel(model)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := a.UnpackGradient(outs)
+		for i := range want {
+			// The DSL program does not use the max-z stabilization, so
+			// tolerate ordinary floating-point divergence.
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("g[%d] = %g via DFG, %g via reference", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSoftmaxProbabilitiesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	a := &Softmax{M: 8, C: 5}
+	model := a.InitModel(rng)
+	for trial := 0; trial < 20; trial++ {
+		s := softmaxSample(a, rng)
+		p := a.probs(model, s.X)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("probability %g out of range", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("probabilities sum to %g", sum)
+		}
+	}
+}
+
+func TestSoftmaxTrainingConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	a := &Softmax{M: 10, C: 3}
+	truth := make([]float64, a.ModelSize())
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	data := make([]Sample, 300)
+	for i := range data {
+		s := Sample{X: make([]float64, a.M), Y: make([]float64, a.C)}
+		for j := range s.X {
+			s.X[j] = rng.NormFloat64()
+		}
+		// Label with the truth model's argmax.
+		best, bestZ := 0, math.Inf(-1)
+		for c := 0; c < a.C; c++ {
+			z := Dot(truth[c*a.M:(c+1)*a.M], s.X)
+			if z > bestZ {
+				best, bestZ = c, z
+			}
+		}
+		s.Y[best] = 1
+		data[i] = s
+	}
+	model := a.InitModel(rng)
+	initial := MeanLoss(a, model, data)
+	cfg := SGDConfig{LearningRate: 0.1, MiniBatch: 50, Aggregator: dsl.AggAverage}
+	res := Train(a, cfg, model, data, 4, 8)
+	final := res.LossPerEpoch[len(res.LossPerEpoch)-1]
+	if final >= initial/2 {
+		t.Errorf("softmax barely learned: %g -> %g", initial, final)
+	}
+}

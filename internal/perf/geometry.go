@@ -1,0 +1,68 @@
+package perf
+
+import "fmt"
+
+// GeometryForFamily returns the exact DFG geometry (operation and word
+// counts per training vector) for one of the five benchmark families at an
+// arbitrary topology, without elaborating the graph. The closed forms are
+// derived from the DSL programs in package dsl and are verified against
+// elaborated graphs by this package's tests; they let the stack reason about
+// paper-scale benchmarks (millions of DFG nodes) that would be wasteful to
+// materialize.
+//
+// Topologies: linreg/logreg/svm take {M}; backprop takes {IN, HID, OUT}; cf
+// takes {NU, NV, K}.
+func GeometryForFamily(family string, topo []int) (FullGeometry, error) {
+	switch family {
+	case "linreg":
+		m := topo[0]
+		return FullGeometry{
+			// p = Σ w·x (2M−1), e = p−y (1), g = e·x (M).
+			Ops:       3 * m,
+			DataWords: m + 1, ModelWords: m, GradWords: m,
+		}, nil
+	case "logreg":
+		m := topo[0]
+		// linreg plus one sigmoid.
+		return FullGeometry{
+			Ops:       3*m + 1,
+			DataWords: m + 1, ModelWords: m, GradWords: m,
+		}, nil
+	case "svm":
+		m := topo[0]
+		// s = Σ w·x (2M−1), c = s·y (1), margin compare (1, CSE-shared),
+		// per element: mul, sub, select (3M).
+		return FullGeometry{
+			Ops:       5*m + 1,
+			DataWords: m + 1, ModelWords: m, GradWords: m,
+		}, nil
+	case "backprop":
+		in, hid, out := topo[0], topo[1], topo[2]
+		ops := 2*in*hid + // hidden dots + sigmoids
+			2*hid*out + // output dots + sigmoids
+			4*out + // d2
+			out*hid + // g2
+			2*hid*out - hid + // e backprop dots
+			3*hid + // d1
+			hid*in // g1
+		return FullGeometry{
+			Ops:        ops,
+			DataWords:  in + out,
+			ModelWords: hid*in + out*hid,
+			GradWords:  hid*in + out*hid,
+		}, nil
+	case "cf":
+		nu, nv, k := topo[0], topo[1], topo[2]
+		ops := k*(2*nu-1) + k*(2*nv-1) + // factor gathers
+			2*k + // rating error
+			nu + nu*k + // gu (e·xu shared across k)
+			nv + nv*k // gv
+		return FullGeometry{
+			Ops:        ops,
+			DataWords:  nu + nv + 1,
+			ModelWords: (nu + nv) * k,
+			GradWords:  (nu + nv) * k,
+		}, nil
+	}
+	return FullGeometry{}, fmt.Errorf("perf: unknown family %q", family)
+}

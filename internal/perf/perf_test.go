@@ -1,0 +1,248 @@
+package perf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/dfg"
+	"repro/internal/dsl"
+	"repro/internal/ml"
+)
+
+var testChip = arch.ChipSpec{
+	Name: "test-chip", Kind: arch.FPGA,
+	PEBudget: 64, StorageKB: 256,
+	MemBandwidthGBps: 3.2, FrequencyMHz: 100,
+	TDPWatts: 5,
+}
+
+func compileAlg(t *testing.T, alg ml.Algorithm, threads, rows int) *compiler.Program {
+	t.Helper()
+	u, err := dsl.ParseAndAnalyze(alg.DSLSource(), alg.DSLParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dfg.Translate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := arch.Plan{Chip: testChip, Columns: testChip.Columns(), Threads: threads, RowsPerThread: rows}
+	prog, err := compiler.Compile(g, plan, compiler.StyleCoSMIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestGeometryFormulasMatchElaboration validates every closed form against
+// an actually elaborated DFG, across several topologies per family.
+func TestGeometryFormulasMatchElaboration(t *testing.T) {
+	cases := []struct {
+		family string
+		src    string
+		params []map[string]int
+		topo   func(p map[string]int) []int
+	}{
+		{"linreg", dsl.SourceLinearRegression,
+			[]map[string]int{{"M": 4}, {"M": 17}, {"M": 64}},
+			func(p map[string]int) []int { return []int{p["M"]} }},
+		{"logreg", dsl.SourceLogisticRegression,
+			[]map[string]int{{"M": 5}, {"M": 32}},
+			func(p map[string]int) []int { return []int{p["M"]} }},
+		{"svm", dsl.SourceSVM,
+			[]map[string]int{{"M": 6}, {"M": 21}},
+			func(p map[string]int) []int { return []int{p["M"]} }},
+		{"backprop", dsl.SourceBackprop,
+			[]map[string]int{
+				{"IN": 4, "HID": 3, "OUT": 2},
+				{"IN": 9, "HID": 7, "OUT": 5},
+			},
+			func(p map[string]int) []int { return []int{p["IN"], p["HID"], p["OUT"]} }},
+		{"cf", dsl.SourceCollaborativeFiltering,
+			[]map[string]int{
+				{"NU": 3, "NV": 4, "K": 2},
+				{"NU": 7, "NV": 5, "K": 4},
+			},
+			func(p map[string]int) []int { return []int{p["NU"], p["NV"], p["K"]} }},
+	}
+	for _, c := range cases {
+		for _, params := range c.params {
+			u, err := dsl.ParseAndAnalyze(c.src, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := dfg.Translate(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := GeometryForFamily(c.family, c.topo(params))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := g.NumOps(); got != want.Ops {
+				t.Errorf("%s %v: ops formula %d, elaborated %d", c.family, params, want.Ops, got)
+			}
+			if got := g.DataWords(); got != want.DataWords {
+				t.Errorf("%s %v: data formula %d, elaborated %d", c.family, params, want.DataWords, got)
+			}
+			if got := g.ModelWords(); got != want.ModelWords {
+				t.Errorf("%s %v: model formula %d, elaborated %d", c.family, params, want.ModelWords, got)
+			}
+			if got := g.GradientWords(); got != want.GradWords {
+				t.Errorf("%s %v: grad formula %d, elaborated %d", c.family, params, want.GradWords, got)
+			}
+		}
+	}
+}
+
+func TestGeometryUnknownFamily(t *testing.T) {
+	if _, err := GeometryForFamily("kmeans", []int{4}); err == nil {
+		t.Error("expected unknown-family error")
+	}
+}
+
+// TestEstimateMatchesSimulator: the decomposed estimate must track the full
+// functional simulator's cycle count closely across batch sizes.
+func TestEstimateMatchesSimulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	algs := []ml.Algorithm{
+		&ml.SVM{M: 24},
+		&ml.LogisticRegression{M: 32},
+		&ml.MLP{In: 8, Hid: 6, Out: 3},
+	}
+	for _, alg := range algs {
+		t.Run(alg.Name(), func(t *testing.T) {
+			prog := compileAlg(t, alg, 2, 2)
+			est, err := FromProgram(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, vecsPerThread := range []int{4, 10} {
+				batch := make([]ml.Sample, vecsPerThread*2)
+				for i := range batch {
+					s := ml.Sample{X: make([]float64, alg.FeatureSize()), Y: make([]float64, alg.OutputSize())}
+					for j := range s.X {
+						s.X[j] = rng.NormFloat64()
+					}
+					s.Y[0] = 1
+					batch[i] = s
+				}
+				parts := make([][]map[string][]float64, 2)
+				for ti, part := range ml.Partition(batch, 2) {
+					for _, smp := range part {
+						parts[ti] = append(parts[ti], alg.PackSample(smp))
+					}
+				}
+				res, err := accel.New(prog).RunBatch(alg.PackModel(alg.InitModel(rng)), parts, 0.05, dsl.AggAverage)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := est.BatchCycles(vecsPerThread)
+				ratio := float64(got) / float64(res.Cycles)
+				if ratio < 0.85 || ratio > 1.15 {
+					t.Errorf("%d vecs/thread: estimate %d, simulated %d (ratio %.2f)",
+						vecsPerThread, got, res.Cycles, ratio)
+				}
+			}
+		})
+	}
+}
+
+func TestBatchCyclesMonotone(t *testing.T) {
+	prog := compileAlg(t, &ml.SVM{M: 16}, 1, 1)
+	est, err := FromProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := est.BatchCycles(0)
+	for v := 1; v <= 64; v *= 2 {
+		cur := est.BatchCycles(v)
+		if cur <= prev {
+			t.Fatalf("BatchCycles not increasing: %d vectors -> %d, previous %d", v, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestScaledToGrowsWithGeometry: scaling an estimate to a larger geometry
+// must increase per-batch cycles, and scaling to the probed geometry is an
+// identity (up to rounding).
+func TestScaledToGrowsWithGeometry(t *testing.T) {
+	prog := compileAlg(t, &ml.LogisticRegression{M: 32}, 2, 1)
+	est, err := FromProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := est.ScaledTo(FullGeometry{
+		Ops: est.Ops, DataWords: est.DataWords,
+		ModelWords: est.ModelWords, GradWords: est.GradWords,
+	})
+	if d := self.BatchCycles(8) - est.BatchCycles(8); d > est.BatchCycles(8)/5 || d < -est.BatchCycles(8)/5 {
+		t.Errorf("identity scaling drifted: %d vs %d", self.BatchCycles(8), est.BatchCycles(8))
+	}
+	full, err := GeometryForFamily("logreg", []int{2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := est.ScaledTo(full)
+	if big.BatchCycles(8) <= est.BatchCycles(8) {
+		t.Errorf("scaling up shrank the estimate: %d vs %d", big.BatchCycles(8), est.BatchCycles(8))
+	}
+	if big.Ops != full.Ops {
+		t.Errorf("scaled Ops = %d, want %d", big.Ops, full.Ops)
+	}
+}
+
+// TestBandwidthBoundClassification: the linear families on a tiny-compute
+// DFG with few PEs should be memory-bound, and adding many PEs should not
+// help — the Figure 15 dichotomy.
+func TestBandwidthBoundClassification(t *testing.T) {
+	// Wide linear model: lots of streaming, light compute per word.
+	lin := compileAlg(t, &ml.LinearRegression{M: 512}, 1, 8)
+	estLin, err := FromProgram(lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !estLin.BandwidthBound() {
+		t.Errorf("linreg at 8 rows should be bandwidth-bound: interval %d, mem %d, compute %d, bus %d",
+			estLin.Interval, estLin.MemPerRound, estLin.ComputePerVec, estLin.BusPerVec)
+	}
+	// Backprop has O(M²) compute on O(M) words: compute-bound on one row.
+	mlp := compileAlg(t, &ml.MLP{In: 16, Hid: 12, Out: 4}, 1, 1)
+	estMLP, err := FromProgram(mlp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estMLP.BandwidthBound() {
+		t.Errorf("backprop on 1 row should be compute-bound: interval %d, mem %d",
+			estMLP.Interval, estMLP.MemPerRound)
+	}
+}
+
+// TestMorePEsHelpComputeBoundOnly mirrors Figure 15(a): growing the PE
+// allocation speeds up backprop but not linear regression.
+func TestMorePEsHelpComputeBoundOnly(t *testing.T) {
+	perVec := func(alg ml.Algorithm, rows int) float64 {
+		prog := compileAlg(t, alg, 1, rows)
+		est, err := FromProgram(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.CyclesPerVector()
+	}
+	mlpSmall := perVec(&ml.MLP{In: 16, Hid: 12, Out: 4}, 1)
+	mlpBig := perVec(&ml.MLP{In: 16, Hid: 12, Out: 4}, 4)
+	if mlpBig >= mlpSmall {
+		t.Errorf("backprop: 4 rows (%.1f cyc/vec) not faster than 1 row (%.1f)", mlpBig, mlpSmall)
+	}
+	// Once the linear model hits the bandwidth wall, doubling the PE rows
+	// buys almost nothing.
+	linSmall := perVec(&ml.LinearRegression{M: 512}, 4)
+	linBig := perVec(&ml.LinearRegression{M: 512}, 8)
+	if linBig < 0.9*linSmall {
+		t.Errorf("linreg should not benefit from extra rows: %.1f -> %.1f cyc/vec", linSmall, linBig)
+	}
+}

@@ -1,0 +1,260 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/dfg"
+	"repro/internal/dsl"
+	"repro/internal/ml"
+	"repro/internal/perf"
+)
+
+var testChip = arch.ChipSpec{
+	Name: "test-chip", Kind: arch.FPGA,
+	PEBudget: 64, StorageKB: 256,
+	MemBandwidthGBps: 3.2, FrequencyMHz: 100,
+	TDPWatts: 5, LUTs: 100000, FlipFlops: 200000,
+}
+
+func graphOf(t *testing.T, alg ml.Algorithm) *dfg.Graph {
+	t.Helper()
+	u, err := dsl.ParseAndAnalyze(alg.DSLSource(), alg.DSLParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dfg.Translate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExploreProducesValidPoints(t *testing.T) {
+	g := graphOf(t, &ml.SVM{M: 32})
+	points, err := Explore(g, testChip, Options{MiniBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("empty design space")
+	}
+	for _, p := range points {
+		if err := p.Plan.Validate(); err != nil {
+			t.Errorf("invalid plan %v: %v", p.Plan, err)
+		}
+		if p.BatchCycles <= 0 {
+			t.Errorf("point %v: cycles %d", p.Plan, p.BatchCycles)
+		}
+	}
+}
+
+func TestDesignSpaceIsPruned(t *testing.T) {
+	g := graphOf(t, &ml.SVM{M: 32})
+	points, err := Explore(g, testChip, Options{MiniBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows ∈ {1,2,4,8}, threads dividing rows: 1+2+3+4 = 10 points. The
+	// paper's UltraScale+ space is similarly small (27 points).
+	if len(points) > 30 {
+		t.Errorf("design space has %d points; pruning failed", len(points))
+	}
+}
+
+func TestMiniBatchBoundsThreads(t *testing.T) {
+	g := graphOf(t, &ml.SVM{M: 32})
+	points, err := Explore(g, testChip, Options{MiniBatch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Plan.Threads > 2 {
+			t.Errorf("point %v exceeds mini-batch thread bound", p.Plan)
+		}
+	}
+}
+
+func TestStorageBoundsThreads(t *testing.T) {
+	// A chip with tiny storage cannot host many thread contexts.
+	smallChip := testChip
+	smallChip.StorageKB = 1
+	g := graphOf(t, &ml.LinearRegression{M: 64})
+	points, err := Explore(g, smallChip, Options{MiniBatch: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := smallChip.StorageWords() / g.StorageWords()
+	for _, p := range points {
+		if p.Plan.Threads > bound && p.Plan.Threads > 1 {
+			t.Errorf("point %v exceeds storage thread bound %d", p.Plan, bound)
+		}
+	}
+}
+
+func TestChooseSmallestBestPerforming(t *testing.T) {
+	g := graphOf(t, &ml.LinearRegression{M: 512})
+	points, err := Explore(g, testChip, Options{MiniBatch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Choose(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minCycles := points[0].BatchCycles
+	for _, p := range points {
+		if p.BatchCycles < minCycles {
+			minCycles = p.BatchCycles
+		}
+	}
+	bound := int64(float64(minCycles) * ChooseTolerance)
+	if best.BatchCycles > bound {
+		t.Errorf("chose %v (%d cycles) outside tolerance of best %d", best.Plan, best.BatchCycles, minCycles)
+	}
+	for _, p := range points {
+		if p.BatchCycles <= bound && p.Plan.TotalPEs() < best.Plan.TotalPEs() {
+			t.Errorf("chose %v but %v is smaller and within tolerance", best.Plan, p.Plan)
+		}
+	}
+}
+
+func TestChooseEmpty(t *testing.T) {
+	if _, err := Choose(nil); err == nil {
+		t.Error("expected error for empty design space")
+	}
+}
+
+// TestComputeBoundPrefersMoreRows: backprop should choose a larger array
+// than bandwidth-bound linear regression prefers (Figure 16's optima).
+func TestComputeBoundPrefersMoreRows(t *testing.T) {
+	mlp := graphOf(t, &ml.MLP{In: 16, Hid: 12, Out: 4})
+	bestMLP, err := Plan(mlp, testChip, Options{MiniBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestMLP.Plan.TotalRows() < 4 {
+		t.Errorf("backprop chose only %d rows", bestMLP.Plan.TotalRows())
+	}
+	lin := graphOf(t, &ml.LinearRegression{M: 512})
+	pointsLin, err := Explore(lin, testChip, Options{MiniBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The performance of the largest linreg point must be within 15% of
+	// the half-size point: the extra rows buy almost nothing.
+	var half, maxPt *DesignPoint
+	for i := range pointsLin {
+		p := &pointsLin[i]
+		if p.Plan.Threads != 1 {
+			continue
+		}
+		switch p.Plan.TotalRows() {
+		case 4:
+			half = p
+		case 8:
+			maxPt = p
+		}
+	}
+	if half == nil || maxPt == nil {
+		t.Fatal("missing sweep points")
+	}
+	gain := float64(half.BatchCycles) / float64(maxPt.BatchCycles)
+	if gain > 1.25 {
+		t.Errorf("linreg gained %.2fx from doubling rows; should be bandwidth-bound", gain)
+	}
+}
+
+// TestMultithreadingWinsAtFixedRows mirrors Figure 16: "for a fixed number
+// of PE rows, increasing the number of threads improves performance".
+func TestMultithreadingWinsAtFixedRows(t *testing.T) {
+	g := graphOf(t, &ml.SVM{M: 24})
+	points, err := Explore(g, testChip, Options{MiniBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byConfig := map[[2]int]int64{}
+	for _, p := range points {
+		byConfig[[2]int{p.Plan.TotalRows(), p.Plan.Threads}] = p.BatchCycles
+	}
+	t1 := byConfig[[2]int{4, 1}]
+	t4 := byConfig[[2]int{4, 4}]
+	if t1 == 0 || t4 == 0 {
+		t.Fatal("missing T1×R4 or T4×R4 points")
+	}
+	if t4 >= t1 {
+		t.Errorf("T4 over 4 rows (%d cycles) not faster than T1 (%d)", t4, t1)
+	}
+}
+
+func TestFullGeometryScalingChangesChoice(t *testing.T) {
+	g := graphOf(t, &ml.LinearRegression{M: 64})
+	full, err := perf.GeometryForFamily("linreg", []int{8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Explore(g, testChip, Options{MiniBatch: 64, FullGeometry: &full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Estimate.DataWords != full.DataWords {
+			t.Fatalf("estimate not rescaled: %d data words", p.Estimate.DataWords)
+		}
+	}
+}
+
+func TestTABLAStyleExplorable(t *testing.T) {
+	g := graphOf(t, &ml.SVM{M: 32})
+	best, err := Plan(g, testChip, Options{MiniBatch: 64, Style: compiler.StyleTABLA, MaxThreads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Plan.Threads != 1 {
+		t.Errorf("TABLA plan uses %d threads, capped at 1", best.Plan.Threads)
+	}
+}
+
+func TestResourceEstimates(t *testing.T) {
+	g := graphOf(t, &ml.LogisticRegression{M: 64})
+	plan := arch.Plan{Chip: testChip, Columns: testChip.Columns(), Threads: 2, RowsPerThread: 2}
+	r := EstimateResources(plan, g)
+	if r.DSPs < plan.TotalPEs() {
+		t.Errorf("DSPs %d below PE count %d", r.DSPs, plan.TotalPEs())
+	}
+	if r.LUTs <= lutsBase || r.FlipFlops <= ffsBase {
+		t.Errorf("fabric estimates degenerate: %+v", r)
+	}
+	luts, ffs, bram, dsps := r.Utilization(testChip)
+	for name, u := range map[string]float64{"luts": luts, "ffs": ffs, "bram": bram, "dsps": dsps} {
+		if u <= 0 || u > 1 {
+			t.Errorf("%s utilization %.2f out of range", name, u)
+		}
+	}
+}
+
+// TestResourcesTrackTable3Shape: at UltraScale+ scale, a 32-row design (the
+// backprop class) must consume roughly the LUT/FF fractions Table 3 reports
+// (72% / 33%), and a 10-row design (the linear class) roughly 24% / 11%.
+func TestResourcesTrackTable3Shape(t *testing.T) {
+	chip := arch.UltraScalePlus
+	g := graphOf(t, &ml.MLP{In: 16, Hid: 12, Out: 4})
+	big := arch.Plan{Chip: chip, Columns: chip.Columns(), Threads: 2, RowsPerThread: 16}
+	small := arch.Plan{Chip: chip, Columns: chip.Columns(), Threads: 2, RowsPerThread: 5}
+
+	bl, bf, _, _ := EstimateResources(big, g).Utilization(chip)
+	if bl < 0.6 || bl > 0.85 {
+		t.Errorf("32-row LUT utilization %.2f, Table 3 reports ≈0.72", bl)
+	}
+	if bf < 0.25 || bf > 0.45 {
+		t.Errorf("32-row FF utilization %.2f, Table 3 reports ≈0.33", bf)
+	}
+	sl, sf, _, _ := EstimateResources(small, g).Utilization(chip)
+	if sl < 0.15 || sl > 0.35 {
+		t.Errorf("10-row LUT utilization %.2f, Table 3 reports ≈0.24", sl)
+	}
+	if sf < 0.05 || sf > 0.2 {
+		t.Errorf("10-row FF utilization %.2f, Table 3 reports ≈0.11", sf)
+	}
+}

@@ -1,0 +1,219 @@
+// Package platform models the evaluation platforms of Table 2 — the Xeon
+// E3 host CPUs, the Tesla K40c GPU, the gigabit-Ethernet cluster fabric —
+// and composes per-batch compute and communication costs into system-wide
+// times. Accelerator (FPGA/P-ASIC) compute times come from the cycle-level
+// estimates in packages accel/perf; this package supplies everything
+// around them.
+//
+// None of these devices is available in this environment, so each is an
+// analytic model with published constants: peak rates derated by
+// algorithm-dependent efficiencies, per-kernel and per-message latencies,
+// and measured-class power draws. The Figure 9-14 comparisons depend on
+// the *shape* these models produce (who wins and by roughly what factor),
+// which follows from the constants' ratios rather than their absolute
+// calibration.
+package platform
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// CPUSpec describes the host processor (Table 2: Xeon E3-1275 v5).
+type CPUSpec struct {
+	Name         string
+	Cores        int
+	Threads      int // with hyper-threading
+	FrequencyGHz float64
+	TDPWatts     float64
+	// FlopsPerSecond is the effective vectorized throughput per core for
+	// MLlib-class code (OpenBLAS-backed).
+	FlopsPerSecond float64
+}
+
+// XeonE3 is the evaluation host CPU.
+var XeonE3 = CPUSpec{
+	Name: "Xeon E3-1275 v5", Cores: 4, Threads: 8,
+	FrequencyGHz: 3.6, TDPWatts: 80,
+	FlopsPerSecond: 3.0e9,
+}
+
+// GPUSpec describes the discrete accelerator (Table 2: Tesla K40c).
+type GPUSpec struct {
+	Name             string
+	Cores            int
+	FrequencyMHz     float64
+	MemBandwidthGBps float64
+	TDPWatts         float64
+	// KernelLaunchSeconds is the fixed cost per kernel invocation
+	// (driver + PCIe doorbell).
+	KernelLaunchSeconds float64
+	// KernelsPerBatch approximates how many kernel launches one mini-batch
+	// of training requires (forward, backward, update, reductions).
+	KernelsPerBatch int
+}
+
+// TeslaK40 is the evaluation GPU.
+var TeslaK40 = GPUSpec{
+	Name: "Tesla K40c", Cores: 2880, FrequencyMHz: 875,
+	MemBandwidthGBps: 288, TDPWatts: 235,
+	KernelLaunchSeconds: 10e-6, KernelsPerBatch: 8,
+}
+
+// PeakFlops returns the GPU's single-precision FMA peak.
+func (g GPUSpec) PeakFlops() float64 {
+	return float64(g.Cores) * g.FrequencyMHz * 1e6 * 2
+}
+
+// gpuEfficiency is the fraction of peak the CUDA implementations sustain
+// per family. Backpropagation is dominated by large matrix-matrix products
+// (cuBLAS/cuDNN territory — the reason the paper's GPU wins 20.3×/12.8× on
+// mnist/acoustic); collaborative filtering exposes ample but less regular
+// parallelism; the linear families are element-wise and live at the memory
+// wall regardless of this number.
+var gpuEfficiency = map[dataset.Family]float64{
+	dataset.FamilyBackprop: 0.45,
+	dataset.FamilyCF:       0.10,
+	dataset.FamilyLinReg:   0.05,
+	dataset.FamilyLogReg:   0.05,
+	dataset.FamilySVM:      0.05,
+}
+
+// GPUBatchSeconds models one mini-batch of gradient work on the GPU:
+// kernel-launch overhead plus the larger of the compute-limited and
+// bandwidth-limited times (roofline).
+func GPUBatchSeconds(g GPUSpec, family dataset.Family, ops, bytes int64) float64 {
+	eff := gpuEfficiency[family]
+	if eff == 0 {
+		eff = 0.05
+	}
+	compute := float64(ops) / (g.PeakFlops() * eff)
+	memory := float64(bytes) / (g.MemBandwidthGBps * 1e9)
+	t := compute
+	if memory > t {
+		t = memory
+	}
+	return float64(g.KernelsPerBatch)*g.KernelLaunchSeconds + t
+}
+
+// CPUBatchSeconds models one mini-batch of gradient work on host CPUs
+// (used for the Spark side's compute portion): ops spread over all cores of
+// all nodes at the effective vectorized rate, bounded by DRAM bandwidth.
+func CPUBatchSeconds(c CPUSpec, nodes int, ops, bytes int64) float64 {
+	compute := float64(ops) / (c.FlopsPerSecond * float64(c.Cores) * float64(nodes))
+	const dramBytesPerSecond = 25e9
+	memory := float64(bytes) / (dramBytesPerSecond * float64(nodes))
+	if memory > compute {
+		return memory
+	}
+	return compute
+}
+
+// NetworkSpec describes the cluster interconnect (TP-Link gigabit switch).
+type NetworkSpec struct {
+	BytesPerSecond float64
+	// LatencySeconds is the one-way message latency (switch + stack).
+	LatencySeconds float64
+}
+
+// GigabitEthernet is the evaluation fabric.
+var GigabitEthernet = NetworkSpec{BytesPerSecond: 117e6, LatencySeconds: 150e-6}
+
+// TransferSeconds returns the time to move n bytes point-to-point.
+func (n NetworkSpec) TransferSeconds(bytes int64) float64 {
+	return n.LatencySeconds + float64(bytes)/n.BytesPerSecond
+}
+
+// CosmicCommSeconds models one mini-batch round of CoSMIC's hierarchical
+// exchange for a cluster of nodes in groups: Deltas send partials to their
+// group Sigma (serialized on the Sigma's ingress NIC), group Sigmas forward
+// aggregates to the master, and the master broadcasts the updated model
+// back down the two-level tree. The circular-buffer design overlaps each
+// Sigma's aggregation compute with reception, so the CPU-side aggregation
+// adds are charged only where they exceed reception time.
+func CosmicCommSeconds(net NetworkSpec, cpu CPUSpec, modelBytes int64, nodes, groups int) float64 {
+	if nodes <= 1 {
+		return 0
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	membersMax := int(math.Ceil(float64(nodes) / float64(groups)))
+
+	// Level 1: the busiest group Sigma receives members-1 partials.
+	up1 := net.LatencySeconds + float64(int64(membersMax-1)*modelBytes)/net.BytesPerSecond
+	// Aggregation adds proceed concurrently with reception; they only
+	// matter if the CPU is slower than the NIC (it is not, for adds).
+	aggAdd := float64(int64(membersMax)*modelBytes/8) / (cpu.FlopsPerSecond * float64(cpu.Cores))
+	if aggAdd > up1 {
+		up1 = aggAdd
+	}
+	// Level 2: the master receives groups-1 group aggregates.
+	up2 := 0.0
+	if groups > 1 {
+		up2 = net.LatencySeconds + float64(int64(groups-1)*modelBytes)/net.BytesPerSecond
+	}
+	// Broadcast back down the same two levels.
+	down1 := net.LatencySeconds + float64(int64(groups-1+membersMax-1)*modelBytes)/net.BytesPerSecond
+	down2 := 0.0
+	if groups > 1 {
+		down2 = net.LatencySeconds + float64(int64(membersMax-1)*modelBytes)/net.BytesPerSecond
+	}
+	return up1 + up2 + down1 + down2
+}
+
+// Platform identifies an acceleration platform for power accounting.
+type Platform string
+
+// Platform names.
+const (
+	PlatformFPGA   Platform = "FPGA"
+	PlatformPASICF Platform = "P-ASIC-F"
+	PlatformPASICG Platform = "P-ASIC-G"
+	PlatformGPU    Platform = "GPU"
+	PlatformCPU    Platform = "CPU"
+)
+
+// NodePowerWatts is the measured-class per-node power draw above idle for
+// each platform (host activity plus device), the quantity the paper's
+// WattsUp methodology reports for Figure 11.
+var NodePowerWatts = map[Platform]float64{
+	PlatformFPGA:   45,
+	PlatformPASICF: 30,
+	PlatformPASICG: 50,
+	PlatformGPU:    260,
+	PlatformCPU:    110,
+}
+
+// PerfPerWatt converts a runtime (seconds) on a homogeneous cluster into
+// performance per watt (1/(s·W·nodes)).
+func PerfPerWatt(seconds float64, p Platform, nodes int) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return 1 / (seconds * NodePowerWatts[p] * float64(nodes))
+}
+
+// GPUBatchBytes approximates the DRAM traffic of one mini-batch on the GPU:
+// the batch's training vectors plus, for the bandwidth-bound families,
+// streaming the model and gradient per sample (nothing caches 8000-wide
+// rows usefully), versus per batch for the compute-bound ones.
+func GPUBatchBytes(family dataset.Family, dataWords, modelWords int, batch int) int64 {
+	perSample := int64(dataWords) * 4
+	switch family {
+	case dataset.FamilyBackprop:
+		// Weights are reused across the whole batch from cache/registers
+		// via blocked GEMM: charge them once.
+		return perSample*int64(batch) + int64(modelWords)*4*2
+	case dataset.FamilyCF:
+		// The CUDA implementation stores ratings sparsely — (user, item,
+		// rating) triples — and touches two K-wide factor rows per sample,
+		// not the one-hot encoding the DFG formulation uses.
+		return int64(batch) * (12 + 4*4*16)
+	default:
+		// Dot products re-stream the model per sample batch-blocked:
+		// x, w and the gradient accumulator.
+		return int64(batch) * (perSample * 3)
+	}
+}

@@ -1,0 +1,123 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestGPUPeakFlops(t *testing.T) {
+	// 2880 cores × 875 MHz × 2 = 5.04 TFLOP/s.
+	if got := TeslaK40.PeakFlops(); got < 5.0e12 || got > 5.1e12 {
+		t.Errorf("K40 peak = %g", got)
+	}
+}
+
+func TestGPURooflineSwitchesRegimes(t *testing.T) {
+	// Compute-heavy backprop: time tracks ops, not bytes.
+	t1 := GPUBatchSeconds(TeslaK40, dataset.FamilyBackprop, 1e12, 1e6)
+	t2 := GPUBatchSeconds(TeslaK40, dataset.FamilyBackprop, 2e12, 1e6)
+	if t2 <= t1 {
+		t.Error("compute-bound GPU time did not grow with ops")
+	}
+	// Bandwidth-heavy linreg: time tracks bytes, not ops.
+	t3 := GPUBatchSeconds(TeslaK40, dataset.FamilyLinReg, 1e6, 1e12)
+	t4 := GPUBatchSeconds(TeslaK40, dataset.FamilyLinReg, 2e6, 1e12)
+	if t3 != t4 {
+		t.Error("bandwidth-bound GPU time should be ops-insensitive")
+	}
+	if t5 := GPUBatchSeconds(TeslaK40, dataset.FamilyLinReg, 1e6, 2e12); t5 <= t3 {
+		t.Error("bandwidth-bound GPU time did not grow with bytes")
+	}
+}
+
+func TestGPUKernelLaunchFloor(t *testing.T) {
+	tiny := GPUBatchSeconds(TeslaK40, dataset.FamilySVM, 1, 1)
+	floor := float64(TeslaK40.KernelsPerBatch) * TeslaK40.KernelLaunchSeconds
+	if tiny < floor {
+		t.Errorf("tiny batch %g below the launch-overhead floor %g", tiny, floor)
+	}
+}
+
+func TestGPUEfficiencyOrdering(t *testing.T) {
+	// At equal ops and negligible bytes, backprop (GEMM) must be far
+	// faster than the element-wise families — the Figure 10 asymmetry.
+	bp := GPUBatchSeconds(TeslaK40, dataset.FamilyBackprop, 1e12, 1)
+	lin := GPUBatchSeconds(TeslaK40, dataset.FamilyLinReg, 1e12, 1)
+	if bp*4 > lin {
+		t.Errorf("backprop %g vs linreg %g: GEMM efficiency advantage missing", bp, lin)
+	}
+}
+
+func TestCPUBatchSecondsScalesWithNodes(t *testing.T) {
+	one := CPUBatchSeconds(XeonE3, 1, 1e12, 1e9)
+	four := CPUBatchSeconds(XeonE3, 4, 1e12, 1e9)
+	if four >= one {
+		t.Error("CPU time did not shrink with nodes")
+	}
+}
+
+func TestNetworkTransfer(t *testing.T) {
+	if s := GigabitEthernet.TransferSeconds(117e6); s < 1 || s > 1.01 {
+		t.Errorf("117 MB at ~1 Gb/s = %g s", s)
+	}
+	if s := GigabitEthernet.TransferSeconds(0); s != GigabitEthernet.LatencySeconds {
+		t.Errorf("zero-byte transfer = %g, want pure latency", s)
+	}
+}
+
+func TestCosmicCommSecondsShape(t *testing.T) {
+	const modelBytes = 32 << 10
+	if c := CosmicCommSeconds(GigabitEthernet, XeonE3, modelBytes, 1, 1); c != 0 {
+		t.Errorf("single node should not communicate, got %g", c)
+	}
+	flat4 := CosmicCommSeconds(GigabitEthernet, XeonE3, modelBytes, 4, 1)
+	flat16 := CosmicCommSeconds(GigabitEthernet, XeonE3, modelBytes, 16, 1)
+	hier16 := CosmicCommSeconds(GigabitEthernet, XeonE3, modelBytes, 16, 4)
+	if flat16 <= flat4 {
+		t.Error("flat aggregation cost must grow with nodes")
+	}
+	if hier16 >= flat16 {
+		t.Errorf("hierarchy (%.4g) should beat flat (%.4g) at 16 nodes — its whole purpose", hier16, flat16)
+	}
+	// More bytes cost more.
+	if CosmicCommSeconds(GigabitEthernet, XeonE3, 2*modelBytes, 16, 4) <= hier16 {
+		t.Error("comm cost must grow with the exchange size")
+	}
+}
+
+func TestPerfPerWattOrdering(t *testing.T) {
+	// Same runtime: the FPGA system (45 W/node) must look far more
+	// efficient than the GPU system (260 W/node).
+	f := PerfPerWatt(10, PlatformFPGA, 3)
+	g := PerfPerWatt(10, PlatformGPU, 3)
+	if f <= g {
+		t.Error("FPGA perf/W must exceed GPU's at equal runtime")
+	}
+	if PerfPerWatt(0, PlatformFPGA, 3) != 0 {
+		t.Error("zero runtime must not divide")
+	}
+	for p, w := range NodePowerWatts {
+		if w <= 0 {
+			t.Errorf("%s power %g", p, w)
+		}
+	}
+}
+
+func TestGPUBatchBytesByFamily(t *testing.T) {
+	// Backprop reuses weights across the batch; linreg re-streams the
+	// model per sample; CF is sparse.
+	const batch = 1000
+	bp := GPUBatchBytes(dataset.FamilyBackprop, 794, 620000, batch)
+	lin := GPUBatchBytes(dataset.FamilyLinReg, 8001, 8000, batch)
+	cf := GPUBatchBytes(dataset.FamilyCF, 30102, 301010, batch)
+	if lin <= int64(batch)*8001*4 {
+		t.Errorf("linreg bytes %d must exceed one read of the batch", lin)
+	}
+	if bp >= int64(batch)*794*4*10 {
+		t.Errorf("backprop bytes %d should be dominated by the data, not the weights", bp)
+	}
+	if cf >= lin {
+		t.Errorf("sparse CF bytes %d must be far below dense linreg %d", cf, lin)
+	}
+}

@@ -1,0 +1,181 @@
+package runtime
+
+import (
+	"time"
+
+	"repro/internal/dsl"
+	"repro/internal/ml"
+)
+
+// ClusterOptions configures an in-process scale-out cluster: every node is
+// a goroutine with its own TCP listener/connections on the loopback device,
+// so all training traffic crosses real sockets.
+type ClusterOptions struct {
+	Nodes  int
+	Groups int
+	// Engines supplies each node's compute engine.
+	Engines func(nodeID int) Engine
+	// Shards supplies each node's partition of the training data.
+	Shards func(nodeID int) []ml.Sample
+	// ModelSize is the flat parameter-vector length.
+	ModelSize int
+	Agg       dsl.AggregatorKind
+	LR        float64
+	// MiniBatch is the system-wide mini-batch size; each node consumes
+	// MiniBatch/Nodes samples per round.
+	MiniBatch int
+	// RoundTimeout bounds each aggregation round (0 = forever).
+	RoundTimeout time.Duration
+	// NetWorkers/AggWorkers/RingCapacity tune the Sigma pools.
+	NetWorkers, AggWorkers, RingCapacity int
+	Logf                                 func(format string, args ...any)
+}
+
+// Cluster is a running scale-out system.
+type Cluster struct {
+	opts   ClusterOptions
+	topo   Topology
+	master *Node
+	nodes  []*Node
+	runErr chan error
+}
+
+// TrainStats reports a training run.
+type TrainStats struct {
+	Rounds int
+	// RoundDurations are the wall times of each mini-batch round at the
+	// master.
+	RoundDurations []time.Duration
+}
+
+// Launch assigns roles, starts every node, and waits until the hierarchy is
+// fully connected.
+func Launch(opts ClusterOptions) (*Cluster, error) {
+	topo, err := Assign(opts.Nodes, opts.Groups)
+	if err != nil {
+		return nil, err
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MiniBatch < opts.Nodes {
+		opts.MiniBatch = opts.Nodes
+	}
+	perNode := opts.MiniBatch / opts.Nodes
+
+	c := &Cluster{opts: opts, topo: topo, runErr: make(chan error, opts.Nodes)}
+	baseCfg := func(id int) NodeConfig {
+		return NodeConfig{
+			ID:           uint32(id),
+			Group:        topo.GroupOf[id],
+			Engine:       opts.Engines(id),
+			ModelSize:    opts.ModelSize,
+			Agg:          opts.Agg,
+			LR:           opts.LR,
+			ShardBatch:   perNode,
+			RoundTimeout: opts.RoundTimeout,
+			NetWorkers:   opts.NetWorkers,
+			AggWorkers:   opts.AggWorkers,
+			RingCapacity: opts.RingCapacity,
+			Logf:         opts.Logf,
+		}
+	}
+
+	// Master first: every group Sigma dials it.
+	mcfg := baseCfg(0)
+	mcfg.Role = RoleMasterSigma
+	mcfg.Members = len(topo.Members[0])
+	master, err := StartNode(mcfg, opts.Shards(0))
+	if err != nil {
+		return nil, err
+	}
+	c.master = master
+	c.nodes = []*Node{master}
+
+	// Group Sigmas next.
+	sigmaAddr := make([]string, topo.Groups)
+	sigmaAddr[0] = master.Addr()
+	for g := 1; g < topo.Groups; g++ {
+		cfg := baseCfg(g)
+		cfg.Role = RoleGroupSigma
+		cfg.UpstreamAddr = master.Addr()
+		cfg.Members = len(topo.Members[g])
+		node, err := StartNode(cfg, opts.Shards(g))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		sigmaAddr[g] = node.Addr()
+		c.nodes = append(c.nodes, node)
+		go func() { c.runErr <- node.Run() }()
+	}
+
+	// Deltas last.
+	for id := topo.Groups; id < topo.Nodes; id++ {
+		cfg := baseCfg(id)
+		cfg.Role = RoleDelta
+		cfg.UpstreamAddr = sigmaAddr[topo.GroupOf[id]]
+		node, err := StartNode(cfg, opts.Shards(id))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+		go func() { c.runErr <- node.Run() }()
+	}
+
+	// Startup barrier: the master hears directly from the other group
+	// Sigmas and its own group's Deltas.
+	direct := (topo.Groups - 1) + (len(topo.Members[0]) - 1)
+	master.WaitMembers(direct)
+	return c, nil
+}
+
+// Topology returns the Director's assignment.
+func (c *Cluster) Topology() Topology { return c.topo }
+
+// NetworkBytes sums the frame bytes every node moved — each transfer is
+// counted twice (once sent, once received), as a switch port would see it.
+func (c *Cluster) NetworkBytes() (sent, received int64) {
+	for _, n := range c.nodes {
+		s, r := n.NetworkBytes()
+		sent += s
+		received += r
+	}
+	return sent, received
+}
+
+// Train drives the given number of mini-batch rounds from the master and
+// returns the final model.
+func (c *Cluster) Train(model []float64, rounds int) ([]float64, TrainStats, error) {
+	return c.master.DriveTraining(DriveConfig{
+		Groups:           c.topo.Groups,
+		GroupZeroMembers: len(c.topo.Members[0]),
+		ModelSize:        c.opts.ModelSize,
+		Agg:              c.opts.Agg,
+		LR:               c.opts.LR,
+		MiniBatch:        c.opts.MiniBatch,
+		RoundTimeout:     c.opts.RoundTimeout,
+		Fail:             c.runErr,
+	}, model, rounds)
+}
+
+// Shutdown sends MsgDone down the hierarchy and waits for the worker nodes
+// to exit.
+func (c *Cluster) Shutdown() error {
+	c.master.forwardDone()
+	var firstErr error
+	for i := 0; i < len(c.nodes)-1; i++ {
+		if err := <-c.runErr; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close releases all node resources.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		n.Close()
+	}
+}

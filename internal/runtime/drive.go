@@ -1,0 +1,118 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cosmicnet"
+	"repro/internal/dsl"
+)
+
+// DriveConfig parameterizes the master Sigma's training loop, independent
+// of whether the other nodes are goroutines in this process (Cluster) or
+// remote processes (package deploy).
+type DriveConfig struct {
+	// Groups is the number of aggregation groups; GroupZeroMembers the
+	// size of the master's own group (including itself).
+	Groups, GroupZeroMembers int
+	ModelSize                int
+	Agg                      dsl.AggregatorKind
+	LR                       float64
+	// MiniBatch is the system-wide samples per round (for the summing
+	// aggregator's update scale).
+	MiniBatch int
+	// RoundTimeout bounds each round's aggregation waits (0 = forever).
+	RoundTimeout time.Duration
+	// Fail, when non-nil, aborts a round when a node failure arrives.
+	Fail <-chan error
+}
+
+// DriveTraining runs the master Sigma's side of training for the given
+// number of mini-batch rounds: broadcast the model, compute the master's
+// own partial, aggregate group 0 locally, combine the other groups'
+// aggregates, apply the update rule, repeat. The receiver must be a node
+// started with RoleMasterSigma.
+func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]float64, TrainStats, error) {
+	if m.cfg.Role != RoleMasterSigma {
+		return nil, TrainStats{}, fmt.Errorf("runtime: DriveTraining on a %v node", m.cfg.Role)
+	}
+	if len(model) != cfg.ModelSize {
+		return nil, TrainStats{}, fmt.Errorf("runtime: model length %d, want %d", len(model), cfg.ModelSize)
+	}
+	cur := append([]float64(nil), model...)
+	stats := TrainStats{Rounds: rounds}
+	groupZeroChunks := cfg.GroupZeroMembers * ChunksFor(cfg.ModelSize)
+
+	for seq := 0; seq < rounds; seq++ {
+		start := time.Now()
+		m.agg.Reset()
+		// Hierarchical model broadcast: one frame to each direct child
+		// (group Sigmas forward to their Deltas).
+		m.broadcastDownstream(&cosmicnet.Frame{
+			Type: cosmicnet.MsgModel, Seq: uint32(seq), Payload: cur,
+		})
+		// The master is group 0's Sigma and computes its own partial.
+		partial, err := m.computePartial(cur)
+		if err != nil {
+			return nil, stats, err
+		}
+		for _, ch := range SplitIntoChunks(uint32(seq), 0, partial, 1) {
+			if !m.ring.Push(ch) {
+				return nil, stats, fmt.Errorf("runtime: master ring closed")
+			}
+		}
+		// Level 1: group 0 aggregates locally.
+		if !m.agg.WaitChunksTimeout(groupZeroChunks, cfg.RoundTimeout) {
+			return nil, stats, fmt.Errorf("runtime: round %d timed out waiting for group 0 partials", seq)
+		}
+		sum, weight := m.agg.Sum()
+		// Level 2: combine the other groups' aggregates.
+		for g := 1; g < cfg.Groups; g++ {
+			var timeoutC <-chan time.Time
+			if cfg.RoundTimeout > 0 {
+				timer := time.NewTimer(cfg.RoundTimeout)
+				timeoutC = timer.C
+				defer timer.Stop()
+			}
+			var failC <-chan error
+			if cfg.Fail != nil {
+				failC = cfg.Fail
+			}
+			var f *cosmicnet.Frame
+			select {
+			case f = <-m.groupAgg:
+			case err := <-failC:
+				if err != nil {
+					return nil, stats, fmt.Errorf("runtime: node failed mid-round: %w", err)
+				}
+				return nil, stats, fmt.Errorf("runtime: node exited mid-round")
+			case <-timeoutC:
+				return nil, stats, fmt.Errorf("runtime: round %d timed out waiting for group %d", seq, g)
+			}
+			if int(f.Seq) != seq {
+				return nil, stats, fmt.Errorf("runtime: group aggregate for round %d during round %d", f.Seq, seq)
+			}
+			for i, v := range f.Payload {
+				sum[i] += v
+			}
+			weight += f.Weight
+		}
+		// The update rule of the stack (Equations 2 and 3b).
+		switch cfg.Agg {
+		case dsl.AggAverage:
+			for i := range cur {
+				cur[i] = sum[i] / weight
+			}
+		case dsl.AggSum:
+			scale := cfg.LR / float64(cfg.MiniBatch)
+			for i := range cur {
+				cur[i] -= scale * sum[i]
+			}
+		}
+		stats.RoundDurations = append(stats.RoundDurations, time.Since(start))
+	}
+	return cur, stats, nil
+}
+
+// SendDone broadcasts the shutdown message down the hierarchy.
+func (m *Node) SendDone() { m.forwardDone() }

@@ -1,0 +1,116 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/compiler"
+	"repro/internal/dsl"
+	"repro/internal/ml"
+)
+
+// Engine computes a node's locally aggregated partial update for one
+// mini-batch shard. It abstracts the node's compute substrate: the
+// reference engine is the pure-Go parallel SGD (the role the host CPU plays
+// in a software-only deployment), and the accelerator engine drives the
+// cycle-level simulator of the generated hardware.
+type Engine interface {
+	// Name identifies the engine for logs.
+	Name() string
+	// PartialUpdate computes the node's partial for the shard at the given
+	// model: an updated local model under the averaging aggregator
+	// (Equation 3a), or a gradient sum under the summing aggregator.
+	PartialUpdate(model []float64, shard []ml.Sample) ([]float64, error)
+}
+
+// RefEngine computes partials with the pure-Go reference implementation,
+// emulating the accelerator's worker threads with ml.Partition + LocalSGD.
+type RefEngine struct {
+	Alg     ml.Algorithm
+	Threads int
+	LR      float64
+	Agg     dsl.AggregatorKind
+}
+
+// Name returns "reference".
+func (e *RefEngine) Name() string { return "reference" }
+
+// PartialUpdate runs Threads-way parallel SGD over the shard.
+func (e *RefEngine) PartialUpdate(model []float64, shard []ml.Sample) ([]float64, error) {
+	threads := e.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	switch e.Agg {
+	case dsl.AggAverage:
+		cfg := ml.SGDConfig{LearningRate: e.LR, Aggregator: dsl.AggAverage}
+		return ml.ParallelSGDBatch(e.Alg, cfg, model, shard, threads), nil
+	case dsl.AggSum:
+		return ml.AccumulateGradients(e.Alg, model, shard), nil
+	}
+	return nil, fmt.Errorf("runtime: unknown aggregator %v", e.Agg)
+}
+
+// AccelEngine computes partials on the cycle-level simulator of the
+// compiled accelerator, and tracks the cycles consumed.
+type AccelEngine struct {
+	Alg  ml.Algorithm
+	Prog *compiler.Program
+	LR   float64
+	Agg  dsl.AggregatorKind
+
+	sim    *accel.Sim
+	cycles int64
+}
+
+// Name returns "accelerator-sim".
+func (e *AccelEngine) Name() string { return "accelerator-sim" }
+
+// Cycles returns the accumulated simulated cycle count.
+func (e *AccelEngine) Cycles() int64 { return e.cycles }
+
+// PartialUpdate runs the shard through the simulated accelerator's MIMD
+// threads and returns the flattened partial.
+func (e *AccelEngine) PartialUpdate(model []float64, shard []ml.Sample) ([]float64, error) {
+	if e.sim == nil {
+		e.sim = accel.New(e.Prog)
+	}
+	threads := e.Prog.Plan.Threads
+	parts := make([][]map[string][]float64, threads)
+	for t, part := range ml.Partition(shard, threads) {
+		for _, s := range part {
+			parts[t] = append(parts[t], e.Alg.PackSample(s))
+		}
+	}
+	res, err := e.sim.RunBatch(e.Alg.PackModel(model), parts, e.LR, e.Agg)
+	if err != nil {
+		return nil, err
+	}
+	e.cycles += res.Cycles
+	switch e.Agg {
+	case dsl.AggAverage:
+		return FlattenModel(e.Alg, res.Partial), nil
+	case dsl.AggSum:
+		return e.Alg.UnpackGradient(res.Partial), nil
+	}
+	return nil, fmt.Errorf("runtime: unknown aggregator %v", e.Agg)
+}
+
+// FlattenModel converts per-symbol model vectors back into the algorithm's
+// flat layout, using an index-stamped probe of PackModel to recover the
+// symbol→offset correspondence.
+func FlattenModel(alg ml.Algorithm, partial map[string][]float64) []float64 {
+	stamp := make([]float64, alg.ModelSize())
+	for i := range stamp {
+		stamp[i] = float64(i)
+	}
+	stamped := alg.PackModel(stamp)
+	out := make([]float64, alg.ModelSize())
+	for name, vec := range stamped {
+		src := partial[name]
+		for j, idx := range vec {
+			out[int(idx)] = src[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,400 @@
+package runtime
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/cosmicnet"
+	"repro/internal/dsl"
+	"repro/internal/ml"
+)
+
+// NodeConfig configures one node of the scale-out system.
+type NodeConfig struct {
+	ID    uint32
+	Role  Role
+	Group int
+	// UpstreamAddr is where this node sends its results: the group Sigma's
+	// address for Deltas, the master's address for group Sigmas; empty for
+	// the master.
+	UpstreamAddr string
+	// Members is the number of contributions this node's aggregation stage
+	// expects per mini-batch (Sigma roles only).
+	Members int
+	// Engine computes partial updates.
+	Engine Engine
+	// ModelSize is the flat parameter-vector length.
+	ModelSize int
+	Agg       dsl.AggregatorKind
+	LR        float64
+	// ShardBatch is how many local samples the node consumes per
+	// mini-batch round.
+	ShardBatch int
+	// RoundTimeout bounds how long a Sigma waits for its members'
+	// contributions each round (0 = forever). With a timeout, a dead
+	// member fails the round instead of wedging the cluster.
+	RoundTimeout time.Duration
+	// NetWorkers and AggWorkers size the Sigma thread pools.
+	NetWorkers, AggWorkers int
+	// RingCapacity bounds the circular buffer.
+	RingCapacity int
+	// Logf, when set, receives diagnostic output.
+	Logf func(format string, args ...any)
+}
+
+func (c *NodeConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Node is one running member of the cluster.
+type Node struct {
+	cfg  NodeConfig
+	data []ml.Sample
+	// cursor is the node's position in its data shard.
+	cursor int
+
+	ln       *cosmicnet.Listener
+	upMu     sync.Mutex
+	upstream *cosmicnet.Conn
+
+	// Sigma machinery.
+	ring    *CircularBuffer
+	agg     *AggregationBuffer
+	netPool *Pool
+	aggPool *Pool
+	// downstream are the member connections a Sigma forwards models to.
+	downstream   []*cosmicnet.Conn
+	downstreamMu sync.Mutex
+
+	// groupAgg receives remote group aggregates at the master.
+	groupAgg chan *cosmicnet.Frame
+
+	helloMu    sync.Mutex
+	helloCond  *sync.Cond
+	helloCount int
+
+	wg      sync.WaitGroup
+	stopped chan struct{}
+	errOnce sync.Once
+	err     error
+}
+
+// Addr returns the node's listen address (Sigma roles).
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// Err returns the first fatal error the node hit.
+func (n *Node) Err() error { return n.err }
+
+func (n *Node) fail(err error) {
+	if err == nil {
+		return
+	}
+	n.errOnce.Do(func() {
+		n.err = err
+		n.cfg.logf("node %d failed: %v", n.cfg.ID, err)
+	})
+}
+
+// StartNode launches a node over its shard. Sigma roles open a listener and
+// start the networking/aggregation pools; Delta roles only dial upstream
+// (from Run).
+func StartNode(cfg NodeConfig, shard []ml.Sample) (*Node, error) {
+	if cfg.NetWorkers <= 0 {
+		cfg.NetWorkers = 4
+	}
+	if cfg.AggWorkers <= 0 {
+		cfg.AggWorkers = 4
+	}
+	if cfg.RingCapacity <= 0 {
+		cfg.RingCapacity = 64
+	}
+	n := &Node{cfg: cfg, data: shard, stopped: make(chan struct{})}
+	n.helloCond = sync.NewCond(&n.helloMu)
+	if cfg.Role != RoleDelta {
+		ln, err := cosmicnet.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		n.ln = ln
+		n.ring = NewCircularBuffer(cfg.RingCapacity)
+		n.agg = NewAggregationBuffer(cfg.ModelSize)
+		n.netPool = NewPool(cfg.NetWorkers)
+		n.aggPool = NewPool(cfg.AggWorkers)
+		for i := 0; i < cfg.AggWorkers; i++ {
+			n.wg.Add(1)
+			go n.aggWorker()
+		}
+		n.wg.Add(1)
+		go n.acceptLoop()
+	}
+	if cfg.Role == RoleMasterSigma {
+		n.groupAgg = make(chan *cosmicnet.Frame, 16)
+	}
+	return n, nil
+}
+
+// aggWorker is one Aggregation Pool thread: it drains the circular buffer
+// into the aggregation buffer until the ring closes.
+func (n *Node) aggWorker() {
+	defer n.wg.Done()
+	for {
+		c, ok := n.ring.Pop()
+		if !ok {
+			return
+		}
+		if err := n.agg.Add(c); err != nil {
+			n.fail(err)
+			return
+		}
+	}
+}
+
+// acceptLoop is the Incoming Network Handler: it admits member connections
+// and spawns a bounded reader per socket. (Go's netpoller is the epoll
+// loop underneath; readers block cheaply until their socket is readable.)
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.AcceptConn()
+		if err != nil {
+			return // listener closed
+		}
+		n.downstreamMu.Lock()
+		n.downstream = append(n.downstream, conn)
+		n.downstreamMu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop dispatches inbound frames from one member connection.
+func (n *Node) readLoop(conn *cosmicnet.Conn) {
+	defer n.wg.Done()
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return // peer closed
+		}
+		switch f.Type {
+		case cosmicnet.MsgHello:
+			n.cfg.logf("node %d: member %d connected (%s)", n.cfg.ID, f.From, f.Text)
+			n.helloMu.Lock()
+			n.helloCount++
+			n.helloMu.Unlock()
+			n.helloCond.Broadcast()
+		case cosmicnet.MsgPartial:
+			// Networking Pool: copy the received vector into the circular
+			// buffer as chunks; the Aggregation Pool picks them up
+			// concurrently (producer-consumer overlap).
+			frame := f
+			n.netPool.Submit(func() {
+				for _, c := range SplitIntoChunks(frame.Seq, frame.From, frame.Payload, frame.Weight) {
+					if !n.ring.Push(c) {
+						return
+					}
+				}
+			})
+		case cosmicnet.MsgGroupAggregate:
+			if n.groupAgg != nil {
+				n.groupAgg <- f
+			} else {
+				n.fail(fmt.Errorf("node %d: unexpected group aggregate from %d", n.cfg.ID, f.From))
+			}
+		default:
+			n.fail(fmt.Errorf("node %d: unexpected %v frame from %d", n.cfg.ID, f.Type, f.From))
+		}
+	}
+}
+
+// nextShardBatch returns the node's next ShardBatch samples, cycling
+// through its shard.
+func (n *Node) nextShardBatch() []ml.Sample {
+	if len(n.data) == 0 {
+		return nil
+	}
+	batch := make([]ml.Sample, 0, n.cfg.ShardBatch)
+	for len(batch) < n.cfg.ShardBatch {
+		batch = append(batch, n.data[n.cursor])
+		n.cursor = (n.cursor + 1) % len(n.data)
+	}
+	return batch
+}
+
+// computePartial runs the engine over the next shard batch.
+func (n *Node) computePartial(model []float64) ([]float64, error) {
+	batch := n.nextShardBatch()
+	if batch == nil {
+		return make([]float64, n.cfg.ModelSize), nil
+	}
+	return n.cfg.Engine.PartialUpdate(model, batch)
+}
+
+// NetworkBytes sums the frame bytes this node moved over its upstream and
+// member connections.
+func (n *Node) NetworkBytes() (sent, received int64) {
+	n.upMu.Lock()
+	if n.upstream != nil {
+		sent += n.upstream.BytesSent()
+		received += n.upstream.BytesReceived()
+	}
+	n.upMu.Unlock()
+	n.downstreamMu.Lock()
+	for _, c := range n.downstream {
+		sent += c.BytesSent()
+		received += c.BytesReceived()
+	}
+	n.downstreamMu.Unlock()
+	return sent, received
+}
+
+// WaitMembers blocks until k member hellos have arrived (Sigma startup
+// barrier: a Sigma must know all its members before forwarding the first
+// model broadcast).
+func (n *Node) WaitMembers(k int) {
+	n.helloMu.Lock()
+	for n.helloCount < k {
+		n.helloCond.Wait()
+	}
+	n.helloMu.Unlock()
+}
+
+// Run executes the node's role loop until MsgDone. It blocks; callers run
+// it in a goroutine. The master does not use Run — the driver in
+// Cluster.Train plays that role.
+func (n *Node) Run() error {
+	defer close(n.stopped)
+	up, err := cosmicnet.Dial(n.cfg.UpstreamAddr)
+	if err != nil {
+		n.fail(err)
+		return err
+	}
+	n.upMu.Lock()
+	n.upstream = up
+	n.upMu.Unlock()
+	defer up.Close()
+	if err := up.Send(&cosmicnet.Frame{Type: cosmicnet.MsgHello, From: n.cfg.ID, Text: n.Addr()}); err != nil {
+		n.fail(err)
+		return err
+	}
+	if n.cfg.Role == RoleGroupSigma {
+		// All group members must be connected before the first model
+		// forward, or they would miss the round.
+		n.WaitMembers(n.cfg.Members - 1)
+	}
+
+	for {
+		f, err := up.Recv()
+		if err != nil {
+			n.fail(fmt.Errorf("node %d: upstream: %w", n.cfg.ID, err))
+			return n.err
+		}
+		switch f.Type {
+		case cosmicnet.MsgModel:
+			if err := n.handleModel(f); err != nil {
+				n.fail(err)
+				return err
+			}
+		case cosmicnet.MsgDone:
+			n.forwardDone()
+			return nil
+		default:
+			log.Printf("node %d: ignoring %v frame", n.cfg.ID, f.Type)
+		}
+	}
+}
+
+// handleModel processes one mini-batch round for a Delta or group Sigma.
+func (n *Node) handleModel(f *cosmicnet.Frame) error {
+	switch n.cfg.Role {
+	case RoleDelta:
+		partial, err := n.computePartial(f.Payload)
+		if err != nil {
+			return err
+		}
+		return n.upstream.Send(&cosmicnet.Frame{
+			Type: cosmicnet.MsgPartial, Seq: f.Seq, From: n.cfg.ID,
+			Weight: 1, Payload: partial,
+		})
+
+	case RoleGroupSigma:
+		// New round: clear the aggregation state before any member can
+		// respond to the forwarded model.
+		n.agg.Reset()
+		n.broadcastDownstream(f)
+		// The Sigma computes its own partial too; its contribution takes
+		// the same chunked path as remote ones.
+		partial, err := n.computePartial(f.Payload)
+		if err != nil {
+			return err
+		}
+		for _, c := range SplitIntoChunks(f.Seq, n.cfg.ID, partial, 1) {
+			if !n.ring.Push(c) {
+				return fmt.Errorf("node %d: ring closed mid-batch", n.cfg.ID)
+			}
+		}
+		// Wait for every member's every chunk, then ship the group sum.
+		if !n.agg.WaitChunksTimeout(n.cfg.Members*ChunksFor(n.cfg.ModelSize), n.cfg.RoundTimeout) {
+			return fmt.Errorf("node %d: round %d timed out waiting for group members", n.cfg.ID, f.Seq)
+		}
+		sum, weight := n.agg.Sum()
+		return n.upstream.Send(&cosmicnet.Frame{
+			Type: cosmicnet.MsgGroupAggregate, Seq: f.Seq, From: n.cfg.ID,
+			Weight: weight, Payload: sum,
+		})
+	}
+	return fmt.Errorf("node %d: role %v cannot handle model frames via Run", n.cfg.ID, n.cfg.Role)
+}
+
+// broadcastDownstream forwards a frame to every member connection.
+func (n *Node) broadcastDownstream(f *cosmicnet.Frame) {
+	n.downstreamMu.Lock()
+	conns := append([]*cosmicnet.Conn(nil), n.downstream...)
+	n.downstreamMu.Unlock()
+	for _, c := range conns {
+		if err := c.Send(f); err != nil {
+			n.cfg.logf("node %d: downstream send: %v", n.cfg.ID, err)
+		}
+	}
+}
+
+func (n *Node) forwardDone() {
+	n.broadcastDownstream(&cosmicnet.Frame{Type: cosmicnet.MsgDone, From: n.cfg.ID})
+}
+
+// Close releases the node's resources, severing the upstream connection if
+// the node is mid-run (so a Close mid-training looks like a node crash to
+// its Sigma, which the round timeout then surfaces).
+func (n *Node) Close() {
+	n.upMu.Lock()
+	if n.upstream != nil {
+		n.upstream.Close()
+	}
+	n.upMu.Unlock()
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	if n.ring != nil {
+		n.ring.Close()
+	}
+	n.downstreamMu.Lock()
+	for _, c := range n.downstream {
+		c.Close()
+	}
+	n.downstreamMu.Unlock()
+	if n.netPool != nil {
+		n.netPool.Close()
+	}
+	n.wg.Wait()
+	if n.aggPool != nil {
+		n.aggPool.Close()
+	}
+}

@@ -1,0 +1,343 @@
+// Package runtime is CoSMIC's system layer: the lean, specialized system
+// software that orchestrates accelerator-augmented nodes for distributed
+// training (Section 3 of the paper).
+//
+// The System Director assigns Sigma (aggregator) and Delta (worker) roles
+// and configures the cluster. Within a Sigma node, an incoming-network
+// handler hands received partial updates to a fixed Networking Pool, whose
+// workers copy the data into a Circular Buffer in cache-friendly chunks; a
+// fixed Aggregation Pool consumes chunks and folds them into the
+// Aggregation Buffer. The two pools form a producer-consumer pair, so
+// communication and aggregation overlap and no thread is created per
+// connection. (Goroutines are the user-level threads here — the Go runtime
+// multiplexes them over a fixed set of OS threads, which is precisely the
+// "internally managed thread pool avoiding OS-level context switches" the
+// paper builds by hand in C++.)
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Chunk is one unit of work flowing from the Networking Pool to the
+// Aggregation Pool: a contiguous span of a partial-update vector.
+type Chunk struct {
+	// Seq is the mini-batch sequence number the chunk belongs to.
+	Seq uint32
+	// From identifies the contributing node.
+	From uint32
+	// Offset is the span's start index within the full vector.
+	Offset int
+	// Data is the span's values. The chunk owns this slice.
+	Data []float64
+	// Weight is the credit the contribution carries toward the weighted
+	// average: 1 for a single node's partial, the member count for a
+	// group Sigma's pre-summed aggregate.
+	Weight float64
+	// Last marks the final chunk of one contribution.
+	Last bool
+}
+
+// CircularBuffer is a bounded, blocking MPMC ring of chunks: networking
+// workers produce, aggregation workers consume. Bounding the ring is what
+// "reduces the memory required for aggregating partial results from
+// multiple sources while enabling overlap between communication and
+// computation".
+type CircularBuffer struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	buf      []Chunk
+	head     int // next pop
+	count    int
+	closed   bool
+}
+
+// NewCircularBuffer creates a ring with the given capacity.
+func NewCircularBuffer(capacity int) *CircularBuffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("runtime: ring capacity %d", capacity))
+	}
+	cb := &CircularBuffer{buf: make([]Chunk, capacity)}
+	cb.notEmpty = sync.NewCond(&cb.mu)
+	cb.notFull = sync.NewCond(&cb.mu)
+	return cb
+}
+
+// Push blocks until space is available, then enqueues the chunk. It reports
+// false if the ring was closed.
+func (cb *CircularBuffer) Push(c Chunk) bool {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	for cb.count == len(cb.buf) && !cb.closed {
+		cb.notFull.Wait()
+	}
+	if cb.closed {
+		return false
+	}
+	cb.buf[(cb.head+cb.count)%len(cb.buf)] = c
+	cb.count++
+	cb.notEmpty.Signal()
+	return true
+}
+
+// Pop blocks until a chunk is available and dequeues it. It reports false
+// if the ring is closed and drained.
+func (cb *CircularBuffer) Pop() (Chunk, bool) {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	for cb.count == 0 && !cb.closed {
+		cb.notEmpty.Wait()
+	}
+	if cb.count == 0 {
+		return Chunk{}, false
+	}
+	c := cb.buf[cb.head]
+	cb.buf[cb.head] = Chunk{}
+	cb.head = (cb.head + 1) % len(cb.buf)
+	cb.count--
+	cb.notFull.Signal()
+	return c, true
+}
+
+// Close wakes all blocked producers and consumers; pending chunks remain
+// poppable.
+func (cb *CircularBuffer) Close() {
+	cb.mu.Lock()
+	cb.closed = true
+	cb.mu.Unlock()
+	cb.notEmpty.Broadcast()
+	cb.notFull.Broadcast()
+}
+
+// Len returns the number of buffered chunks.
+func (cb *CircularBuffer) Len() int {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	return cb.count
+}
+
+// AggregationBuffer accumulates partial updates. Aggregation-pool workers
+// call Add concurrently on disjoint or overlapping spans; the buffer is
+// striped with fine-grained locks so concurrent adds to different regions
+// do not serialize.
+type AggregationBuffer struct {
+	stripes []sync.Mutex
+	sum     []float64
+	weight  float64
+	wmu     sync.Mutex
+	done    *sync.Cond
+	// contributions counts completed (Last-marked) partials; chunks counts
+	// every processed chunk. Waiting on the chunk count is what makes
+	// completion safe when several aggregation workers process one
+	// contribution's chunks out of order.
+	contributions int
+	chunks        int
+}
+
+// aggStripe is the span of values guarded by one lock stripe.
+const aggStripe = 1024
+
+// NewAggregationBuffer creates a buffer for vectors of length n.
+func NewAggregationBuffer(n int) *AggregationBuffer {
+	ab := &AggregationBuffer{
+		stripes: make([]sync.Mutex, (n+aggStripe-1)/aggStripe+1),
+		sum:     make([]float64, n),
+	}
+	ab.done = sync.NewCond(&ab.wmu)
+	return ab
+}
+
+// Add folds a chunk into the running sum and, on a contribution's final
+// chunk, credits its weight toward the average.
+func (ab *AggregationBuffer) Add(c Chunk) error {
+	if c.Offset < 0 || c.Offset+len(c.Data) > len(ab.sum) {
+		return fmt.Errorf("runtime: chunk [%d,%d) outside buffer of %d", c.Offset, c.Offset+len(c.Data), len(ab.sum))
+	}
+	for start := c.Offset; start < c.Offset+len(c.Data); {
+		stripe := start / aggStripe
+		end := (stripe + 1) * aggStripe
+		if end > c.Offset+len(c.Data) {
+			end = c.Offset + len(c.Data)
+		}
+		ab.stripes[stripe].Lock()
+		for i := start; i < end; i++ {
+			ab.sum[i] += c.Data[i-c.Offset]
+		}
+		ab.stripes[stripe].Unlock()
+		start = end
+	}
+	ab.wmu.Lock()
+	ab.chunks++
+	if c.Last {
+		ab.weight += c.Weight
+		ab.contributions++
+	}
+	ab.wmu.Unlock()
+	ab.done.Broadcast()
+	return nil
+}
+
+// ChunksFor returns how many ring chunks a vector of length n splits into.
+func ChunksFor(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return (n + ChunkSize - 1) / ChunkSize
+}
+
+// WaitChunks blocks until at least n chunks have been folded in.
+func (ab *AggregationBuffer) WaitChunks(n int) {
+	ab.wmu.Lock()
+	for ab.chunks < n {
+		ab.done.Wait()
+	}
+	ab.wmu.Unlock()
+}
+
+// WaitChunksTimeout blocks until n chunks have been folded in or the
+// timeout elapses, reporting whether the chunks arrived. A zero timeout
+// waits forever. This is the Sigma node's defense against a dead member: a
+// bounded round instead of a wedged aggregation.
+func (ab *AggregationBuffer) WaitChunksTimeout(n int, timeout time.Duration) bool {
+	if timeout <= 0 {
+		ab.WaitChunks(n)
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	// A watchdog broadcast wakes the waiter when the deadline passes.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-time.After(timeout):
+			ab.done.Broadcast()
+		case <-stop:
+		}
+	}()
+	ab.wmu.Lock()
+	defer ab.wmu.Unlock()
+	for ab.chunks < n {
+		if time.Now().After(deadline) {
+			return false
+		}
+		ab.done.Wait()
+	}
+	return true
+}
+
+// WaitContributions blocks until at least n contributions have completed.
+func (ab *AggregationBuffer) WaitContributions(n int) {
+	ab.wmu.Lock()
+	for ab.contributions < n {
+		ab.done.Wait()
+	}
+	ab.wmu.Unlock()
+}
+
+// Contributions returns the number of completed partials folded in.
+func (ab *AggregationBuffer) Contributions() int {
+	ab.wmu.Lock()
+	defer ab.wmu.Unlock()
+	return ab.contributions
+}
+
+// WeightedMean returns sum/weight (the Equation 3b average) and the total
+// weight.
+func (ab *AggregationBuffer) WeightedMean() ([]float64, float64) {
+	ab.wmu.Lock()
+	w := ab.weight
+	ab.wmu.Unlock()
+	out := make([]float64, len(ab.sum))
+	if w == 0 {
+		return out, 0
+	}
+	for i, v := range ab.sum {
+		out[i] = v / w
+	}
+	return out, w
+}
+
+// Sum returns the raw accumulated sum and total weight.
+func (ab *AggregationBuffer) Sum() ([]float64, float64) {
+	ab.wmu.Lock()
+	w := ab.weight
+	ab.wmu.Unlock()
+	out := make([]float64, len(ab.sum))
+	copy(out, ab.sum)
+	return out, w
+}
+
+// Reset clears the buffer for the next mini-batch.
+func (ab *AggregationBuffer) Reset() {
+	ab.wmu.Lock()
+	ab.weight = 0
+	ab.contributions = 0
+	ab.chunks = 0
+	ab.wmu.Unlock()
+	for i := range ab.sum {
+		ab.sum[i] = 0
+	}
+}
+
+// ChunkSize is the span length networking workers cut incoming vectors
+// into: small enough that aggregation starts while later chunks are still
+// in flight, large enough to amortize ring overhead.
+const ChunkSize = 4096
+
+// SplitIntoChunks cuts a received partial update into ring chunks.
+func SplitIntoChunks(seq, from uint32, vec []float64, weight float64) []Chunk {
+	if len(vec) == 0 {
+		return []Chunk{{Seq: seq, From: from, Weight: weight, Last: true}}
+	}
+	var out []Chunk
+	for off := 0; off < len(vec); off += ChunkSize {
+		end := off + ChunkSize
+		if end > len(vec) {
+			end = len(vec)
+		}
+		out = append(out, Chunk{
+			Seq: seq, From: from, Offset: off,
+			Data: vec[off:end], Weight: weight,
+			Last: end == len(vec),
+		})
+	}
+	return out
+}
+
+// Pool is a fixed-size worker pool: the system software's internally
+// managed threads. Submitted tasks run on one of n long-lived workers.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+// NewPool starts n workers.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = 1
+	}
+	p := &Pool{tasks: make(chan func(), 4*n)}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a task; it blocks when all workers are busy and the
+// backlog is full (bounded, like a real pool).
+func (p *Pool) Submit(task func()) { p.tasks <- task }
+
+// Close stops accepting tasks and waits for the workers to drain.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}

@@ -1,0 +1,135 @@
+package sparksim
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+)
+
+// GradientDescentConfig mirrors MLlib's GradientDescent optimizer
+// parameters.
+type GradientDescentConfig struct {
+	LearningRate float64
+	// MiniBatchFraction is the fraction of the dataset sampled per
+	// iteration (MLlib semantics); Iterations is the number of mini-batch
+	// steps.
+	MiniBatchFraction float64
+	Iterations        int
+	// OpsPerSample is the modeled FLOP count of one gradient evaluation
+	// (drives the simulated clock).
+	OpsPerSample int64
+}
+
+// gradAcc is the treeAggregate accumulator: gradient sum, loss sum, the
+// number of selected samples, and the number of rows seen (for systematic
+// sampling).
+type gradAcc struct {
+	grad []float64
+	loss float64
+	n    int64
+	seen int64
+}
+
+// RunMiniBatchSGD is the MLlib GradientDescent.runMiniBatchSGD dataflow:
+// per iteration, broadcast the weights, compute (Σ gradient, Σ loss, n)
+// with a treeAggregate over a sampled subset, and update the weights at the
+// driver. It returns the final weights and the per-iteration losses.
+func RunMiniBatchSGD(sched *Scheduler, data *RDD[ml.Sample], alg ml.Algorithm,
+	weights []float64, cfg GradientDescentConfig) ([]float64, []float64, error) {
+
+	if cfg.Iterations <= 0 {
+		return nil, nil, fmt.Errorf("sparksim: %d iterations", cfg.Iterations)
+	}
+	if cfg.MiniBatchFraction <= 0 || cfg.MiniBatchFraction > 1 {
+		cfg.MiniBatchFraction = 1
+	}
+	w := append([]float64(nil), weights...)
+	modelBytes := int64(len(w)) * 8
+	var losses []float64
+
+	total := data.Count()
+	sampled := int(float64(total) * cfg.MiniBatchFraction)
+	if sampled < 1 {
+		sampled = 1
+	}
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		sched.ChargeBroadcast(modelBytes)
+		// Deterministic systematic sampling: every partition contributes
+		// its proportional slice, rotating with the iteration index.
+		stride := 1.0 / cfg.MiniBatchFraction
+		cur := w
+		acc := TreeAggregate(data,
+			func() gradAcc { return gradAcc{grad: make([]float64, len(cur))} },
+			func(a gradAcc, s ml.Sample) gradAcc {
+				// Systematic sampling: keep every stride-th row,
+				// phase-shifted by the iteration so successive iterations
+				// see fresh data.
+				a.seen++
+				if stride > 1 && (a.seen+int64(iter))%int64(stride+0.5) != 0 {
+					return a
+				}
+				a.n++
+				scratch := make([]float64, len(cur))
+				alg.Gradient(cur, s, scratch)
+				ml.AXPY(1, scratch, a.grad)
+				a.loss += alg.Loss(cur, s)
+				return a
+			},
+			func(a, b gradAcc) gradAcc {
+				if a.grad == nil {
+					return b
+				}
+				if b.grad == nil {
+					return a
+				}
+				ml.AXPY(1, b.grad, a.grad)
+				a.loss += b.loss
+				a.n += b.n
+				a.seen += b.seen
+				return a
+			},
+			2, modelBytes+16)
+		// Charge the modeled gradient compute for the sampled batch.
+		sched.chargeCompute(int64(sampled) * cfg.OpsPerSample)
+
+		if acc.n > 0 {
+			scale := -cfg.LearningRate / float64(acc.n)
+			ml.AXPY(scale, acc.grad, w)
+			losses = append(losses, acc.loss/float64(acc.n))
+		} else {
+			losses = append(losses, 0)
+		}
+	}
+	return w, losses, nil
+}
+
+// chargeCompute advances the clock by a batch's gradient FLOPs spread over
+// the cluster's cores.
+func (s *Scheduler) chargeCompute(ops int64) {
+	if ops <= 0 {
+		return
+	}
+	slots := float64(s.cost.Executors * s.cost.CoresPerExecutor)
+	s.mu.Lock()
+	s.simTime += float64(ops) / (s.cost.FlopsPerSecond * slots)
+	s.mu.Unlock()
+}
+
+// TrainEpochs runs MLlib-style training for the given number of passes over
+// the data with the given system-wide mini-batch size, matching how the
+// CoSMIC side counts work: iterations = epochs × (total / miniBatch).
+func TrainEpochs(sched *Scheduler, data *RDD[ml.Sample], alg ml.Algorithm,
+	weights []float64, lr float64, miniBatch, epochs int, opsPerSample int64) ([]float64, []float64, error) {
+
+	total := data.Count()
+	if miniBatch <= 0 || miniBatch > total {
+		miniBatch = total
+	}
+	iters := epochs * ((total + miniBatch - 1) / miniBatch)
+	return RunMiniBatchSGD(sched, data, alg, weights, GradientDescentConfig{
+		LearningRate:      lr,
+		MiniBatchFraction: float64(miniBatch) / float64(total),
+		Iterations:        iters,
+		OpsPerSample:      opsPerSample,
+	})
+}

@@ -1,0 +1,341 @@
+// Package sparksim is a miniature Spark: an in-memory, partitioned dataset
+// abstraction (RDD) executed by a stage/task scheduler, plus an MLlib-style
+// mini-batch gradient-descent trainer. It is the reproduction's stand-in
+// for the paper's baseline (Spark 2.1 + MLlib + OpenBLAS), serving two
+// purposes:
+//
+//   - functionally, it really trains the five algorithm families through
+//     the same broadcast → map → treeAggregate → driver-update dataflow
+//     MLlib's GradientDescent uses, so results can be checked against the
+//     ml reference; and
+//   - temporally, its scheduler charges each stage the costs the paper
+//     attributes to Spark — per-stage scheduling latency, per-task launch
+//     and serialization overhead, JVM compute efficiency, and shuffle
+//     bytes over the cluster NIC — which is what the Figure 7/8/12/14
+//     comparisons measure.
+package sparksim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Partition is one slice of an RDD's rows.
+type Partition[T any] struct {
+	Index int
+	Rows  []T
+}
+
+// RDD is a partitioned in-memory dataset.
+type RDD[T any] struct {
+	parts []Partition[T]
+	sched *Scheduler
+}
+
+// NewRDD partitions rows into numPartitions nearly equal parts on sched.
+func NewRDD[T any](sched *Scheduler, rows []T, numPartitions int) *RDD[T] {
+	if numPartitions <= 0 {
+		numPartitions = 1
+	}
+	parts := make([]Partition[T], numPartitions)
+	for i := 0; i < numPartitions; i++ {
+		lo := i * len(rows) / numPartitions
+		hi := (i + 1) * len(rows) / numPartitions
+		parts[i] = Partition[T]{Index: i, Rows: rows[lo:hi]}
+	}
+	return &RDD[T]{parts: parts, sched: sched}
+}
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return len(r.parts) }
+
+// Count returns the total number of rows.
+func (r *RDD[T]) Count() int {
+	n := 0
+	for _, p := range r.parts {
+		n += len(p.Rows)
+	}
+	return n
+}
+
+// Collect gathers all rows in partition order (a driver action: charges a
+// result-serialization cost per partition).
+func (r *RDD[T]) Collect() []T {
+	var out []T
+	tasks := make([]Task, len(r.parts))
+	results := make([][]T, len(r.parts))
+	for i, p := range r.parts {
+		i, p := i, p
+		tasks[i] = Task{
+			Run:         func() { results[i] = p.Rows },
+			ResultBytes: int64(len(p.Rows)) * 8,
+		}
+	}
+	r.sched.RunStage("collect", tasks)
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	return out
+}
+
+// MapRDD applies f to every row, producing a new RDD (narrow dependency:
+// one task per partition).
+func MapRDD[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	out := &RDD[U]{sched: r.sched, parts: make([]Partition[U], len(r.parts))}
+	tasks := make([]Task, len(r.parts))
+	for i, p := range r.parts {
+		i, p := i, p
+		tasks[i] = Task{Run: func() {
+			rows := make([]U, len(p.Rows))
+			for j, row := range p.Rows {
+				rows[j] = f(row)
+			}
+			out.parts[i] = Partition[U]{Index: i, Rows: rows}
+		}}
+	}
+	r.sched.RunStage("map", tasks)
+	return out
+}
+
+// Aggregate computes seqOp over every partition then combOp at the driver
+// (MLlib's aggregate): one wide stage whose results ship to the driver.
+func Aggregate[T, A any](r *RDD[T], zero func() A, seqOp func(A, T) A, combOp func(A, A) A,
+	resultBytes int64) A {
+
+	partials := make([]A, len(r.parts))
+	tasks := make([]Task, len(r.parts))
+	for i, p := range r.parts {
+		i, p := i, p
+		tasks[i] = Task{
+			Run: func() {
+				acc := zero()
+				for _, row := range p.Rows {
+					acc = seqOp(acc, row)
+				}
+				partials[i] = acc
+			},
+			ResultBytes: resultBytes,
+		}
+	}
+	r.sched.RunStage("aggregate", tasks)
+	acc := zero()
+	for _, p := range partials {
+		acc = combOp(acc, p)
+	}
+	return acc
+}
+
+// TreeAggregate is Aggregate with a combining tree of the given depth, the
+// primitive MLlib uses for gradient sums: intermediate combiners reduce the
+// driver's fan-in at the cost of extra stages. Functionally identical to
+// Aggregate; the scheduler charges the extra stage latencies and the
+// reduced shuffle volume.
+func TreeAggregate[T, A any](r *RDD[T], zero func() A, seqOp func(A, T) A, combOp func(A, A) A,
+	depth int, resultBytes int64) A {
+
+	partials := make([]A, len(r.parts))
+	tasks := make([]Task, len(r.parts))
+	for i, p := range r.parts {
+		i, p := i, p
+		tasks[i] = Task{
+			Run: func() {
+				acc := zero()
+				for _, row := range p.Rows {
+					acc = seqOp(acc, row)
+				}
+				partials[i] = acc
+			},
+			ResultBytes: resultBytes,
+		}
+	}
+	r.sched.RunStage("treeAggregate-seq", tasks)
+
+	if depth < 1 {
+		depth = 1
+	}
+	level := partials
+	for d := 1; d < depth && len(level) > 2; d++ {
+		// Combine pairs in a shuffle stage.
+		next := make([]A, (len(level)+1)/2)
+		combTasks := make([]Task, len(next))
+		for i := range next {
+			i := i
+			combTasks[i] = Task{
+				Run: func() {
+					if 2*i+1 < len(level) {
+						next[i] = combOp(level[2*i], level[2*i+1])
+					} else {
+						next[i] = level[2*i]
+					}
+				},
+				ResultBytes: resultBytes,
+			}
+		}
+		r.sched.RunStage("treeAggregate-comb", combTasks)
+		level = next
+	}
+	acc := zero()
+	for _, p := range level {
+		acc = combOp(acc, p)
+	}
+	return acc
+}
+
+// Task is one unit of stage work.
+type Task struct {
+	// Run executes the task's real computation.
+	Run func()
+	// ComputeOps is the modeled FLOP count the task represents (for the
+	// simulated clock); zero means "negligible".
+	ComputeOps int64
+	// ResultBytes is the modeled result size shipped back to the driver.
+	ResultBytes int64
+}
+
+// CostModel carries the constants the scheduler charges against the
+// simulated clock. Defaults model the paper's Spark 2.1 deployment on
+// quad-core Xeon E3 nodes over gigabit Ethernet.
+type CostModel struct {
+	// StageLatency is the fixed driver cost to launch one stage (DAG
+	// scheduling, broadcast bookkeeping).
+	StageLatency float64
+	// TaskOverhead is the per-task launch + deserialization cost.
+	TaskOverhead float64
+	// FlopsPerSecond is the per-core effective compute rate of the JVM +
+	// OpenBLAS path.
+	FlopsPerSecond float64
+	// NetworkBytesPerSecond is the NIC rate for shuffles and result
+	// shipping.
+	NetworkBytesPerSecond float64
+	// CoresPerExecutor and Executors describe the cluster.
+	CoresPerExecutor int
+	Executors        int
+}
+
+// DefaultCostModel returns constants for the paper's cluster: 4-core Xeon
+// E3-1275 v5 executors (vectorized MLlib sustains a few GFLOP/s per core),
+// gigabit Ethernet, and Spark's well-documented ~O(10 ms) stage and ~O(1 ms)
+// task overheads.
+func DefaultCostModel(executors int) CostModel {
+	return CostModel{
+		StageLatency:          8e-3,
+		TaskOverhead:          0.8e-3,
+		FlopsPerSecond:        3.0e9,
+		NetworkBytesPerSecond: 117e6, // 1 Gb/s minus framing
+		CoresPerExecutor:      8,     // 4 cores with hyper-threading
+		Executors:             executors,
+	}
+}
+
+// Scheduler executes stages on a bounded worker pool (the executors) while
+// accumulating the modeled wall clock.
+type Scheduler struct {
+	cost CostModel
+
+	mu        sync.Mutex
+	simTime   float64
+	stages    int
+	tasksRun  int
+	bytesSent int64
+}
+
+// NewScheduler creates a scheduler with the given cost model.
+func NewScheduler(cost CostModel) *Scheduler {
+	if cost.Executors <= 0 {
+		cost.Executors = 1
+	}
+	if cost.CoresPerExecutor <= 0 {
+		cost.CoresPerExecutor = 1
+	}
+	return &Scheduler{cost: cost}
+}
+
+// RunStage executes all tasks (really, on goroutines bounded by the modeled
+// core count) and advances the simulated clock: stage latency, plus the
+// makespan of greedy task placement over executors' cores, plus result
+// shipping over the shared driver link.
+func (s *Scheduler) RunStage(name string, tasks []Task) {
+	if len(tasks) == 0 {
+		return
+	}
+	slots := s.cost.Executors * s.cost.CoresPerExecutor
+	sem := make(chan struct{}, slots)
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		if t.Run == nil {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(run func()) {
+			defer wg.Done()
+			run()
+			<-sem
+		}(t.Run)
+	}
+	wg.Wait()
+
+	// Simulated clock: greedy longest-processing-time placement.
+	durations := make([]float64, 0, len(tasks))
+	var resultBytes int64
+	for _, t := range tasks {
+		d := s.cost.TaskOverhead + float64(t.ComputeOps)/s.cost.FlopsPerSecond
+		durations = append(durations, d)
+		resultBytes += t.ResultBytes
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(durations)))
+	coreLoad := make([]float64, slots)
+	for _, d := range durations {
+		min := 0
+		for i := 1; i < slots; i++ {
+			if coreLoad[i] < coreLoad[min] {
+				min = i
+			}
+		}
+		coreLoad[min] += d
+	}
+	makespan := 0.0
+	for _, l := range coreLoad {
+		if l > makespan {
+			makespan = l
+		}
+	}
+	shipping := float64(resultBytes) / s.cost.NetworkBytesPerSecond
+
+	s.mu.Lock()
+	s.simTime += s.cost.StageLatency + makespan + shipping
+	s.stages++
+	s.tasksRun += len(tasks)
+	s.bytesSent += resultBytes
+	s.mu.Unlock()
+}
+
+// ChargeBroadcast advances the clock for a driver→executors broadcast of
+// the given payload.
+func (s *Scheduler) ChargeBroadcast(bytes int64) {
+	s.mu.Lock()
+	s.simTime += float64(bytes*int64(s.cost.Executors)) / s.cost.NetworkBytesPerSecond
+	s.mu.Unlock()
+}
+
+// SimTime returns the accumulated modeled wall-clock seconds.
+func (s *Scheduler) SimTime() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.simTime
+}
+
+// Stats returns stage/task/byte counters.
+func (s *Scheduler) Stats() (stages, tasks int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stages, s.tasksRun, s.bytesSent
+}
+
+// String summarizes the scheduler state.
+func (s *Scheduler) String() string {
+	st, tk, by := s.Stats()
+	return fmt.Sprintf("spark-sim: %d stages, %d tasks, %.1f MB shipped, %.3f s simulated",
+		st, tk, float64(by)/1e6, s.SimTime())
+}

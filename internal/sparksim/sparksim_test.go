@@ -1,0 +1,208 @@
+package sparksim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func newSched(executors int) *Scheduler {
+	return NewScheduler(DefaultCostModel(executors))
+}
+
+func TestRDDPartitioning(t *testing.T) {
+	rows := make([]int, 103)
+	for i := range rows {
+		rows[i] = i
+	}
+	rdd := NewRDD(newSched(2), rows, 8)
+	if rdd.NumPartitions() != 8 {
+		t.Fatalf("partitions = %d", rdd.NumPartitions())
+	}
+	if rdd.Count() != 103 {
+		t.Fatalf("count = %d", rdd.Count())
+	}
+	got := rdd.Collect()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("row %d = %d after collect", i, v)
+		}
+	}
+}
+
+func TestMapRDD(t *testing.T) {
+	sched := newSched(2)
+	rdd := NewRDD(sched, []int{1, 2, 3, 4}, 2)
+	doubled := MapRDD(rdd, func(x int) int { return 2 * x })
+	got := doubled.Collect()
+	want := []int{2, 4, 6, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("map result %v", got)
+		}
+	}
+	if stages, tasks, _ := sched.Stats(); stages < 2 || tasks < 4 {
+		t.Errorf("scheduler saw %d stages / %d tasks", stages, tasks)
+	}
+}
+
+func TestAggregateAndTreeAggregateAgree(t *testing.T) {
+	rows := make([]float64, 1000)
+	want := 0.0
+	for i := range rows {
+		rows[i] = float64(i) * 0.5
+		want += rows[i]
+	}
+	rdd := NewRDD(newSched(4), rows, 16)
+	zero := func() float64 { return 0 }
+	seq := func(a, x float64) float64 { return a + x }
+	comb := func(a, b float64) float64 { return a + b }
+	flat := Aggregate(rdd, zero, seq, comb, 8)
+	tree := TreeAggregate(rdd, zero, seq, comb, 3, 8)
+	if math.Abs(flat-want) > 1e-9 || math.Abs(tree-want) > 1e-9 {
+		t.Errorf("flat %g tree %g want %g", flat, tree, want)
+	}
+}
+
+func TestSimulatedClockAdvances(t *testing.T) {
+	sched := newSched(4)
+	rdd := NewRDD(sched, make([]int, 64), 16)
+	before := sched.SimTime()
+	Aggregate(rdd, func() int { return 0 }, func(a int, _ int) int { return a }, func(a, b int) int { return a + b }, 1024)
+	after := sched.SimTime()
+	if after <= before {
+		t.Error("aggregate did not advance the simulated clock")
+	}
+	// Stage latency must be charged exactly once per stage.
+	cost := DefaultCostModel(4)
+	if after-before < cost.StageLatency {
+		t.Errorf("stage cost %.4fs below the stage latency %.4fs", after-before, cost.StageLatency)
+	}
+}
+
+func TestPerTaskOverheadScalesWithPartitions(t *testing.T) {
+	run := func(parts int) float64 {
+		sched := newSched(1)
+		rdd := NewRDD(sched, make([]int, 256), parts)
+		Aggregate(rdd, func() int { return 0 }, func(a int, _ int) int { return a }, func(a, b int) int { return a + b }, 8)
+		return sched.SimTime()
+	}
+	if run(64) <= run(4) {
+		t.Error("64 tasks should cost more scheduler time than 4 on one executor")
+	}
+}
+
+func TestMiniBatchSGDTrainsLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	alg := &ml.LinearRegression{M: 12}
+	truth := make([]float64, alg.M)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	data := make([]ml.Sample, 400)
+	for i := range data {
+		x := make([]float64, alg.M)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		data[i] = ml.Sample{X: x, Y: []float64{ml.Dot(truth, x)}}
+	}
+	sched := newSched(4)
+	rdd := NewRDD(sched, data, 8)
+	w0 := make([]float64, alg.M)
+	w, losses, err := TrainEpochs(sched, rdd, alg, w0, 0.05, 100, 10, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != 10*4 {
+		t.Fatalf("got %d iterations, want 40", len(losses))
+	}
+	first, last := losses[0], losses[len(losses)-1]
+	if last >= first {
+		t.Errorf("loss did not decrease: %g -> %g", first, last)
+	}
+	final := ml.MeanLoss(alg, w, data)
+	if final >= ml.MeanLoss(alg, w0, data)/2 {
+		t.Errorf("final loss %g too high", final)
+	}
+	if sched.SimTime() <= 0 {
+		t.Error("no simulated time accrued")
+	}
+}
+
+// TestFullBatchSGDMatchesReference: with MiniBatchFraction 1 the MLlib path
+// is exact batched gradient descent; compare against the ml reference.
+func TestFullBatchSGDMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alg := &ml.SVM{M: 8}
+	data := make([]ml.Sample, 60)
+	for i := range data {
+		x := make([]float64, alg.M)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		y := 1.0
+		if rng.Intn(2) == 0 {
+			y = -1
+		}
+		data[i] = ml.Sample{X: x, Y: []float64{y}}
+	}
+	w0 := alg.InitModel(rng)
+
+	sched := newSched(3)
+	rdd := NewRDD(sched, data, 6)
+	const lr = 0.1
+	got, _, err := RunMiniBatchSGD(sched, rdd, alg, w0, GradientDescentConfig{
+		LearningRate: lr, MiniBatchFraction: 1, Iterations: 3, OpsPerSample: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), w0...)
+	for iter := 0; iter < 3; iter++ {
+		gsum := ml.AccumulateGradients(alg, want, data)
+		ml.AXPY(-lr/float64(len(data)), gsum, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+			t.Fatalf("w[%d] = %.15g spark, %.15g reference", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSparkOverheadShrinksWithBatchSize mirrors the paper's Figure 12
+// observation: "as the mini-batch size increases, Spark's overheads
+// diminish" — time per sample falls as the batch grows.
+func TestSparkOverheadShrinksWithBatchSize(t *testing.T) {
+	alg := &ml.LinearRegression{M: 16}
+	data := make([]ml.Sample, 2000)
+	for i := range data {
+		data[i] = ml.Sample{X: make([]float64, alg.M), Y: []float64{0}}
+	}
+	perSample := func(batch int) float64 {
+		sched := newSched(3)
+		rdd := NewRDD(sched, data, 12)
+		w := make([]float64, alg.M)
+		_, _, err := TrainEpochs(sched, rdd, alg, w, 0.01, batch, 1, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sched.SimTime() / float64(len(data))
+	}
+	small, large := perSample(100), perSample(2000)
+	if large >= small {
+		t.Errorf("per-sample time: batch 100 -> %.2g s, batch 2000 -> %.2g s; overheads should amortize",
+			small, large)
+	}
+}
+
+func TestRunMiniBatchSGDValidation(t *testing.T) {
+	sched := newSched(1)
+	rdd := NewRDD(sched, []ml.Sample{}, 1)
+	if _, _, err := RunMiniBatchSGD(sched, rdd, &ml.SVM{M: 2}, []float64{0, 0},
+		GradientDescentConfig{Iterations: 0}); err == nil {
+		t.Error("expected error for zero iterations")
+	}
+}
