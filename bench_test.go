@@ -339,3 +339,92 @@ func BenchmarkSimulatedGradientBatch(b *testing.B) {
 func BenchmarkConvergence(b *testing.B) { benchExperiment(b, "convergence") }
 
 func BenchmarkValidation(b *testing.B) { benchExperiment(b, "validation") }
+
+// BenchmarkTapeEval compares the Graph.Eval interpreter against the
+// compiled evaluation tape on the largest benchmark DFG (backprop at MNIST
+// geometry). The tape target is ≥3× the interpreter's throughput with zero
+// steady-state allocations; compare with
+// `go test -bench=BenchmarkTapeEval -benchmem -count=10 | benchstat -`.
+func BenchmarkTapeEval(b *testing.B) {
+	alg := &ml.MLP{In: 78, Hid: 78, Out: 10}
+	unit, err := dsl.ParseAndAnalyze(alg.DSLSource(), alg.DSLParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := dfg.Translate(unit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	s := ml.Sample{X: make([]float64, alg.FeatureSize()), Y: make([]float64, alg.OutputSize())}
+	for j := range s.X {
+		s.X[j] = rng.NormFloat64()
+	}
+	for k := range s.Y {
+		s.Y[k] = rng.Float64()
+	}
+	bind := dfg.Bindings{Data: alg.PackSample(s), Model: alg.PackModel(alg.InitModel(rng))}
+
+	b.Run("interpreter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.Eval(bind); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tape", func(b *testing.B) {
+		tape, err := g.CompileTape()
+		if err != nil {
+			b.Fatal(err)
+		}
+		arena := tape.NewArena()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := arena.Bind(bind); err != nil {
+				b.Fatal(err)
+			}
+			arena.Eval()
+		}
+	})
+}
+
+// BenchmarkRunBatchParallel measures host-side MIMD scaling of the
+// simulator's batch execution: the same 8-thread compiled program driven
+// with 1, 2, and 4 worker goroutines. The partial update is bit-identical
+// across worker counts (TestParallelRunBatchBitIdentical); only wall-clock
+// should change, near-linearly until the host runs out of cores.
+func BenchmarkRunBatchParallel(b *testing.B) {
+	alg := &ml.MLP{In: 32, Hid: 24, Out: 8}
+	const threads = 8
+	prog := compileFor(b, alg, ablationChip, threads, 1, compiler.StyleCoSMIC)
+	rng := rand.New(rand.NewSource(8))
+	model := alg.PackModel(alg.InitModel(rng))
+	parts := make([][]map[string][]float64, threads)
+	for t := range parts {
+		for v := 0; v < 32; v++ {
+			s := ml.Sample{X: make([]float64, alg.FeatureSize()), Y: make([]float64, alg.OutputSize())}
+			for j := range s.X {
+				s.X[j] = rng.NormFloat64()
+			}
+			for k := range s.Y {
+				s.Y[k] = rng.Float64()
+			}
+			parts[t] = append(parts[t], alg.PackSample(s))
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sim := accel.New(prog)
+			sim.SetWorkers(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunBatch(model, parts, 0.05, dsl.AggAverage); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

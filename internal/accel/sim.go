@@ -29,6 +29,8 @@ package accel
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/compiler"
 	"repro/internal/dfg"
@@ -71,6 +73,18 @@ type Sim struct {
 	prog    *compiler.Program
 	threads int
 
+	// tape is the gradient DFG compiled to a flat evaluation tape — the
+	// functional engine every simulated MIMD thread executes. arenas holds
+	// one reusable scratch arena per simulated thread so the steady state
+	// of RunBatch is allocation-free; they are lazily created and retained
+	// across batches.
+	tape    *dfg.Tape
+	tapeErr error
+	arenas  []*dfg.Arena
+	// workers is the host-goroutine budget for RunBatch (0 = GOMAXPROCS,
+	// 1 = sequential).
+	workers int
+
 	// peLoad is the static per-vector occupancy of each PE (ops plus
 	// gradient accumulations); busLoad the per-vector transmissions per
 	// bus segment. Identical across threads and vectors.
@@ -90,10 +104,18 @@ type Sim struct {
 // from the program's plan.
 func New(prog *compiler.Program) *Sim {
 	s := &Sim{prog: prog, threads: prog.Plan.Threads}
+	s.tape, s.tapeErr = prog.Graph.CompileTape()
 	s.streamPerVec = ceilDiv(len(prog.DataStream), prog.Columns)
 	s.analyze()
 	return s
 }
+
+// SetWorkers sets the number of host goroutines RunBatch spreads the
+// simulated MIMD threads across: 0 (the default) uses GOMAXPROCS, 1 forces
+// the sequential path. The partial update is bit-identical for every
+// worker count — threads are functionally independent until the final
+// cross-thread reduction, which always runs in thread order.
+func (s *Sim) SetWorkers(n int) { s.workers = n }
 
 // analyze derives the static occupancy profile and single-vector makespan.
 func (s *Sim) analyze() {
@@ -160,8 +182,8 @@ func (s *Sim) busFor(src, dst int) int {
 	}
 	srcRow, dstRow := s.prog.RowOf(src), s.prog.RowOf(dst)
 	switch {
-	case srcRow == dstRow && absInt(s.prog.ColOf(src)-s.prog.ColOf(dst)) == 1:
-		return busNone
+	case sameRowAdjacent(s.prog, src, dst):
+		return busNone // dedicated neighbor link, no shared segment
 	case srcRow == dstRow:
 		return srcRow
 	default:
@@ -200,7 +222,7 @@ func (s *Sim) transferLatency(src, dst int) int64 {
 	}
 	srcRow, dstRow := s.prog.RowOf(src), s.prog.RowOf(dst)
 	switch {
-	case srcRow == dstRow && absInt(s.prog.ColOf(src)-s.prog.ColOf(dst)) == 1:
+	case sameRowAdjacent(s.prog, src, dst):
 		return NeighborLatency
 	case srcRow == dstRow:
 		return RowBusLatency
@@ -371,11 +393,20 @@ func (s *Sim) CyclesForRounds(rounds int) int64 {
 // holds thread t's data sub-partition as per-vector data bindings. model is
 // the broadcast model; lr and agg define the local update discipline
 // (Equation 3a within each thread).
+//
+// Execution is MIMD on the host too: each simulated worker thread runs its
+// vector sequence on its own compiled-tape arena, spread across up to
+// SetWorkers host goroutines. Threads share no functional state until the
+// final reduction, which combines their partials in ascending thread order,
+// so the result is bit-identical to the sequential (workers=1) path.
 func (s *Sim) RunBatch(model map[string][]float64, parts [][]map[string][]float64,
 	lr float64, agg dsl.AggregatorKind) (*BatchResult, error) {
 
 	if len(parts) != s.threads {
 		return nil, fmt.Errorf("accel: %d sub-partitions for %d threads", len(parts), s.threads)
+	}
+	if s.tapeErr != nil {
+		return nil, s.tapeErr
 	}
 	pairs, err := s.prog.Graph.Unit.ModelGradientPairs()
 	if err != nil {
@@ -405,27 +436,36 @@ func (s *Sim) RunBatch(model map[string][]float64, parts [][]map[string][]float6
 			gradSums[t][name] = make([]float64, len(outs))
 		}
 	}
+	for len(s.arenas) < s.threads {
+		s.arenas = append(s.arenas, s.tape.NewArena())
+	}
 
-	for round := 0; round < maxVecs; round++ {
-		for t := 0; t < s.threads; t++ {
-			if round >= len(parts[t]) {
-				continue
+	// runThread executes thread t's whole vector sequence. It touches only
+	// index-t state, so concurrent calls for distinct threads are
+	// race-free.
+	runThread := func(t int) error {
+		arena := s.arenas[t]
+		if err := arena.BindModel(localModels[t]); err != nil {
+			return err
+		}
+		for _, data := range parts[t] {
+			if err := arena.BindData(data); err != nil {
+				return err
 			}
-			res.ThreadVectors[t]++
-			bind := dfg.Bindings{Data: parts[t][round], Model: localModels[t]}
-			grads, err := s.prog.Graph.Eval(bind)
-			if err != nil {
-				return nil, err
-			}
+			grads := arena.Eval()
 			switch agg {
 			case dsl.AggAverage:
-				// Local SGD step: θ_t ← θ_t − μ·g (Equation 3a).
+				// Local SGD step: θ_t ← θ_t − μ·g (Equation 3a), then
+				// re-bind so the next vector sees the updated parameters.
 				for _, pr := range pairs {
 					mvec := localModels[t][pr[0].Name]
 					gvec := grads[pr[1].Name]
 					for i := range mvec {
 						mvec[i] -= lr * gvec[i]
 					}
+				}
+				if err := arena.BindModel(localModels[t]); err != nil {
+					return err
 				}
 			case dsl.AggSum:
 				for name, g := range grads {
@@ -435,6 +475,40 @@ func (s *Sim) RunBatch(model map[string][]float64, parts [][]map[string][]float6
 					}
 				}
 			}
+		}
+		res.ThreadVectors[t] = len(parts[t])
+		return nil
+	}
+
+	workers := s.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > s.threads {
+		workers = s.threads
+	}
+	errs := make([]error, s.threads)
+	if workers <= 1 {
+		for t := 0; t < s.threads; t++ {
+			errs[t] = runThread(t)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for t := w; t < s.threads; t += workers {
+					errs[t] = runThread(t)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	// Report the lowest-indexed failure so the error is deterministic.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -472,13 +546,20 @@ func (s *Sim) RunBatch(model map[string][]float64, parts [][]map[string][]float6
 	return res, nil
 }
 
+// sameRowAdjacent reports whether two PEs share a dedicated bidirectional
+// neighbor link: same row, adjacent columns. Such transfers ride no shared
+// bus segment.
 func sameRowAdjacent(p *compiler.Program, a, b int) bool {
 	return p.RowOf(a) == p.RowOf(b) && absInt(p.ColOf(a)-p.ColOf(b)) == 1
 }
 
+// ceilDiv returns ⌈a/b⌉ for b > 0. The divisor is always a structural
+// quantity (PE columns) that the plan validates as positive; a
+// non-positive b is a programming error, so it panics rather than silently
+// returning a wrong value.
 func ceilDiv(a, b int) int {
 	if b <= 0 {
-		return a
+		panic(fmt.Sprintf("accel: ceilDiv by non-positive divisor %d", b))
 	}
 	return (a + b - 1) / b
 }

@@ -3,6 +3,7 @@ package accel
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -386,5 +387,148 @@ func TestPartialIndependentOfTemplate(t *testing.T) {
 				t.Fatalf("shape %v: Σg[%d] = %g, want %g", shape, i, got[i], want[i])
 			}
 		}
+	}
+}
+
+// TestParallelRunBatchBitIdentical (satellite of the MIMD tentpole): the
+// parallel RunBatch must produce byte-identical Partial maps to the
+// sequential path for every worker count, GOMAXPROCS setting, and both
+// aggregator kinds. Run under -race in CI to also prove the worker
+// goroutines share no unsynchronized state.
+func TestParallelRunBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	alg := &ml.MLP{In: 10, Hid: 8, Out: 4}
+	const threads = 4
+	prog := compileFor(t, alg, threads, 1, compiler.StyleCoSMIC)
+	model := alg.PackModel(alg.InitModel(rng))
+	batch := randomBatch(alg, 24, rng)
+	parts := packParts(alg, batch, threads)
+
+	for _, agg := range []dsl.AggregatorKind{dsl.AggAverage, dsl.AggSum} {
+		seq := New(prog)
+		seq.SetWorkers(1)
+		want, err := seq.RunBatch(model, parts, 0.05, agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, procs := range []int{1, 2, 4} {
+			prev := runtime.GOMAXPROCS(procs)
+			for _, workers := range []int{0, 2, 3, threads} {
+				par := New(prog)
+				par.SetWorkers(workers)
+				got, err := par.RunBatch(model, parts, 0.05, agg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requirePartialBitEqual(t, want.Partial, got.Partial)
+				if got.Cycles != want.Cycles {
+					t.Errorf("agg %v workers %d: cycles %d != sequential %d",
+						agg, workers, got.Cycles, want.Cycles)
+				}
+			}
+			runtime.GOMAXPROCS(prev)
+		}
+		// Reusing one Sim (and its per-thread arenas) across batches must
+		// also stay bit-identical.
+		reused := New(prog)
+		for i := 0; i < 3; i++ {
+			got, err := reused.RunBatch(model, parts, 0.05, agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requirePartialBitEqual(t, want.Partial, got.Partial)
+		}
+	}
+}
+
+func requirePartialBitEqual(t *testing.T, want, got map[string][]float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("partial symbols: %d vs %d", len(want), len(got))
+	}
+	for name, wv := range want {
+		gv := got[name]
+		if len(wv) != len(gv) {
+			t.Fatalf("%s: length %d vs %d", name, len(wv), len(gv))
+		}
+		for i := range wv {
+			if math.Float64bits(wv[i]) != math.Float64bits(gv[i]) {
+				t.Fatalf("%s[%d]: %v (%#x) vs %v (%#x)", name, i,
+					wv[i], math.Float64bits(wv[i]), gv[i], math.Float64bits(gv[i]))
+			}
+		}
+	}
+}
+
+// TestSimMatchesInterpreterEval: the tape-backed RunBatch must agree with a
+// direct Graph.Eval interpreter loop bit-for-bit (AggSum makes the
+// comparison exact: pure gradient sums, no learning-rate coupling).
+func TestSimMatchesInterpreterEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	alg := &ml.SVM{M: 12}
+	const threads = 2
+	prog := compileFor(t, alg, threads, 1, compiler.StyleCoSMIC)
+	model := alg.PackModel(alg.InitModel(rng))
+	batch := randomBatch(alg, 10, rng)
+	parts := packParts(alg, batch, threads)
+
+	res, err := New(prog).RunBatch(model, parts, 0.1, dsl.AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror RunBatch's reduction shape exactly: per-thread gradient sums,
+	// then an ordered cross-thread reduction (float addition is not
+	// associative, so the shape matters for bit equality).
+	perThread := make([]map[string][]float64, threads)
+	for th := 0; th < threads; th++ {
+		perThread[th] = map[string][]float64{}
+		for name, outs := range prog.Graph.Outputs {
+			perThread[th][name] = make([]float64, len(outs))
+		}
+		for _, data := range parts[th] {
+			grads, err := prog.Graph.Eval(dfg.Bindings{Data: data, Model: model})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, g := range grads {
+				for i := range g {
+					perThread[th][name][i] += g[i]
+				}
+			}
+		}
+	}
+	want := map[string][]float64{}
+	for name, outs := range prog.Graph.Outputs {
+		vec := make([]float64, len(outs))
+		for th := 0; th < threads; th++ {
+			for i, v := range perThread[th][name] {
+				vec[i] += v
+			}
+		}
+		want[name] = vec
+	}
+	requirePartialBitEqual(t, want, res.Partial)
+}
+
+// TestCeilDiv pins the contract: exact ceiling division for positive
+// divisors, panic on non-positive ones.
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 1, 0}, {1, 1, 1}, {7, 2, 4}, {8, 2, 4}, {9, 2, 5}, {1, 8, 1}, {16, 4, 4},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.want {
+			t.Errorf("ceilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	for _, b := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ceilDiv(1, %d) did not panic", b)
+				}
+			}()
+			ceilDiv(1, b)
+		}()
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/compiler"
 	"repro/internal/dataset"
+	"repro/internal/dfg"
 	"repro/internal/dsl"
 	"repro/internal/ml"
 	"repro/internal/perf"
@@ -81,6 +82,36 @@ func Validation(pl *Pipeline) (Report, error) {
 			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
 				numerics = fmt.Sprintf("MISMATCH at %d", i)
 				break
+			}
+		}
+		// The compiled tape the simulator's threads executed must also
+		// agree with the Graph.Eval interpreter bit-for-bit.
+		if numerics == "exact" {
+			tape, err := g.CompileTape()
+			if err != nil {
+				return rep, err
+			}
+			arena := tape.NewArena()
+			modelBind := alg.PackModel(model)
+		tapeCheck:
+			for _, data := range parts[0] {
+				b := dfg.Bindings{Data: data, Model: modelBind}
+				ref, err := g.Eval(b)
+				if err != nil {
+					return rep, err
+				}
+				out, err := arena.EvalBindings(b)
+				if err != nil {
+					return rep, err
+				}
+				for name, rv := range ref {
+					for i := range rv {
+						if math.Float64bits(rv[i]) != math.Float64bits(out[name][i]) {
+							numerics = fmt.Sprintf("TAPE MISMATCH %s[%d]", name, i)
+							break tapeCheck
+						}
+					}
+				}
 			}
 		}
 		rep.Rows = append(rep.Rows, []string{

@@ -104,17 +104,37 @@ func TestGradientMatchesDFG(t *testing.T) {
 			if err := graph.Validate(); err != nil {
 				t.Fatal(err)
 			}
+			tape, err := graph.CompileTape()
+			if err != nil {
+				t.Fatal(err)
+			}
+			arena := tape.NewArena()
 			for trial := 0; trial < 10; trial++ {
 				model := a.InitModel(rng)
 				s := randomSample(a, rng)
 				want := make([]float64, a.ModelSize())
 				a.Gradient(model, s, want)
-				outs, err := graph.Eval(dfg.Bindings{
+				bind := dfg.Bindings{
 					Data:  a.PackSample(s),
 					Model: a.PackModel(model),
-				})
+				}
+				outs, err := graph.Eval(bind)
 				if err != nil {
 					t.Fatal(err)
+				}
+				// The compiled tape must reproduce the interpreter
+				// bit-for-bit.
+				tapeOuts, err := arena.EvalBindings(bind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for name, ov := range outs {
+					for i := range ov {
+						if math.Float64bits(ov[i]) != math.Float64bits(tapeOuts[name][i]) {
+							t.Fatalf("trial %d: tape %s[%d] = %g, interpreter %g",
+								trial, name, i, tapeOuts[name][i], ov[i])
+						}
+					}
 				}
 				got := a.UnpackGradient(outs)
 				if len(got) != len(want) {

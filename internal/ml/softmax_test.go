@@ -55,14 +55,31 @@ func TestSoftmaxDSLMatchesReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tape, err := g.CompileTape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := tape.NewArena()
 	for trial := 0; trial < 10; trial++ {
 		model := a.InitModel(rng)
 		s := softmaxSample(a, rng)
 		want := make([]float64, a.ModelSize())
 		a.Gradient(model, s, want)
-		outs, err := g.Eval(dfg.Bindings{Data: a.PackSample(s), Model: a.PackModel(model)})
+		bind := dfg.Bindings{Data: a.PackSample(s), Model: a.PackModel(model)}
+		outs, err := g.Eval(bind)
 		if err != nil {
 			t.Fatal(err)
+		}
+		tapeOuts, err := arena.EvalBindings(bind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, ov := range outs {
+			for i := range ov {
+				if math.Float64bits(ov[i]) != math.Float64bits(tapeOuts[name][i]) {
+					t.Fatalf("tape %s[%d] = %g, interpreter %g", name, i, tapeOuts[name][i], ov[i])
+				}
+			}
 		}
 		got := a.UnpackGradient(outs)
 		for i := range want {

@@ -1,0 +1,87 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/dsl"
+)
+
+func tapeEvaluatorFor(t *testing.T, a Algorithm) *TapeEvaluator {
+	t.Helper()
+	unit, err := dsl.ParseAndAnalyze(a.DSLSource(), a.DSLParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dfg.Translate(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := NewTapeEvaluator(a, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return te
+}
+
+// TestTapeEvaluatorMatchesReference: the tape-backed LocalSGD and
+// AccumulateGradients must agree with the hand-written reference paths for
+// every algorithm family (within floating-point tolerance — the DFG's
+// balanced reduction trees order additions differently).
+func TestTapeEvaluatorMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, a := range testAlgorithms() {
+		t.Run(a.Name(), func(t *testing.T) {
+			te := tapeEvaluatorFor(t, a)
+			model := a.InitModel(rng)
+			samples := make([]Sample, 8)
+			for i := range samples {
+				samples[i] = randomSample(a, rng)
+			}
+			const lr = 0.05
+
+			gotSGD, err := te.LocalSGD(model, samples, lr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSGD := LocalSGD(a, model, samples, lr)
+			requireClose(t, "LocalSGD", wantSGD, gotSGD)
+
+			gotAcc, err := te.AccumulateGradients(model, samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantAcc := AccumulateGradients(a, model, samples)
+			requireClose(t, "AccumulateGradients", wantAcc, gotAcc)
+		})
+	}
+}
+
+func requireClose(t *testing.T, what string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("%s[%d] = %g via tape, %g via reference", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestUnpackModelRoundTrip: PackModel followed by UnpackModel is the
+// identity on the flat layout.
+func TestUnpackModelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for _, a := range testAlgorithms() {
+		model := a.InitModel(rng)
+		back := UnpackModel(a, a.PackModel(model))
+		for i := range model {
+			if model[i] != back[i] {
+				t.Fatalf("%s: θ[%d] = %g after round trip, want %g", a.Name(), i, back[i], model[i])
+			}
+		}
+	}
+}

@@ -2,9 +2,11 @@ package runtime
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/accel"
 	"repro/internal/compiler"
+	"repro/internal/dfg"
 	"repro/internal/dsl"
 	"repro/internal/ml"
 )
@@ -30,6 +32,17 @@ type RefEngine struct {
 	Threads int
 	LR      float64
 	Agg     dsl.AggregatorKind
+
+	// Graph, when non-nil, computes gradients with the DFG compiled to an
+	// evaluation tape — the same compiled evaluator the accelerator
+	// simulator's MIMD threads execute — instead of the algorithm's
+	// hand-written Gradient. This is the path for models defined only as
+	// DSL programs.
+	Graph *dfg.Graph
+
+	tapeOnce sync.Once
+	tape     *ml.TapeEvaluator
+	tapeErr  error
 }
 
 // Name returns "reference".
@@ -41,12 +54,41 @@ func (e *RefEngine) PartialUpdate(model []float64, shard []ml.Sample) ([]float64
 	if threads <= 0 {
 		threads = 1
 	}
+	if e.Graph != nil {
+		return e.tapePartial(model, shard, threads)
+	}
 	switch e.Agg {
 	case dsl.AggAverage:
 		cfg := ml.SGDConfig{LearningRate: e.LR, Aggregator: dsl.AggAverage}
 		return ml.ParallelSGDBatch(e.Alg, cfg, model, shard, threads), nil
 	case dsl.AggSum:
 		return ml.AccumulateGradients(e.Alg, model, shard), nil
+	}
+	return nil, fmt.Errorf("runtime: unknown aggregator %v", e.Agg)
+}
+
+// tapePartial mirrors the reference partial computation with the compiled
+// tape evaluator, compiled once per engine.
+func (e *RefEngine) tapePartial(model []float64, shard []ml.Sample, threads int) ([]float64, error) {
+	e.tapeOnce.Do(func() { e.tape, e.tapeErr = ml.NewTapeEvaluator(e.Alg, e.Graph) })
+	if e.tapeErr != nil {
+		return nil, e.tapeErr
+	}
+	switch e.Agg {
+	case dsl.AggAverage:
+		parts := ml.Partition(shard, threads)
+		partials := make([][]float64, len(parts))
+		for i, part := range parts {
+			p, err := e.tape.LocalSGD(model, part, e.LR)
+			if err != nil {
+				return nil, err
+			}
+			partials[i] = p
+		}
+		cfg := ml.SGDConfig{LearningRate: e.LR, Aggregator: dsl.AggAverage}
+		return ml.AggregateModels(cfg, model, partials), nil
+	case dsl.AggSum:
+		return e.tape.AccumulateGradients(model, shard)
 	}
 	return nil, fmt.Errorf("runtime: unknown aggregator %v", e.Agg)
 }
@@ -97,20 +139,8 @@ func (e *AccelEngine) PartialUpdate(model []float64, shard []ml.Sample) ([]float
 }
 
 // FlattenModel converts per-symbol model vectors back into the algorithm's
-// flat layout, using an index-stamped probe of PackModel to recover the
-// symbol→offset correspondence.
+// flat layout. It delegates to ml.UnpackModel, kept here under its
+// historical name for the runtime's callers.
 func FlattenModel(alg ml.Algorithm, partial map[string][]float64) []float64 {
-	stamp := make([]float64, alg.ModelSize())
-	for i := range stamp {
-		stamp[i] = float64(i)
-	}
-	stamped := alg.PackModel(stamp)
-	out := make([]float64, alg.ModelSize())
-	for name, vec := range stamped {
-		src := partial[name]
-		for j, idx := range vec {
-			out[int(idx)] = src[j]
-		}
-	}
-	return out
+	return ml.UnpackModel(alg, partial)
 }
