@@ -1,0 +1,360 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one nondeterminism report.
+type Finding struct {
+	Pos token.Position
+	Msg string
+}
+
+// LintDir parses every Go file in dir (tests included), groups the files by
+// package clause, type-checks each package best-effort, and lints the map
+// range loops.
+func LintDir(dir string) ([]Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkgs := map[string][]*ast.File{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkgs[f.Name.Name] = append(pkgs[f.Name.Name], f)
+	}
+	var out []Finding
+	names := make([]string, 0, len(pkgs))
+	for n := range pkgs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out = append(out, LintPackage(fset, typeCheck(fset, dir, pkgs[n]), pkgs[n])...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return out, nil
+}
+
+// typeCheck type-checks files best-effort: errors (including unresolvable
+// imports) do not stop the analysis — whatever type information resolved is
+// used, and the linter degrades to syntactic heuristics for the rest.
+func typeCheck(fset *token.FileSet, path string, files []*ast.File) *types.Info {
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(error) {}, // collect what resolves, ignore the rest
+	}
+	conf.Check(path, fset, files, info) //nolint:errcheck // best-effort by design
+	return info
+}
+
+// LintPackage reports the nondeterministic map-range patterns in the given
+// type-checked files.
+func LintPackage(fset *token.FileSet, info *types.Info, files []*ast.File) []Finding {
+	var out []Finding
+	for _, f := range files {
+		suppressed := suppressedLines(fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			list := stmtList(n)
+			for i, s := range list {
+				rng, ok := unwrapLabels(s).(*ast.RangeStmt)
+				if !ok || !isMapRange(rng, info) {
+					continue
+				}
+				line := fset.Position(rng.Pos()).Line
+				if suppressed[line] || suppressed[line-1] {
+					continue
+				}
+				out = append(out, checkMapRange(fset, rng, list[i+1:], info)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkMapRange audits one map range loop's body; rest is the remainder of
+// the enclosing statement list, scanned for the collect-then-sort idiom.
+func checkMapRange(fset *token.FileSet, rng *ast.RangeStmt, rest []ast.Stmt, info *types.Info) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{Pos: fset.Position(pos), Msg: fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				lhs := n.Lhs[0]
+				if isFloat(lhs, info) && declaredOutside(lhs, rng.Body, info) {
+					report(n.Pos(), "floating-point accumulation in map iteration order: %s is not associative across the randomized order (annotate //cosmic:ordered if order is provably irrelevant)", n.Tok)
+				}
+			case token.ASSIGN:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					call, ok := n.Rhs[i].(*ast.CallExpr)
+					if !ok || !isAppendCall(call, info) {
+						continue
+					}
+					if !declaredOutside(lhs, rng.Body, info) {
+						continue
+					}
+					if obj := rootObj(lhs, info); obj != nil && sortedAfter(rest, obj, info) {
+						continue // collect-then-sort: deterministic
+					}
+					report(n.Pos(), "append to %s in map iteration order without a later sort in this block", exprString(lhs))
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := orderedOutputCall(n, info); ok {
+				report(n.Pos(), "ordered output via %s inside map range: emission order is randomized per run", name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// suppressedLines maps line numbers carrying a //cosmic:ordered annotation.
+// A multi-line comment group annotates its whole span, so the range
+// statement under it is silenced no matter how long the justification runs.
+func suppressedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, g := range f.Comments {
+		annotated := false
+		for _, c := range g.List {
+			if strings.Contains(c.Text, "cosmic:ordered") {
+				annotated = true
+				break
+			}
+		}
+		if !annotated {
+			continue
+		}
+		for l := fset.Position(g.Pos()).Line; l <= fset.Position(g.End()).Line; l++ {
+			lines[l] = true
+		}
+	}
+	return lines
+}
+
+// stmtList returns a node's statement list, for every node kind that owns
+// one (blocks, switch cases, select clauses).
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func unwrapLabels(s ast.Stmt) ast.Stmt {
+	for {
+		l, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = l.Stmt
+	}
+}
+
+func isMapRange(rng *ast.RangeStmt, info *types.Info) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func isFloat(e ast.Expr, info *types.Info) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredOutside reports whether the expression's root variable is
+// declared outside the loop body (true also when the root cannot be
+// resolved — the linter stays conservative when type information degraded).
+func declaredOutside(e ast.Expr, body *ast.BlockStmt, info *types.Info) bool {
+	obj := rootObj(e, info)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < body.Pos() || obj.Pos() >= body.End()
+}
+
+// rootObj resolves the variable at the base of an lvalue expression:
+// x, x.f, x[i], (*x), x.f[i].g all root at x.
+func rootObj(e ast.Expr, info *types.Info) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if o := info.Uses[v]; o != nil {
+				return o
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isAppendCall(call *ast.CallExpr, info *types.Info) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if o, ok := info.Uses[id]; ok {
+		_, isBuiltin := o.(*types.Builtin)
+		return isBuiltin
+	}
+	return true // unresolved: assume the builtin
+}
+
+// sortedAfter reports whether a later statement in the same block hands the
+// collected slice to the sort or slices package — the deterministic
+// collect-then-sort idiom.
+func sortedAfter(rest []ast.Stmt, obj types.Object, info *types.Info) bool {
+	for _, s := range rest {
+		es, ok := unwrapLabels(s).(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		if p := pkgPathOf(sel.X, info); p != "sort" && p != "slices" {
+			continue
+		}
+		for _, a := range call.Args {
+			if mentionsObj(a, obj, info) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// orderedOutputCall recognizes calls that emit in iteration order: the fmt
+// printers, and writer-shaped methods on any receiver.
+func orderedOutputCall(call *ast.CallExpr, info *types.Info) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if p := pkgPathOf(sel.X, info); p != "" {
+		if p == "fmt" {
+			switch name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return "fmt." + name, true
+			}
+		}
+		return "", false
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Print", "Printf", "Println":
+		return "(" + exprString(sel.X) + ")." + name, true
+	}
+	return "", false
+}
+
+// pkgPathOf returns the import path when e names a package, "" otherwise.
+// With degraded type information it falls back to the identifier spelling
+// for the handful of stdlib packages the linter reasons about.
+func pkgPathOf(e ast.Expr, info *types.Info) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if o, resolved := info.Uses[id]; resolved {
+		if pn, isPkg := o.(*types.PkgName); isPkg {
+			return pn.Imported().Path()
+		}
+		return ""
+	}
+	switch id.Name {
+	case "fmt", "sort", "slices":
+		return id.Name
+	}
+	return ""
+}
+
+func mentionsObj(e ast.Expr, obj types.Object, info *types.Info) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(v.X) + ")"
+	}
+	return "expr"
+}

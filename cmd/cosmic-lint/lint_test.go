@@ -1,0 +1,225 @@
+package main
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// lintSource runs the linter over one in-memory file, type-checked against
+// the real standard library.
+func lintSource(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "lintme.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(error) {},
+	}
+	conf.Check("lintme", fset, []*ast.File{f}, info)
+	return LintPackage(fset, info, []*ast.File{f})
+}
+
+func wantFinding(t *testing.T, fs []Finding, frag string) {
+	t.Helper()
+	for _, f := range fs {
+		if strings.Contains(f.Msg, frag) {
+			return
+		}
+	}
+	t.Errorf("no finding mentioning %q; got %d findings: %+v", frag, len(fs), fs)
+}
+
+func wantClean(t *testing.T, fs []Finding) {
+	t.Helper()
+	if len(fs) != 0 {
+		t.Errorf("want no findings, got %d: %+v", len(fs), fs)
+	}
+}
+
+// TestFlagsMapRangeOrderedEmission seeds the classic bug: printing while
+// ranging over a map, so the report's line order changes run to run.
+func TestFlagsMapRangeOrderedEmission(t *testing.T) {
+	fs := lintSource(t, `package p
+
+import "fmt"
+
+func report(stats map[string]int) {
+	for name, n := range stats {
+		fmt.Printf("%s: %d\n", name, n)
+	}
+}
+`)
+	wantFinding(t, fs, "fmt.Printf")
+}
+
+func TestFlagsWriterMethodInMapRange(t *testing.T) {
+	fs := lintSource(t, `package p
+
+import "strings"
+
+func render(stats map[string]int) string {
+	var b strings.Builder
+	for name := range stats {
+		b.WriteString(name)
+	}
+	return b.String()
+}
+`)
+	wantFinding(t, fs, "WriteString")
+}
+
+// TestFlagsUnorderedFloatAccumulation seeds the subtle one: float addition
+// is not associative, so summing in randomized order drifts in the last
+// bits — enough to fork a distributed training run.
+func TestFlagsUnorderedFloatAccumulation(t *testing.T) {
+	fs := lintSource(t, `package p
+
+func total(weights map[int]float64) float64 {
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	return sum
+}
+`)
+	wantFinding(t, fs, "floating-point accumulation")
+}
+
+func TestIntAccumulationIsClean(t *testing.T) {
+	wantClean(t, lintSource(t, `package p
+
+func count(stats map[string]int) int {
+	n := 0
+	for _, v := range stats {
+		n += v
+	}
+	return n
+}
+`))
+}
+
+func TestFlagsAppendWithoutSort(t *testing.T) {
+	fs := lintSource(t, `package p
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+	wantFinding(t, fs, "append to out")
+}
+
+// TestAppendThenSortIsClean proves the deterministic collect-then-sort
+// idiom — how this repository iterates maps — stays quiet.
+func TestAppendThenSortIsClean(t *testing.T) {
+	wantClean(t, lintSource(t, `package p
+
+import "sort"
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`))
+}
+
+func TestSortSliceAfterAppendIsClean(t *testing.T) {
+	wantClean(t, lintSource(t, `package p
+
+import "sort"
+
+type pair struct{ k string; v int }
+
+func pairs(m map[string]int) []pair {
+	var out []pair
+	for k, v := range m {
+		out = append(out, pair{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+`))
+}
+
+func TestLoopLocalAppendIsClean(t *testing.T) {
+	wantClean(t, lintSource(t, `package p
+
+func rows(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := []int{}
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+`))
+}
+
+// TestSuppressionComment proves //cosmic:ordered silences a site, on the
+// range line or the line above.
+func TestSuppressionComment(t *testing.T) {
+	wantClean(t, lintSource(t, `package p
+
+import "fmt"
+
+func debugDump(stats map[string]int) {
+	//cosmic:ordered — debug-only dump, order is irrelevant
+	for name, n := range stats {
+		fmt.Printf("%s: %d\n", name, n)
+	}
+	for name := range stats { //cosmic:ordered
+		fmt.Println(name)
+	}
+}
+`))
+}
+
+func TestRangeOverSliceIsClean(t *testing.T) {
+	wantClean(t, lintSource(t, `package p
+
+import "fmt"
+
+func list(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+`))
+}
+
+func TestNestedMapRangeInsideSliceRange(t *testing.T) {
+	fs := lintSource(t, `package p
+
+import "fmt"
+
+func dump(groups []map[string]int) {
+	for _, g := range groups {
+		for k := range g {
+			fmt.Println(k)
+		}
+	}
+}
+`)
+	wantFinding(t, fs, "fmt.Println")
+}

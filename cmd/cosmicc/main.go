@@ -9,6 +9,11 @@
 //
 //	cosmicc -family svm -param M=1740 -chip ultrascale+ -verilog out.v
 //	cosmicc -src mymodel.tabla -param M=4096 -chip pasic-f
+//
+// The vet subcommand runs the cross-layer artifact verifier over the whole
+// benchmark suite instead of compiling one program:
+//
+//	cosmicc vet [-chip ultrascale+] [-v]
 package main
 
 import (
@@ -37,6 +42,10 @@ var chips = map[string]cosmic.Chip{
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		runVet(os.Args[2:])
+		return
+	}
 	src := flag.String("src", "", "DSL source file")
 	family := flag.String("family", "", "built-in program: linreg, logreg, svm, backprop, cf")
 	chipName := flag.String("chip", "ultrascale+", "target chip: ultrascale+, pasic-f, pasic-g, zynq")

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	cosmic "repro"
+	"repro/internal/check"
+	"repro/internal/dataset"
+	"repro/internal/ml"
+)
+
+// runVet is the `cosmicc vet` subcommand: it compiles every benchmark of
+// the paper's suite (plus the softmax extension program) through both
+// mapping styles and runs the full cross-layer verification over each
+// compiled artifact — dataflow graph, static schedule, memory schedule,
+// evaluation tape, and encoded microcode. Any error diagnostic makes the
+// process exit non-zero.
+//
+// Usage:
+//
+//	cosmicc vet [-chip ultrascale+] [-scale 0.05] [-v]
+func runVet(args []string) {
+	fs := flag.NewFlagSet("vet", flag.ExitOnError)
+	chipName := fs.String("chip", "ultrascale+", "target chip: ultrascale+, pasic-f, pasic-g, zynq")
+	scale := fs.Float64("scale", 0, "benchmark geometry scale in (0,1]; 0 picks a per-benchmark scale that keeps graphs tractable")
+	verbose := fs.Bool("v", false, "print every target, not just failures")
+	fs.Parse(args)
+
+	chip, ok := chips[strings.ToLower(*chipName)]
+	if !ok {
+		fatal(fmt.Errorf("unknown chip %q", *chipName))
+	}
+
+	type target struct {
+		name string
+		alg  ml.Algorithm
+	}
+	var targets []target
+	for _, b := range dataset.Benchmarks {
+		s := *scale
+		if s <= 0 {
+			s = vetScale(b)
+		}
+		targets = append(targets, target{b.Name, b.Algorithm(s)})
+	}
+	// The softmax program is not in Table 1; it exists to show a new model
+	// rides the same stack, so vet covers it too.
+	targets = append(targets, target{"softmax", &ml.Softmax{M: 64, C: 8}})
+
+	failures := 0
+	for _, tgt := range targets {
+		for _, tabla := range []bool{false, true} {
+			style := "cosmic"
+			if tabla {
+				style = "tabla"
+			}
+			label := fmt.Sprintf("%s/%s", tgt.name, style)
+			prog, err := cosmic.Compile(tgt.alg.DSLSource(), tgt.alg.DSLParams(), chip, cosmic.Options{
+				TABLABaseline: tabla,
+			})
+			if err != nil {
+				failures++
+				fmt.Printf("FAIL  %-20s compile: %v\n", label, err)
+				continue
+			}
+			ds := check.All(prog.Schedule())
+			if ds.HasErrors() {
+				failures++
+				fmt.Printf("FAIL  %-20s %d errors\n", label, ds.Errors())
+				for _, d := range ds {
+					fmt.Printf("      %s\n", d)
+				}
+				continue
+			}
+			if *verbose || len(ds) > 0 {
+				status := "ok"
+				if len(ds) > 0 {
+					status = fmt.Sprintf("ok    (%d warnings)", len(ds))
+				}
+				fmt.Printf("%-5s %-20s %s\n", "ok", label, strings.TrimPrefix(status, "ok"))
+				for _, d := range ds {
+					fmt.Printf("      %s\n", d)
+				}
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("cosmicc vet: %d of %d targets failed\n", failures, len(targets)*2)
+		os.Exit(1)
+	}
+	fmt.Printf("cosmicc vet: %d targets verified on %s, all layers clean\n", len(targets)*2, chip.Name)
+}
+
+// vetScale shrinks a benchmark's geometry so the elaborated dataflow graph
+// stays tractable (a few hundred compute nodes) while preserving the
+// topology shape — the same approach the cycle-level simulator tests use.
+func vetScale(b dataset.Benchmark) float64 {
+	maxDim := 0
+	for _, d := range b.Topology {
+		if d > maxDim {
+			maxDim = d
+		}
+	}
+	s := 48.0 / float64(maxDim)
+	if s > 1 {
+		s = 1
+	}
+	return s
+}

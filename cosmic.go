@@ -58,6 +58,10 @@ type Options struct {
 	// TABLABaseline compiles with the prior work's operation-first mapper
 	// and flat-bus template instead of CoSMIC's (for comparisons).
 	TABLABaseline bool
+	// Verify runs the cross-layer verification layer (internal/check) over
+	// every compiled artifact and fails Compile on any error diagnostic —
+	// what `cosmicc vet` and the COSMIC_VET environment variable enable.
+	Verify bool
 }
 
 // Program is a fully compiled accelerator program: the analyzed DSL, its
@@ -85,6 +89,7 @@ func Compile(source string, params map[string]int, chip Chip, opts Options) (*Pr
 		MiniBatch:  opts.MiniBatch,
 		MaxThreads: opts.MaxThreads,
 		Style:      style,
+		Verify:     opts.Verify,
 	})
 	if err != nil {
 		return nil, err

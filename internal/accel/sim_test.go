@@ -490,6 +490,8 @@ func TestSimMatchesInterpreterEval(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// cosmic:ordered — each key accumulates into its own vector, so
+			// cross-key iteration order cannot change any element's sum.
 			for name, g := range grads {
 				for i := range g {
 					perThread[th][name][i] += g[i]

@@ -1,0 +1,24 @@
+package check
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/verilog"
+)
+
+// All runs every layer's checker over a compiled program, bottom of the
+// stack to the top: the dataflow graph, the static schedule, the memory
+// schedule, the evaluation tape, and the encoded microcode. It is what
+// `cosmicc vet` and the COSMIC_VET debug hook execute.
+func All(p *compiler.Program) Diagnostics {
+	ds := Graph(p.Graph)
+	ds = append(ds, Schedule(p)...)
+	ds = append(ds, MemSchedule(p)...)
+	ds = append(ds, Tape(p.Graph)...)
+	img, err := verilog.Encode(p)
+	if err != nil {
+		ds.errorf(LayerMicrocode, "encode", "%v", err)
+		return ds
+	}
+	ds = append(ds, Microcode(img)...)
+	return ds
+}

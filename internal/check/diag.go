@@ -1,0 +1,110 @@
+// Package check is CoSMIC's cross-layer static verification layer: a
+// unified audit of every compiled artifact the stack's correctness rests on
+// — the dataflow graph, the static schedule, the memory-interface schedule,
+// the compiled evaluation tape, and the encoded microcode. Each checker
+// returns structured Diagnostics instead of a bare error so callers (the
+// `cosmicc vet` driver, CI, the debug hook in core.BuildProgram) can report
+// every violation at once, grouped by layer.
+//
+// The invariants live here, in one place, because they are cross-layer by
+// nature: the schedule is only correct *with respect to* the graph, the
+// microcode only with respect to the schedule. A checker never mutates an
+// artifact and never consults how it was built — only what it claims.
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Layer names the artifact a diagnostic is about.
+type Layer string
+
+// The checked layers, in pipeline order.
+const (
+	LayerDFG       Layer = "dfg"
+	LayerSchedule  Layer = "schedule"
+	LayerMemSched  Layer = "memsched"
+	LayerTape      Layer = "tape"
+	LayerMicrocode Layer = "microcode"
+)
+
+// Severity grades a diagnostic. Errors fail `cosmicc vet`; warnings do not.
+type Severity int
+
+// Severities.
+const (
+	Warning Severity = iota
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one verification finding.
+type Diagnostic struct {
+	Layer    Layer
+	Severity Severity
+	// Loc locates the finding within the artifact (a node, PE, queue
+	// entry, …); free-form but stable.
+	Loc string
+	Msg string
+}
+
+// String renders the diagnostic in a vet-style one-line form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s: %s", d.Layer, d.Severity, d.Loc, d.Msg)
+}
+
+// Diagnostics is an ordered finding list.
+type Diagnostics []Diagnostic
+
+// errorf appends an error diagnostic.
+func (ds *Diagnostics) errorf(layer Layer, loc, format string, args ...any) {
+	*ds = append(*ds, Diagnostic{Layer: layer, Severity: Error, Loc: loc, Msg: fmt.Sprintf(format, args...)})
+}
+
+// warnf appends a warning diagnostic.
+func (ds *Diagnostics) warnf(layer Layer, loc, format string, args ...any) {
+	*ds = append(*ds, Diagnostic{Layer: layer, Severity: Warning, Loc: loc, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Errors counts error-severity findings.
+func (ds Diagnostics) Errors() int {
+	n := 0
+	for _, d := range ds {
+		if d.Severity == Error {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any finding is an error.
+func (ds Diagnostics) HasErrors() bool { return ds.Errors() > 0 }
+
+// ByLayer returns the findings for one layer.
+func (ds Diagnostics) ByLayer(l Layer) Diagnostics {
+	var out Diagnostics
+	for _, d := range ds {
+		if d.Layer == l {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders all findings, one per line.
+func (ds Diagnostics) String() string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+	"repro/internal/dsl"
+)
+
+// Graph audits the dataflow graph: structural validity (dense topological
+// IDs — which is the acyclicity proof, since every edge then points
+// backward), arg/consumer edge symmetry, exact ASAP levels and heights, no
+// orphan compute nodes, and binding-table completeness against the DSL
+// unit's symbol table.
+func Graph(g *dfg.Graph) Diagnostics {
+	var ds Diagnostics
+	if err := g.Validate(); err != nil {
+		ds.errorf(LayerDFG, "graph", "%v", err)
+		return ds // IDs unreliable; the remaining checks index by them
+	}
+
+	// Arg/consumer symmetry: the forward and backward edge sets must
+	// describe the same graph, or level/height and the mappers (which walk
+	// Consumers) silently disagree with evaluation (which walks Args).
+	for _, n := range g.Nodes {
+		for _, a := range n.Args {
+			if !containsNode(a.Consumers, n) {
+				ds.errorf(LayerDFG, nodeLoc(n), "argument %d does not list it as a consumer", a.ID)
+			}
+		}
+		for _, c := range n.Consumers {
+			if !containsNode(c.Args, n) {
+				ds.errorf(LayerDFG, nodeLoc(n), "consumer %d does not list it as an argument", c.ID)
+			}
+		}
+	}
+
+	// Exact level/height invariants (the scheduler's priority order and the
+	// planner's width profile both read these).
+	for _, n := range g.Nodes {
+		lvl := 0
+		for _, a := range n.Args {
+			al := a.Level
+			if !a.Op.IsLeaf() {
+				al++
+			}
+			if al > lvl {
+				lvl = al
+			}
+		}
+		if n.Level != lvl {
+			ds.errorf(LayerDFG, nodeLoc(n), "level %d, want %d (ASAP)", n.Level, lvl)
+		}
+		h := 0
+		for _, c := range n.Consumers {
+			if c.Height+1 > h {
+				h = c.Height + 1
+			}
+		}
+		if n.Height != h {
+			ds.errorf(LayerDFG, nodeLoc(n), "height %d, want %d", n.Height, h)
+		}
+	}
+
+	// Orphan compute nodes: a compute node must feed another node or be a
+	// gradient output; anything else is dead work the mapper will still
+	// schedule onto a PE.
+	output := map[int]bool{}
+	for _, outs := range g.Outputs {
+		for _, o := range outs {
+			if o != nil {
+				output[o.ID] = true
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		if !n.Op.IsLeaf() && len(n.Consumers) == 0 && !output[n.ID] {
+			ds.errorf(LayerDFG, nodeLoc(n), "orphan compute node: no consumers and not an output")
+		}
+	}
+
+	// Binding-table completeness per DSL unit: every data/model/gradient
+	// symbol's table must exist with exactly Size() entries, and each leaf
+	// must sit at its own element index.
+	if g.Unit != nil {
+		checkLeafTables(&ds, g, dsl.KindModelInput, g.DataLeaves)
+		checkLeafTables(&ds, g, dsl.KindModelOutput, g.DataLeaves)
+		checkLeafTables(&ds, g, dsl.KindModel, g.ModelLeaves)
+		grads := map[string]bool{}
+		for _, sym := range g.Unit.SymbolsOfKind(dsl.KindGradient) {
+			grads[sym.Name] = true
+			outs, ok := g.Outputs[sym.Name]
+			if !ok {
+				ds.errorf(LayerDFG, "output "+sym.Name, "gradient symbol has no output table")
+				continue
+			}
+			if len(outs) != sym.Size() {
+				ds.errorf(LayerDFG, "output "+sym.Name, "table has %d entries, symbol has %d elements", len(outs), sym.Size())
+			}
+		}
+		for name := range g.Outputs {
+			if !grads[name] {
+				ds.errorf(LayerDFG, "output "+name, "output table for non-gradient symbol")
+			}
+		}
+		order := map[string]bool{}
+		for _, name := range g.OutputOrder {
+			order[name] = true
+		}
+		if len(g.OutputOrder) != len(g.Outputs) {
+			ds.errorf(LayerDFG, "outputs", "OutputOrder lists %d symbols, Outputs holds %d", len(g.OutputOrder), len(g.Outputs))
+		}
+		for name := range grads {
+			if !order[name] {
+				ds.errorf(LayerDFG, "output "+name, "gradient symbol missing from OutputOrder")
+			}
+		}
+	}
+	return ds
+}
+
+// checkLeafTables audits the leaf tables of one symbol kind against the
+// unit: table length matches the symbol extent, and every non-nil leaf
+// carries its own (Var, Index) identity.
+func checkLeafTables(ds *Diagnostics, g *dfg.Graph, kind dsl.VarKind, tables map[string][]*dfg.Node) {
+	leafOp := dfg.OpData
+	if kind == dsl.KindModel {
+		leafOp = dfg.OpModel
+	}
+	for _, sym := range g.Unit.SymbolsOfKind(kind) {
+		leaves, ok := tables[sym.Name]
+		if !ok {
+			// Legal — the words still stream and are discarded by the
+			// shifter — but worth surfacing: it is usually a typo in the DSL.
+			ds.warnf(LayerDFG, "leaf "+sym.Name, "%s symbol is never referenced; its words stream as padding", sym.Kind)
+			continue
+		}
+		loc := "leaf " + sym.Name
+		if len(leaves) != sym.Size() {
+			ds.errorf(LayerDFG, loc, "table has %d entries, symbol has %d elements", len(leaves), sym.Size())
+			continue
+		}
+		for i, leaf := range leaves {
+			if leaf == nil {
+				continue
+			}
+			if leaf.Op != leafOp || leaf.Var != sym.Name || leaf.Index != i {
+				ds.errorf(LayerDFG, loc, "entry %d is %s %s[%d]", i, leaf.Op, leaf.Var, leaf.Index)
+			}
+		}
+	}
+}
+
+func containsNode(ns []*dfg.Node, want *dfg.Node) bool {
+	for _, n := range ns {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+func nodeLoc(n *dfg.Node) string { return fmt.Sprintf("node %d (%s)", n.ID, n.Op) }

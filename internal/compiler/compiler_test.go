@@ -254,6 +254,66 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	}
 }
 
+func TestValidateCatchesIssueOrderOmission(t *testing.T) {
+	g := graphFor(t, dsl.SourceSVM, map[string]int{"M": 8})
+	p, err := Compile(g, testPlan(1, 2), StyleCoSMIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.IssueOrder = p.IssueOrder[:len(p.IssueOrder)-1]
+	if err := p.Validate(); err == nil {
+		t.Error("expected issue-order omission error")
+	}
+}
+
+func TestValidateCatchesIssueOrderDuplicate(t *testing.T) {
+	g := graphFor(t, dsl.SourceSVM, map[string]int{"M": 8})
+	p, err := Compile(g, testPlan(1, 2), StyleCoSMIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.IssueOrder[len(p.IssueOrder)-1] = p.IssueOrder[0]
+	if err := p.Validate(); err == nil {
+		t.Error("expected issue-order duplicate error")
+	}
+}
+
+func TestValidateCatchesCrossPEDependencyViolation(t *testing.T) {
+	g := graphFor(t, dsl.SourceSVM, map[string]int{"M": 32})
+	p, err := Compile(g, testPlan(1, 2), StyleCoSMIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a consumer issued after a compute operand that lives on a
+	// different PE, and swap the pair: each PE's own program order is
+	// untouched, so only the global (cross-PE) dependency check can fire.
+	pos := map[int]int{}
+	for i, id := range p.IssueOrder {
+		pos[id] = i
+	}
+	found := false
+	for j, id := range p.IssueOrder {
+		for _, a := range g.Nodes[id].Args {
+			if a.Op.IsLeaf() || p.PE[a.ID] == p.PE[id] {
+				continue
+			}
+			i := pos[a.ID]
+			p.IssueOrder[i], p.IssueOrder[j] = p.IssueOrder[j], p.IssueOrder[i]
+			found = true
+			break
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Skip("no cross-PE dependency in this mapping")
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("expected cross-PE dependency violation")
+	}
+}
+
 func TestInterconnectFollowsStyle(t *testing.T) {
 	g := graphFor(t, dsl.SourceSVM, map[string]int{"M": 8})
 	c, _ := Compile(g, testPlan(1, 1), StyleCoSMIC)

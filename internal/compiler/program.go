@@ -143,20 +143,43 @@ func (p *Program) Validate() error {
 		if !seen[n.ID] {
 			return fmt.Errorf("compiler: compute node %d never scheduled", n.ID)
 		}
-		// Issue order within a PE must respect same-PE dependencies.
 	}
-	for _, ops := range p.PEOps {
-		pos := map[int]int{}
-		for i, id := range ops {
-			pos[id] = i
+	// IssueOrder must be a permutation of the compute nodes…
+	pos := make(map[int]int, len(p.IssueOrder))
+	for i, id := range p.IssueOrder {
+		if id < 0 || id >= len(p.Graph.Nodes) || p.Graph.Nodes[id].Op.IsLeaf() {
+			return fmt.Errorf("compiler: issue order entry %d is not a compute node", id)
 		}
-		for i, id := range ops {
-			for _, a := range p.Graph.Nodes[id].Args {
-				if j, ok := pos[a.ID]; ok && j > i {
-					return fmt.Errorf("compiler: node %d issued before same-PE operand %d", id, a.ID)
-				}
+		if _, dup := pos[id]; dup {
+			return fmt.Errorf("compiler: node %d issued twice", id)
+		}
+		pos[id] = i
+	}
+	if len(pos) != p.Graph.NumOps() {
+		return fmt.Errorf("compiler: issue order covers %d of %d compute nodes", len(pos), p.Graph.NumOps())
+	}
+	// …in a topological order: every compute operand — on any PE — is
+	// issued before its consumer (global def-before-use).
+	for i, id := range p.IssueOrder {
+		for _, a := range p.Graph.Nodes[id].Args {
+			if a.Op.IsLeaf() {
+				continue
+			}
+			if pos[a.ID] > i {
+				return fmt.Errorf("compiler: node %d (PE %d) issued before operand %d (PE %d)",
+					id, p.PE[id], a.ID, p.PE[a.ID])
 			}
 		}
+	}
+	// Each PE's program must be exactly its subsequence of the issue order
+	// (the memory interface replays one global schedule per thread).
+	cursor := make([]int, p.NPE)
+	for _, id := range p.IssueOrder {
+		pe := p.PE[id]
+		if cursor[pe] >= len(p.PEOps[pe]) || p.PEOps[pe][cursor[pe]] != id {
+			return fmt.Errorf("compiler: PE %d program disagrees with issue order at node %d", pe, id)
+		}
+		cursor[pe]++
 	}
 	return nil
 }

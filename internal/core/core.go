@@ -13,7 +13,11 @@
 package core
 
 import (
+	"fmt"
+	"os"
+
 	"repro/internal/arch"
+	"repro/internal/check"
 	"repro/internal/compiler"
 	"repro/internal/dfg"
 	"repro/internal/dsl"
@@ -21,6 +25,10 @@ import (
 	"repro/internal/planner"
 	"repro/internal/verilog"
 )
+
+// envVerify turns on post-compile artifact verification for every build in
+// the process — the same switch dfg.CompileTape honors for its self-check.
+var envVerify = os.Getenv("COSMIC_VET") != ""
 
 // BuildOptions tunes the pipeline.
 type BuildOptions struct {
@@ -31,6 +39,10 @@ type BuildOptions struct {
 	MaxThreads int
 	// Style selects CoSMIC's data-first mapping or the TABLA baseline.
 	Style compiler.Style
+	// Verify runs the full internal/check verification layer over the
+	// compiled artifacts and fails the build on any error diagnostic.
+	// Setting COSMIC_VET=1 in the environment enables it for every build.
+	Verify bool
 }
 
 // Build is the fully compiled result: every layer's artifact.
@@ -71,6 +83,11 @@ func BuildProgram(source string, params map[string]int, chip arch.ChipSpec, opts
 	prog, err := compiler.Compile(graph, point.Plan, opts.Style)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Verify || envVerify {
+		if ds := check.All(prog); ds.HasErrors() {
+			return nil, fmt.Errorf("core: artifact verification found %d errors:\n%s", ds.Errors(), ds)
+		}
 	}
 	return &Build{Unit: unit, Graph: graph, Point: point, Program: prog}, nil
 }

@@ -126,6 +126,11 @@ func (g *Graph) CompileTape() (*Tape, error) {
 		}
 		t.outs = append(t.outs, outGather{name: name, slots: slots})
 	}
+	if debugCheck {
+		if issues := t.Check(g); len(issues) > 0 {
+			return nil, fmt.Errorf("dfg: tape self-check failed: %s", issues[0])
+		}
+	}
 	return t, nil
 }
 

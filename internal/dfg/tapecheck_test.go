@@ -1,0 +1,107 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+)
+
+func tapeFor(t *testing.T, src string, params map[string]int) (*Graph, *Tape) {
+	t.Helper()
+	u, err := dsl.ParseAndAnalyze(src, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Translate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape, err := g.CompileTape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tape
+}
+
+func TestTapeCheckCleanOnAllSources(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		params map[string]int
+	}{
+		{"linreg", dsl.SourceLinearRegression, map[string]int{"M": 16}},
+		{"logreg", dsl.SourceLogisticRegression, map[string]int{"M": 16}},
+		{"svm", dsl.SourceSVM, map[string]int{"M": 16}},
+		{"backprop", dsl.SourceBackprop, map[string]int{"IN": 6, "HID": 4, "OUT": 3}},
+		{"cf", dsl.SourceCollaborativeFiltering, map[string]int{"NU": 5, "NV": 4, "K": 3}},
+		{"softmax", dsl.SourceSoftmax, map[string]int{"M": 8, "C": 3}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, tape := tapeFor(t, c.src, c.params)
+			if issues := tape.Check(g); len(issues) != 0 {
+				t.Errorf("fresh tape reported issues: %v", issues)
+			}
+		})
+	}
+}
+
+// TestTapeCheckCatchesCorruption corrupts one field per case and asserts the
+// audit names the damage.
+func TestTapeCheckCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*Tape)
+		want    string
+	}{
+		{"operand-out-of-bounds", func(tp *Tape) {
+			tp.instrs[0].a = int32(tp.nSlots) + 7
+		}, "operand"},
+		{"operand-not-topological", func(tp *Tape) {
+			tp.instrs[0].a = tp.instrs[0].dst
+		}, "strictly before"},
+		{"wrong-opcode", func(tp *Tape) {
+			tp.instrs[0].op = OpTanh
+		}, "op tanh"},
+		{"dst-out-of-range", func(tp *Tape) {
+			tp.instrs[0].dst = -3
+		}, "destination slot"},
+		{"const-drift", func(tp *Tape) {
+			for i := range tp.template {
+				tp.template[i] += 41
+			}
+		}, "template slot"},
+		{"binding-retarget", func(tp *Tape) {
+			tp.data[0].loads[0].elem++
+		}, "binding"},
+		{"binding-dropped", func(tp *Tape) {
+			tp.data[0].loads = tp.data[0].loads[:len(tp.data[0].loads)-1]
+		}, "never loaded"},
+		{"output-retarget", func(tp *Tape) {
+			tp.outs[0].slots[0] = 0
+		}, "output"},
+		{"instr-dropped", func(tp *Tape) {
+			tp.instrs = tp.instrs[:len(tp.instrs)-1]
+		}, "instructions"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, tape := tapeFor(t, dsl.SourceSVM, map[string]int{"M": 12})
+			c.corrupt(tape)
+			issues := tape.Check(g)
+			if len(issues) == 0 {
+				t.Fatal("corruption not detected")
+			}
+			found := false
+			for _, is := range issues {
+				if strings.Contains(is, c.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no issue mentions %q: %v", c.want, issues)
+			}
+		})
+	}
+}

@@ -4,10 +4,26 @@ import "strconv"
 
 // Parser is a recursive-descent parser for the CoSMIC DSL.
 type Parser struct {
-	toks []Token
-	pos  int
-	src  string
+	toks  []Token
+	pos   int
+	src   string
+	depth int
 }
+
+// maxNestingDepth bounds expression recursion so adversarial inputs (a
+// kilobyte of '-' or '(') fail with a parse error instead of overflowing
+// the goroutine stack. Real DSL programs nest a handful of levels.
+const maxNestingDepth = 200
+
+func (p *Parser) enter() error {
+	p.depth++
+	if p.depth > maxNestingDepth {
+		return errorf(p.cur().Pos, "expression nesting exceeds %d levels", maxNestingDepth)
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // Parse parses a complete DSL program.
 func Parse(src string) (*Program, error) {
@@ -234,6 +250,10 @@ func (p *Parser) parseAssign() (*Assign, error) {
 
 // parseExpr parses a full expression (lowest precedence: ternary).
 func (p *Parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	cond, err := p.parseComparison()
 	if err != nil {
 		return nil, err
@@ -332,6 +352,10 @@ func (p *Parser) parseMultiplicative() (Expr, error) {
 
 func (p *Parser) parseUnary() (Expr, error) {
 	if p.cur().Kind == TokMinus {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		defer p.leave()
 		t := p.next()
 		x, err := p.parseUnary()
 		if err != nil {
