@@ -2,25 +2,58 @@
 // figure of Section 7, printed as aligned text tables with the paper's own
 // numbers quoted for comparison.
 //
+// Besides the text tables, each run writes a machine-readable
+// BENCH_<timestamp>.json into -out (see README "Benchmark artifacts" for
+// the schema): one entry per experiment with its wall time, plus one
+// cycle-level simulator entry per algorithm family with simulated cycles
+// and compute utilization.
+//
 // Usage:
 //
 //	cosmic-bench                  # run everything, in paper order
 //	cosmic-bench -experiment fig7 # run one experiment
 //	cosmic-bench -list            # list experiment identifiers
+//	cosmic-bench -out /tmp        # write BENCH_<timestamp>.json there
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
+	cosmic "repro"
+	"repro/internal/dsl"
 	"repro/internal/experiments"
+	"repro/internal/ml"
 )
+
+// benchEntry is one measurement in the BENCH_<timestamp>.json artifact.
+type benchEntry struct {
+	// Name is "experiment/<id>" or "sim/<benchmark>".
+	Name string `json:"name"`
+	// NsPerOp is the wall time of one operation: a full experiment run for
+	// experiment entries, one RunBatch call for sim entries.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Cycles and Utilization are set on sim entries only: total simulated
+	// cycles for the batch and the compute fraction of them.
+	Cycles      int64   `json:"cycles,omitempty"`
+	Utilization float64 `json:"utilization,omitempty"`
+}
+
+// benchReport is the artifact's top level.
+type benchReport struct {
+	Timestamp string       `json:"timestamp"`
+	Entries   []benchEntry `json:"entries"`
+}
 
 func main() {
 	exp := flag.String("experiment", "", "experiment to run (empty = all); one of "+strings.Join(experiments.IDs(), ", "))
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
+	out := flag.String("out", ".", "directory for the BENCH_<timestamp>.json artifact (empty = don't write)")
 	flag.Parse()
 
 	if *list {
@@ -30,17 +63,85 @@ func main() {
 		return
 	}
 
+	report := benchReport{Timestamp: time.Now().UTC().Format("20060102T150405Z")}
 	runner := experiments.NewRunner()
 	ids := experiments.IDs()
 	if *exp != "" {
 		ids = []string{*exp}
 	}
 	for _, id := range ids {
+		start := time.Now()
 		rep, err := runner.Run(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cosmic-bench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		report.Entries = append(report.Entries, benchEntry{
+			Name: "experiment/" + id, NsPerOp: float64(time.Since(start).Nanoseconds()),
+		})
 		fmt.Println(rep)
 	}
+	// One cycle-level accelerator measurement per algorithm family: the
+	// steady-state batch on the paper's primary FPGA target.
+	for _, name := range []string{"tumor", "stock", "face", "mnist", "movielens"} {
+		e, err := simMicro(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosmic-bench: sim/%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		report.Entries = append(report.Entries, e)
+	}
+
+	if *out != "" {
+		path := filepath.Join(*out, "BENCH_"+report.Timestamp+".json")
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosmic-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cosmic-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d entries)\n", path, len(report.Entries))
+	}
+}
+
+// simMicro compiles a benchmark at small geometry and times one simulated
+// batch, reporting cycles and compute utilization.
+func simMicro(name string) (benchEntry, error) {
+	const vectors = 32
+	bench, err := cosmic.BenchmarkByName(name)
+	if err != nil {
+		return benchEntry{}, err
+	}
+	alg := bench.Algorithm(0.01)
+	prog, err := cosmic.Compile(alg.DSLSource(), alg.DSLParams(), cosmic.UltraScalePlus,
+		cosmic.Options{MiniBatch: vectors})
+	if err != nil {
+		return benchEntry{}, err
+	}
+	data := bench.Generate(alg, vectors, 1)
+	parts := make([][]map[string][]float64, prog.Plan().Threads)
+	for t, part := range ml.Partition(data, prog.Plan().Threads) {
+		for _, s := range part {
+			parts[t] = append(parts[t], alg.PackSample(s))
+		}
+	}
+	model := make([]float64, alg.ModelSize())
+	sim := prog.Simulator()
+	start := time.Now()
+	res, err := sim.RunBatch(alg.PackModel(model), parts, bench.DefaultLR(alg), dsl.AggAverage)
+	if err != nil {
+		return benchEntry{}, err
+	}
+	e := benchEntry{
+		Name:    "sim/" + bench.Name,
+		NsPerOp: float64(time.Since(start).Nanoseconds()),
+		Cycles:  res.Cycles,
+	}
+	if res.Cycles > 0 {
+		e.Utilization = float64(res.ComputeCycles) / float64(res.Cycles)
+	}
+	return e, nil
 }

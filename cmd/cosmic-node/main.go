@@ -6,25 +6,44 @@
 // Usage:
 //
 //	cosmic-run  -bench tumor -nodes 4 -groups 2 -listen 127.0.0.1:9070 &
-//	cosmic-node -join 127.0.0.1:9070 &   # × 3
+//	cosmic-node -join 127.0.0.1:9070 -http 127.0.0.1:9071 &   # × 3
+//
+// -http serves live telemetry while the node trains: /metrics is the
+// Prometheus text exposition of the node's counters (frames received,
+// aggregation fan-in, ring depth), and /debug/pprof/ exposes the standard
+// Go profiling endpoints.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"repro/internal/deploy"
+	"repro/internal/obs"
 )
 
 func main() {
 	join := flag.String("join", "", "master control address to join")
+	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof/ on this address while training")
 	flag.Parse()
 	if *join == "" {
 		fmt.Fprintln(os.Stderr, "cosmic-node: -join <addr> is required")
 		os.Exit(2)
 	}
-	if err := deploy.RunWorker(*join); err != nil {
+	var o *obs.Observer
+	if *httpAddr != "" {
+		o = obs.New()
+		srv := &http.Server{Addr: *httpAddr, Handler: obs.NewHTTPMux(o.Registry())}
+		go func() {
+			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "cosmic-node: http: %v\n", err)
+			}
+		}()
+		fmt.Printf("cosmic-node: serving /metrics and /debug/pprof/ on %s\n", *httpAddr)
+	}
+	if err := deploy.RunWorkerObs(*join, o); err != nil {
 		fmt.Fprintf(os.Stderr, "cosmic-node: %v\n", err)
 		os.Exit(1)
 	}

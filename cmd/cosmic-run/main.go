@@ -35,6 +35,8 @@ func main() {
 	dataFile := flag.String("data", "", "load training data from this file (written with -save-data) instead of generating it")
 	saveData := flag.String("save-data", "", "generate the dataset, write it here, and exit")
 	listen := flag.String("listen", "", "multi-process mode: listen here as the master and wait for cosmic-node workers to join")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run here (view at ui.perfetto.dev)")
+	metricsPath := flag.String("metrics", "", "write a Prometheus text exposition here")
 	flag.Parse()
 
 	if *listen != "" {
@@ -76,16 +78,21 @@ func main() {
 	}
 	model := alg.InitModel(rand.New(rand.NewSource(*seed)))
 
+	var o *cosmic.Observer
+	if *tracePath != "" || *metricsPath != "" {
+		o = cosmic.NewObserver()
+	}
 	cfg := cosmic.ClusterConfig{
 		Nodes: *nodes, Groups: *groups, Threads: *threads,
 		MiniBatch:    *batch,
 		LearningRate: bench.DefaultLR(alg),
 		Average:      true,
 		Rounds:       *rounds,
+		Obs:          o,
 	}
 	if *useSim {
 		prog, err := cosmic.Compile(alg.DSLSource(), alg.DSLParams(), cosmic.UltraScalePlus,
-			cosmic.Options{MiniBatch: *batch / *nodes})
+			cosmic.Options{MiniBatch: *batch / *nodes, Obs: o})
 		if err != nil {
 			fatal(err)
 		}
@@ -106,8 +113,22 @@ func main() {
 	fmt.Printf("trained:   %d rounds, loss %.5f -> %.5f (%.1f%% reduction)\n",
 		res.Rounds, res.InitialLoss, res.FinalLoss,
 		100*(1-res.FinalLoss/res.InitialLoss))
+	fmt.Printf("rounds:    p50 %v, p95 %v, max %v; network %.2f MB sent\n",
+		res.RoundP50, res.RoundP95, res.RoundMax, float64(res.NetworkSentBytes)/1e6)
 	if res.AccelCycles > 0 {
 		fmt.Printf("simulated: %d total accelerator cycles across the cluster\n", res.AccelCycles)
+	}
+	if err := o.WriteTraceFile(*tracePath); err != nil {
+		fatal(err)
+	}
+	if *tracePath != "" {
+		fmt.Printf("trace:     %s (load at https://ui.perfetto.dev)\n", *tracePath)
+	}
+	if err := o.WriteMetricsFile(*metricsPath); err != nil {
+		fatal(err)
+	}
+	if *metricsPath != "" {
+		fmt.Printf("metrics:   %s\n", *metricsPath)
 	}
 }
 
@@ -123,6 +144,9 @@ func runDistributed(addr string, spec deploy.Spec) {
 	fmt.Printf("trained:   %d rounds, loss %.5f -> %.5f (%.1f%% reduction)\n",
 		res.Stats.Rounds, res.InitialLoss, res.FinalLoss,
 		100*(1-res.FinalLoss/res.InitialLoss))
+	fmt.Printf("rounds:    p50 %v, p95 %v, max %v; network %.2f MB sent\n",
+		res.Stats.RoundP50, res.Stats.RoundP95, res.Stats.RoundMax,
+		float64(res.Stats.NetworkSentBytes)/1e6)
 }
 
 func fatal(err error) {

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	cosmic-sim -bench face -scale 0.02 -vectors 64 -chip ultrascale+
+//	cosmic-sim -bench logistic -trace trace.json -metrics metrics.prom
+//
+// -trace writes a Chrome trace-event JSON (load at ui.perfetto.dev) with
+// per-phase compile spans in the wall-clock process and per-PE / per-thread
+// activity in the simulated-cycle process; -metrics writes a Prometheus
+// text exposition of every counter the run touched.
 package main
 
 import (
@@ -35,6 +41,8 @@ func main() {
 	vectors := flag.Int("vectors", 64, "training vectors to push through the accelerator")
 	chipName := flag.String("chip", "ultrascale+", "target chip")
 	seed := flag.Int64("seed", 1, "dataset seed")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON here (view at ui.perfetto.dev)")
+	metricsPath := flag.String("metrics", "", "write a Prometheus text exposition here")
 	flag.Parse()
 
 	chip, ok := chips[strings.ToLower(*chipName)]
@@ -45,8 +53,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var o *cosmic.Observer
+	if *tracePath != "" || *metricsPath != "" {
+		o = cosmic.NewObserver()
+	}
 	alg := bench.Algorithm(*scale)
-	prog, err := cosmic.Compile(alg.DSLSource(), alg.DSLParams(), chip, cosmic.Options{MiniBatch: *vectors})
+	prog, err := cosmic.Compile(alg.DSLSource(), alg.DSLParams(), chip, cosmic.Options{MiniBatch: *vectors, Obs: o})
 	if err != nil {
 		fatal(err)
 	}
@@ -62,6 +74,7 @@ func main() {
 
 	// Run the cycle-level simulator.
 	sim := prog.Simulator()
+	sim.Attach(o)
 	parts := make([][]map[string][]float64, plan.Threads)
 	for t, part := range ml.Partition(data, plan.Threads) {
 		for _, s := range part {
@@ -91,10 +104,25 @@ func main() {
 	fmt.Printf("           %.1f cycles/vector steady state; stream %d cycles, compute %d cycles\n",
 		float64(res.Cycles)/float64(*vectors), res.StreamCycles, res.ComputeCycles)
 	fmt.Printf("verify:    max |sim - reference| = %.3g over %d parameters", maxErr, len(want))
-	if maxErr < 1e-9 {
+	verifyOK := maxErr < 1e-9
+	if verifyOK {
 		fmt.Println("  [OK]")
 	} else {
 		fmt.Println("  [MISMATCH]")
+	}
+	if err := o.WriteTraceFile(*tracePath); err != nil {
+		fatal(err)
+	}
+	if *tracePath != "" {
+		fmt.Printf("trace:     %s (load at https://ui.perfetto.dev)\n", *tracePath)
+	}
+	if err := o.WriteMetricsFile(*metricsPath); err != nil {
+		fatal(err)
+	}
+	if *metricsPath != "" {
+		fmt.Printf("metrics:   %s\n", *metricsPath)
+	}
+	if !verifyOK {
 		os.Exit(1)
 	}
 }

@@ -30,9 +30,19 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfg"
 	"repro/internal/dsl"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/verilog"
 )
+
+// Observer re-exports the telemetry sink: a metrics registry plus a span
+// tracer. Pass one to Options / ClusterConfig (or Sim.Attach) to record
+// per-phase compile spans, cycle-level accelerator activity, and per-round
+// cluster telemetry; nil disables everything at zero cost.
+type Observer = obs.Observer
+
+// NewObserver creates an enabled telemetry sink.
+func NewObserver() *Observer { return obs.New() }
 
 // Chip re-exports the chip specification type.
 type Chip = arch.ChipSpec
@@ -62,6 +72,9 @@ type Options struct {
 	// every compiled artifact and fails Compile on any error diagnostic —
 	// what `cosmicc vet` and the COSMIC_VET environment variable enable.
 	Verify bool
+	// Obs, when non-nil, records a wall-clock span per compile phase plus
+	// build counters.
+	Obs *Observer
 }
 
 // Program is a fully compiled accelerator program: the analyzed DSL, its
@@ -90,6 +103,7 @@ func Compile(source string, params map[string]int, chip Chip, opts Options) (*Pr
 		MaxThreads: opts.MaxThreads,
 		Style:      style,
 		Verify:     opts.Verify,
+		Obs:        opts.Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -30,11 +30,14 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/compiler"
 	"repro/internal/dfg"
 	"repro/internal/dsl"
+	"repro/internal/obs"
 )
 
 // PipelineDepth is the PE pipeline depth: read, register, operand-select,
@@ -98,6 +101,13 @@ type Sim struct {
 	interval int64
 	// streamPerVec is the memory-interface cycles to deliver one vector.
 	streamPerVec int
+
+	// mx holds the pre-resolved telemetry instruments (nil = disabled; the
+	// RunBatch hot path then takes a single nil check). cycleBase is the
+	// simulated-cycle offset of the next batch, so consecutive batches lay
+	// out end to end on the trace timeline.
+	mx        *simObs
+	cycleBase int64
 }
 
 // New creates a simulator for the compiled program. The thread count comes
@@ -116,6 +126,131 @@ func New(prog *compiler.Program) *Sim {
 // worker count — threads are functionally independent until the final
 // cross-thread reduction, which always runs in thread order.
 func (s *Sim) SetWorkers(n int) { s.workers = n }
+
+// simObs is the simulator's telemetry: instruments resolved once at Attach
+// so RunBatch never touches the registry's lock or allocates for metrics.
+type simObs struct {
+	tr *obs.Tracer
+
+	batches, vectors, cycles    *obs.Counter
+	streamCycles, computeCycles *obs.Counter
+	broadcastCycles, aggCycles  *obs.Counter
+	peBusy, peIdle              []*obs.Counter // indexed by PE
+	busKeys                     []int          // sorted bus segment ids
+	busTransfers                []*obs.Counter // parallel to busKeys
+	threadVectors               *obs.Histogram
+}
+
+// Attach wires the simulator to an observer: per-PE busy/idle cycle
+// counters, per-bus-segment transfer counters, thread-occupancy histogram,
+// reduction-tree (aggregation write-back) latency, and simulated-cycle trace
+// spans for every batch. Attach(nil) detaches; a detached simulator's
+// RunBatch is allocation-free.
+func (s *Sim) Attach(o *obs.Observer) {
+	if o == nil {
+		s.mx = nil
+		return
+	}
+	reg := o.Registry()
+	mx := &simObs{tr: o.Tracer()}
+	mx.batches = reg.Counter("cosmic_sim_batches_total")
+	mx.vectors = reg.Counter("cosmic_sim_vectors_total")
+	mx.cycles = reg.Counter("cosmic_sim_cycles_total")
+	mx.streamCycles = reg.Counter("cosmic_sim_stream_cycles_total")
+	mx.computeCycles = reg.Counter("cosmic_sim_compute_cycles_total")
+	mx.broadcastCycles = reg.Counter("cosmic_sim_broadcast_cycles_total")
+	mx.aggCycles = reg.Counter("cosmic_sim_reduce_cycles_total")
+	for pe := range s.peLoad {
+		id := strconv.Itoa(pe)
+		mx.peBusy = append(mx.peBusy, reg.Counter(obs.Labeled("cosmic_sim_pe_busy_cycles_total", "pe", id)))
+		mx.peIdle = append(mx.peIdle, reg.Counter(obs.Labeled("cosmic_sim_pe_idle_cycles_total", "pe", id)))
+	}
+	for bus := range s.busLoad {
+		mx.busKeys = append(mx.busKeys, bus)
+	}
+	sort.Ints(mx.busKeys)
+	for _, bus := range mx.busKeys {
+		mx.busTransfers = append(mx.busTransfers,
+			reg.Counter(obs.Labeled("cosmic_sim_bus_transfers_total", "bus", busName(bus))))
+	}
+	mx.threadVectors = reg.Histogram("cosmic_sim_thread_vectors",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+
+	for t := 0; t < s.threads; t++ {
+		mx.tr.NameThread(obs.PIDAccel, t, "thread "+strconv.Itoa(t))
+	}
+	for pe := range s.peLoad {
+		mx.tr.NameThread(obs.PIDAccel, peTraceTID+pe, "pe "+strconv.Itoa(pe))
+	}
+	s.mx = mx
+}
+
+// peTraceTID offsets per-PE trace rows past the per-thread rows.
+const peTraceTID = 1 << 10
+
+// busName renders a bus segment id for metric labels.
+func busName(bus int) string {
+	switch {
+	case bus >= busGroup:
+		return "group" + strconv.Itoa(bus-busGroup)
+	case bus >= busFlat:
+		return "flat"
+	case bus >= busTree:
+		return "tree" + strconv.Itoa(bus-busTree)
+	default:
+		return "row" + strconv.Itoa(bus)
+	}
+}
+
+// recordBatch emits the batch's metrics and simulated-cycle spans. The
+// analytic timing model gives per-resource occupancies, not per-cycle
+// events, so spans are laid out on the model's phase boundaries: model
+// broadcast, then the threads' (and their PEs') steady-state compute, then
+// the tree-bus reduction and write-back.
+func (s *Sim) recordBatch(res *BatchResult, maxVecs int) {
+	mx := s.mx
+	totalVecs := sumInts(res.ThreadVectors)
+
+	mx.batches.Inc()
+	mx.vectors.Add(totalVecs)
+	mx.cycles.Add(res.Cycles)
+	mx.streamCycles.Add(res.StreamCycles)
+	mx.computeCycles.Add(res.ComputeCycles)
+	broadcast := s.ModelBroadcastCycles()
+	reduce := s.AggWritebackCycles()
+	mx.broadcastCycles.Add(broadcast)
+	mx.aggCycles.Add(reduce)
+	for pe, load := range s.peLoad {
+		busy := load * int64(maxVecs)
+		mx.peBusy[pe].Add(busy)
+		if idle := res.Cycles - busy; idle > 0 {
+			mx.peIdle[pe].Add(idle)
+		}
+	}
+	// busLoad counts one thread's per-vector transmissions; every thread
+	// replays the schedule on its own sub-array's segments.
+	for i, bus := range mx.busKeys {
+		mx.busTransfers[i].Add(s.busLoad[bus] * totalVecs)
+	}
+	for _, n := range res.ThreadVectors {
+		mx.threadVectors.Observe(float64(n))
+	}
+
+	base := s.cycleBase
+	computeEnd := s.CyclesForRounds(maxVecs)
+	mx.tr.Cycles("accel", "model-broadcast", 0, base, broadcast, nil)
+	for t, n := range res.ThreadVectors {
+		mx.tr.Cycles("accel", "thread-compute", t, base+broadcast, computeEnd-broadcast,
+			map[string]any{"vectors": n})
+	}
+	for pe, load := range s.peLoad {
+		if busy := load * int64(maxVecs); busy > 0 {
+			mx.tr.Cycles("accel", "pe-busy", peTraceTID+pe, base+broadcast, busy, nil)
+		}
+	}
+	mx.tr.Cycles("accel", "tree-reduce", 0, base+computeEnd, reduce, nil)
+	s.cycleBase = base + computeEnd + reduce
+}
 
 // analyze derives the static occupancy profile and single-vector makespan.
 func (s *Sim) analyze() {
@@ -515,6 +650,9 @@ func (s *Sim) RunBatch(model map[string][]float64, parts [][]map[string][]float6
 	res.Cycles = s.CyclesForRounds(maxVecs) + s.AggWritebackCycles()
 	res.StreamCycles = s.ModelBroadcastCycles() + int64(s.streamPerVec)*sumInts(res.ThreadVectors)
 	res.ComputeCycles = s.MaxPELoad() * int64(maxVecs)
+	if s.mx != nil {
+		s.recordBatch(res, maxVecs)
+	}
 
 	// Functional aggregation across threads (the tree-bus ALUs' job).
 	switch agg {

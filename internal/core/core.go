@@ -21,6 +21,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/dfg"
 	"repro/internal/dsl"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/planner"
 	"repro/internal/verilog"
@@ -43,6 +44,10 @@ type BuildOptions struct {
 	// compiled artifacts and fails the build on any error diagnostic.
 	// Setting COSMIC_VET=1 in the environment enables it for every build.
 	Verify bool
+	// Obs, when non-nil, records one wall-clock span per pipeline phase
+	// (parse → translate → plan → map-schedule → verify, and microcode on
+	// Verilog emission) plus build counters. nil disables all of it.
+	Obs *obs.Observer
 }
 
 // Build is the fully compiled result: every layer's artifact.
@@ -51,16 +56,26 @@ type Build struct {
 	Graph   *dfg.Graph
 	Point   planner.DesignPoint
 	Program *compiler.Program
+
+	// obs carries the build's observer into on-demand phases (Verilog).
+	obs *obs.Observer
 }
 
 // BuildProgram runs the stack front to back (everything except RTL
 // emission, which Verilog does on demand).
 func BuildProgram(source string, params map[string]int, chip arch.ChipSpec, opts BuildOptions) (*Build, error) {
+	tr := opts.Obs.Tracer()
+	whole := tr.Begin("compile", "build-program", 0)
+
+	sp := tr.Begin("compile", "parse", 0)
 	unit, err := dsl.ParseAndAnalyze(source, params)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.Begin("compile", "translate", 0)
 	graph, err := dfg.Translate(unit)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -72,32 +87,53 @@ func BuildProgram(source string, params map[string]int, chip arch.ChipSpec, opts
 	if opts.Style == compiler.StyleTABLA {
 		maxThreads = 1
 	}
+	sp = tr.Begin("compile", "plan", 0)
 	point, err := planner.Plan(graph, chip, planner.Options{
 		MiniBatch:  miniBatch,
 		Style:      opts.Style,
 		MaxThreads: maxThreads,
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.Begin("compile", "map-schedule", 0)
 	prog, err := compiler.Compile(graph, point.Plan, opts.Style)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	if opts.Verify || envVerify {
-		if ds := check.All(prog); ds.HasErrors() {
+		sp = tr.Begin("compile", "verify", 0)
+		ds := check.All(prog)
+		sp.End()
+		if ds.HasErrors() {
 			return nil, fmt.Errorf("core: artifact verification found %d errors:\n%s", ds.Errors(), ds)
 		}
 	}
-	return &Build{Unit: unit, Graph: graph, Point: point, Program: prog}, nil
+	s := graph.Summary()
+	whole.EndArgs(map[string]any{
+		"ops": s.ComputeOps, "threads": point.Plan.Threads, "style": opts.Style.String(),
+	})
+	if reg := opts.Obs.Registry(); reg != nil {
+		reg.Counter("cosmic_compile_builds_total").Inc()
+		reg.Counter("cosmic_compile_ops_total").Add(int64(s.ComputeOps))
+		reg.Gauge("cosmic_compile_last_threads").Set(float64(point.Plan.Threads))
+		reg.Gauge("cosmic_compile_last_pes").Set(float64(point.Plan.PEsPerThread() * point.Plan.Threads))
+	}
+	return &Build{Unit: unit, Graph: graph, Point: point, Program: prog, obs: opts.Obs}, nil
 }
 
 // Verilog runs the circuit layer over the build.
 func (b *Build) Verilog() (string, error) {
+	sp := b.obs.Tracer().Begin("compile", "microcode", 0)
 	img, err := verilog.Encode(b.Program)
+	sp.End()
 	if err != nil {
 		return "", err
 	}
+	sp = b.obs.Tracer().Begin("compile", "generate-rtl", 0)
+	defer sp.End()
 	return verilog.Generate(img)
 }
 

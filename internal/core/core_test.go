@@ -7,6 +7,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/compiler"
 	"repro/internal/dsl"
+	"repro/internal/obs"
 )
 
 func TestBuildProgramEndToEnd(t *testing.T) {
@@ -57,5 +58,39 @@ func TestBuildProgramPropagatesFrontendErrors(t *testing.T) {
 	}
 	if _, err := BuildProgram(dsl.SourceSVM, nil, arch.UltraScalePlus, BuildOptions{}); err == nil {
 		t.Error("expected missing-parameter error")
+	}
+}
+
+// TestBuildProgramCompileSpans: with an observer attached, every pipeline
+// phase must appear as a wall-clock span and the build counters must move.
+func TestBuildProgramCompileSpans(t *testing.T) {
+	o := obs.New()
+	b, err := BuildProgram(dsl.SourceSVM, map[string]int{"M": 64}, arch.UltraScalePlus,
+		BuildOptions{Verify: true, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Verilog(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"parse": false, "translate": false, "plan": false,
+		"map-schedule": false, "verify": false, "microcode": false,
+		"build-program": false,
+	}
+	for _, e := range o.Trace.Events() {
+		if e.Cat == "compile" {
+			if _, ok := want[e.Name]; ok {
+				want[e.Name] = true
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("no %q span recorded", name)
+		}
+	}
+	if got := o.Metrics.Counter("cosmic_compile_builds_total").Value(); got != 1 {
+		t.Errorf("builds_total = %d, want 1", got)
 	}
 }

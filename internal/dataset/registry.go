@@ -114,8 +114,26 @@ var Benchmarks = []Benchmark{
 	},
 }
 
-// ByName returns the benchmark with the given name.
+// familyAliases maps algorithm-family names to a representative Table 1
+// benchmark, so tools accept `-bench logistic` as well as `-bench tumor`.
+var familyAliases = map[string]string{
+	"logistic": "tumor",
+	"logreg":   "tumor",
+	"linear":   "stock",
+	"linreg":   "stock",
+	"svm":      "face",
+	"backprop": "mnist",
+	"mlp":      "mnist",
+	"cf":       "movielens",
+}
+
+// ByName returns the benchmark with the given name. Algorithm-family names
+// (logistic, linear, svm, backprop, cf, ...) resolve to a representative
+// benchmark of that family.
 func ByName(name string) (Benchmark, error) {
+	if canon, ok := familyAliases[name]; ok {
+		name = canon
+	}
 	for _, b := range Benchmarks {
 		if b.Name == name {
 			return b, nil

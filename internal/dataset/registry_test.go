@@ -39,6 +39,16 @@ func TestByName(t *testing.T) {
 	if len(Names()) != 10 || Names()[0] != "mnist" {
 		t.Errorf("Names() = %v", Names())
 	}
+	// Algorithm-family aliases resolve to a representative benchmark.
+	for alias, want := range map[string]string{
+		"logistic": "tumor", "linear": "stock", "svm": "face",
+		"backprop": "mnist", "cf": "movielens",
+	} {
+		b, err := ByName(alias)
+		if err != nil || b.Name != want {
+			t.Errorf("ByName(%s) = %v, %v; want %s", alias, b.Name, err, want)
+		}
+	}
 }
 
 func TestAlgorithmGeometry(t *testing.T) {

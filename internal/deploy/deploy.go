@@ -30,6 +30,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dsl"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
@@ -106,8 +107,8 @@ type workerConfig struct {
 }
 
 // buildNode constructs the local node for a config: engine, shard, and the
-// runtime Node.
-func buildNode(cfg workerConfig) (*runtime.Node, error) {
+// runtime Node. o, when non-nil, receives the node's telemetry.
+func buildNode(cfg workerConfig, o *obs.Observer) (*runtime.Node, error) {
 	bench, err := dataset.ByName(cfg.Spec.Benchmark)
 	if err != nil {
 		return nil, err
@@ -134,6 +135,7 @@ func buildNode(cfg workerConfig) (*runtime.Node, error) {
 		Agg:          cfg.Spec.agg(),
 		LR:           lr,
 		ShardBatch:   perNode,
+		Obs:          o,
 	}, shard)
 }
 
@@ -175,7 +177,7 @@ func RunMaster(controlAddr string, spec Spec) (*Result, error) {
 		NodeID: 0, Role: int(runtime.RoleMasterSigma), Group: 0,
 		Members: len(topo.Members[0]), Spec: spec, LR: lr,
 	}
-	master, err := buildNode(masterCfg)
+	master, err := buildNode(masterCfg, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +267,7 @@ func RunMaster(controlAddr string, spec Spec) (*Result, error) {
 	master.SendDone()
 	res.Model = trained
 	res.Stats = stats
+	res.Stats.NetworkSentBytes, res.Stats.NetworkReceivedBytes = master.NetworkBytes()
 	res.FinalLoss = ml.MeanLoss(alg, trained, full)
 
 	// Give the workers a moment to read the Done before the control
@@ -279,6 +282,12 @@ func RunMaster(controlAddr string, spec Spec) (*Result, error) {
 // RunWorker joins the master at controlAddr, receives its assignment, and
 // runs its node loop until training completes.
 func RunWorker(controlAddr string) error {
+	return RunWorkerObs(controlAddr, nil)
+}
+
+// RunWorkerObs is RunWorker with an observer attached to the local node, so
+// a long-running worker process can serve live /metrics while training.
+func RunWorkerObs(controlAddr string, o *obs.Observer) error {
 	conn, err := cosmicnet.Dial(controlAddr)
 	if err != nil {
 		return err
@@ -298,7 +307,7 @@ func RunWorker(controlAddr string) error {
 	if err := json.Unmarshal([]byte(f.Text), &cfg); err != nil {
 		return err
 	}
-	node, err := buildNode(cfg)
+	node, err := buildNode(cfg, o)
 	if err != nil {
 		return err
 	}

@@ -25,7 +25,7 @@ func Convergence() (Report, error) {
 	rep := Report{
 		ID:     "Extra: convergence",
 		Title:  "Final loss vs mini-batch size at a fixed training budget (real 4-node cluster)",
-		Header: []string{"benchmark", "b=32", "b=256", "b=2048", "degrades"},
+		Header: []string{"benchmark", "b=32", "b=256", "b=2048", "net sent MB", "degrades"},
 	}
 	const (
 		nodes   = 4
@@ -48,6 +48,7 @@ func Convergence() (Report, error) {
 
 		row := []string{name}
 		var losses []float64
+		var sentBytes int64
 		for _, b := range batches {
 			cl, err := runtime.Launch(runtime.ClusterOptions{
 				Nodes: nodes, Groups: 1,
@@ -65,7 +66,7 @@ func Convergence() (Report, error) {
 			}
 			rounds := epochs * samples / b
 			model := alg.InitModel(rand.New(rand.NewSource(17)))
-			trained, _, err := cl.Train(model, rounds)
+			trained, stats, err := cl.Train(model, rounds)
 			if err != nil {
 				cl.Close()
 				return rep, err
@@ -75,10 +76,14 @@ func Convergence() (Report, error) {
 				return rep, err
 			}
 			cl.Close()
+			sentBytes += stats.NetworkSentBytes
 			loss := ml.MeanLoss(alg, trained, data)
 			losses = append(losses, loss)
 			row = append(row, fmt.Sprintf("%.4f", loss))
 		}
+		// The network column reports the row's total traffic; more rounds
+		// (smaller batches) at a fixed budget cost proportionally more bytes.
+		row = append(row, fmt.Sprintf("%.1f", float64(sentBytes)/1e6))
 		degrades := "yes"
 		if losses[len(losses)-1] <= losses[0] {
 			degrades = "no"

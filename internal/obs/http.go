@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in Prometheus text exposition format — the
+// body GET /metrics returns. A nil registry serves an empty exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // best-effort over a dying socket
+	})
+}
+
+// NewHTTPMux builds the live-telemetry mux a long-running process exposes:
+// /metrics from the registry plus the net/http/pprof profiling endpoints
+// under /debug/pprof/.
+func NewHTTPMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

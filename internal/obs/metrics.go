@@ -1,0 +1,370 @@
+// Package obs is CoSMIC's zero-dependency observability layer: a metrics
+// registry (counters, gauges, fixed-bucket histograms — all atomic and
+// race-clean) with a deterministic snapshot API and Prometheus text
+// exposition, and a span tracer that records the host stack in wall-clock
+// microseconds and the accelerator simulator in simulated cycles, exporting
+// Chrome trace-event JSON viewable in Perfetto (ui.perfetto.dev).
+//
+// Every instrument is a nil-safe no-op when disabled: methods on nil
+// *Counter, *Gauge, *Histogram, *Tracer, *Registry and *Observer return
+// immediately without allocating, so hot paths carry instrumentation
+// unconditionally and pay nothing when no observer is attached
+// (TestDisabledInstrumentsDoNotAllocate pins this to zero allocations).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Negative deltas are a programming error but are not checked on
+// the hot path.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram: bucket i counts
+// observations ≤ bounds[i], with an implicit +Inf bucket at the end.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) from the
+// bucket counts: the lowest bucket bound with at least q of the mass at or
+// below it, +Inf if the mass lies beyond the last bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	need := int64(math.Ceil(q * float64(total)))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= need {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Registry holds named instruments. Registration takes a lock; the returned
+// instruments are lock-free, so callers resolve instruments once (at setup)
+// and update them on hot paths.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, registering it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	mustValidName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	mustValidName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, registering it with the given
+// strictly increasing bucket upper bounds on first use. Later calls reuse
+// the first registration's buckets.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	mustValidName(name)
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing at %d", name, i))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Sample is one exposition line: a fully labeled series name and its value.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot returns every series in deterministic order: metric names sorted
+// lexically, histograms expanded into cumulative _bucket/_sum/_count series
+// with buckets in ascending le order. Two registries holding the same state
+// snapshot identically.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var out []Sample
+	for _, name := range names {
+		if c, ok := r.counters[name]; ok {
+			out = append(out, Sample{Name: name, Value: float64(c.Value())})
+		}
+		if g, ok := r.gauges[name]; ok {
+			out = append(out, Sample{Name: name, Value: g.Value()})
+		}
+		if h, ok := r.hists[name]; ok {
+			out = append(out, histSamples(name, h)...)
+		}
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// histSamples expands one histogram into its exposition series.
+func histSamples(name string, h *Histogram) []Sample {
+	base, labels := splitName(name)
+	out := make([]Sample, 0, len(h.bounds)+3)
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		le := strconv.FormatFloat(bound, 'g', -1, 64)
+		out = append(out, Sample{Name: seriesName(base+"_bucket", labels, `le="`+le+`"`), Value: float64(cum)})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	out = append(out, Sample{Name: seriesName(base+"_bucket", labels, `le="+Inf"`), Value: float64(cum)})
+	out = append(out, Sample{Name: seriesName(base+"_sum", labels, ""), Value: h.Sum()})
+	out = append(out, Sample{Name: seriesName(base+"_count", labels, ""), Value: float64(h.count.Load())})
+	return out
+}
+
+// splitName separates a series name into its metric name and the raw label
+// body (without braces), which is empty for unlabeled series.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// seriesName reassembles a series name from a metric name, existing labels,
+// and an optional extra label.
+func seriesName(base, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base
+	case labels == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + labels + "}"
+	}
+	return base + "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (sample lines only, no comment lines): every line matches
+// ^[a-z_]+(\{[^}]*\})? [0-9.eE+-]+$.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, strconv.FormatFloat(s.Value, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Labeled builds a labeled series name from alternating key, value pairs:
+// Labeled("x_total", "pe", "3") = `x_total{pe="3"}`. Keys must be given in
+// the order the caller wants them emitted; the whole string is the registry
+// key, so the same labels in a different order are a different series.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 || len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: Labeled(%q) needs non-empty key/value pairs, got %d strings", name, len(kv)))
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(kv[i+1])
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mustValidName panics unless the series name will satisfy the exposition
+// grammar ^[a-z_]+(\{[^}]*\})?$ — catching bad names at registration, where
+// the stack trace points at the misspelling, instead of corrupting /metrics.
+func mustValidName(name string) {
+	base, rest := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base, rest = name[:i], name[i:]
+	}
+	if base == "" {
+		panic(fmt.Sprintf("obs: empty metric name %q", name))
+	}
+	for _, c := range base {
+		if (c < 'a' || c > 'z') && c != '_' {
+			panic(fmt.Sprintf("obs: metric name %q: %q outside [a-z_] (put digits in labels)", name, c))
+		}
+	}
+	if rest != "" {
+		body := strings.TrimPrefix(rest, "{")
+		if !strings.HasSuffix(body, "}") || strings.ContainsAny(strings.TrimSuffix(body, "}"), "{}") {
+			panic(fmt.Sprintf("obs: malformed label block in %q", name))
+		}
+	}
+}

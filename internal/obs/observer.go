@@ -1,0 +1,66 @@
+package obs
+
+import "os"
+
+// Observer bundles the two halves of the observability layer so call sites
+// thread one pointer through the stack. A nil *Observer disables everything:
+// its accessors return nil instruments whose methods are no-ops.
+type Observer struct {
+	Metrics *Registry
+	Trace   *Tracer
+}
+
+// New creates an observer with a fresh registry and tracer.
+func New() *Observer {
+	return &Observer{Metrics: NewRegistry(), Trace: NewTracer()}
+}
+
+// Registry returns the metrics registry, nil when disabled.
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Tracer returns the span tracer, nil when disabled.
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// WriteTraceFile exports the recorded spans as Chrome trace-event JSON
+// (load at https://ui.perfetto.dev). Empty path or nil observer is a no-op.
+func (o *Observer) WriteTraceFile(path string) error {
+	if o == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.Trace.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteMetricsFile exports the registry in Prometheus text exposition
+// format. Empty path or nil observer is a no-op.
+func (o *Observer) WriteMetricsFile(path string) error {
+	if o == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.Metrics.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

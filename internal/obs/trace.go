@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The two clock domains of a CoSMIC trace, kept apart as separate trace
+// processes so Perfetto never mixes their timelines:
+//
+//   - PIDHost: the host stack (compiler, cluster nodes), timestamped in
+//     wall-clock microseconds since the tracer started;
+//   - PIDAccel: the accelerator simulator, timestamped in simulated cycles
+//     (one trace microsecond per cycle — zoom labels read as cycles).
+const (
+	PIDHost  = 1
+	PIDAccel = 2
+)
+
+// Event is one Chrome trace event (the Trace Event Format's JSON shape).
+type Event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Tracer records spans. All methods are safe for concurrent use and are
+// no-ops on a nil tracer.
+type Tracer struct {
+	start time.Time
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTracer starts a tracer; wall-clock spans are relative to this moment.
+func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+
+// Now returns the tracer's wall clock: microseconds since NewTracer.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start).Microseconds()
+}
+
+// Span is an open wall-clock span; End closes and records it. The zero Span
+// (from a nil tracer) is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	tid   int
+	start int64
+}
+
+// Begin opens a wall-clock span in the host domain. tid groups spans into
+// trace rows (use a node ID, worker index, or 0).
+func (t *Tracer) Begin(cat, name string, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, cat: cat, tid: tid, start: t.Now()}
+}
+
+// End closes the span.
+func (s Span) End() { s.EndArgs(nil) }
+
+// EndArgs closes the span with key/value arguments shown in the trace UI.
+func (s Span) EndArgs(args map[string]any) {
+	if s.t == nil {
+		return
+	}
+	s.t.add(Event{
+		Name: s.name, Cat: s.cat, Phase: "X",
+		TS: s.start, Dur: s.t.Now() - s.start,
+		PID: PIDHost, TID: s.tid, Args: args,
+	})
+}
+
+// Cycles records a complete span in the simulated-cycle domain: start and
+// dur are cycle counts, rendered as microseconds in the trace UI.
+func (t *Tracer) Cycles(cat, name string, tid int, start, dur int64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.add(Event{
+		Name: name, Cat: cat, Phase: "X",
+		TS: start, Dur: dur,
+		PID: PIDAccel, TID: tid, Args: args,
+	})
+}
+
+// NameThread labels a trace row (Perfetto shows it as the track title).
+func (t *Tracer) NameThread(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.add(Event{
+		Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+func (t *Tracer) add(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in deterministic order:
+// metadata first, then spans sorted by (pid, tid, ts, name).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	evs := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if (a.Phase == "M") != (b.Phase == "M") {
+			return a.Phase == "M"
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		return a.Name < b.Name
+	})
+	return evs
+}
+
+// chromeTrace is the JSON Object Format document WriteChromeTrace emits.
+type chromeTrace struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the trace as Chrome trace-event JSON: load the
+// file at ui.perfetto.dev (or chrome://tracing) to browse it. The output is
+// deterministic for a given set of recorded events.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	doc := chromeTrace{
+		TraceEvents: []Event{
+			{Name: "process_name", Phase: "M", PID: PIDHost,
+				Args: map[string]any{"name": "host (wall-clock us)"}},
+			{Name: "process_name", Phase: "M", PID: PIDAccel,
+				Args: map[string]any{"name": "accelerator (simulated cycles)"}},
+		},
+		DisplayTimeUnit: "ms",
+	}
+	doc.TraceEvents = append(doc.TraceEvents, t.Events()...)
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dsl"
 	"repro/internal/ml"
+	"repro/internal/obs"
 )
 
 // ClusterOptions configures an in-process scale-out cluster: every node is
@@ -29,6 +30,9 @@ type ClusterOptions struct {
 	// NetWorkers/AggWorkers/RingCapacity tune the Sigma pools.
 	NetWorkers, AggWorkers, RingCapacity int
 	Logf                                 func(format string, args ...any)
+	// Obs, when non-nil, is shared by every node: per-node frame and
+	// fan-in counters, ring depth gauges, and per-round spans land in it.
+	Obs *obs.Observer
 }
 
 // Cluster is a running scale-out system.
@@ -46,6 +50,12 @@ type TrainStats struct {
 	// RoundDurations are the wall times of each mini-batch round at the
 	// master.
 	RoundDurations []time.Duration
+	// RoundP50/P95/Max summarize RoundDurations (nearest-rank percentiles).
+	RoundP50, RoundP95, RoundMax time.Duration
+	// NetworkSentBytes/NetworkReceivedBytes sum the frame bytes every node
+	// moved during the run — each transfer counted once sent and once
+	// received, as a switch port would see it.
+	NetworkSentBytes, NetworkReceivedBytes int64
 }
 
 // Launch assigns roles, starts every node, and waits until the hierarchy is
@@ -78,6 +88,7 @@ func Launch(opts ClusterOptions) (*Cluster, error) {
 			AggWorkers:   opts.AggWorkers,
 			RingCapacity: opts.RingCapacity,
 			Logf:         opts.Logf,
+			Obs:          opts.Obs,
 		}
 	}
 
@@ -148,7 +159,7 @@ func (c *Cluster) NetworkBytes() (sent, received int64) {
 // Train drives the given number of mini-batch rounds from the master and
 // returns the final model.
 func (c *Cluster) Train(model []float64, rounds int) ([]float64, TrainStats, error) {
-	return c.master.DriveTraining(DriveConfig{
+	final, stats, err := c.master.DriveTraining(DriveConfig{
 		Groups:           c.topo.Groups,
 		GroupZeroMembers: len(c.topo.Members[0]),
 		ModelSize:        c.opts.ModelSize,
@@ -158,6 +169,8 @@ func (c *Cluster) Train(model []float64, rounds int) ([]float64, TrainStats, err
 		RoundTimeout:     c.opts.RoundTimeout,
 		Fail:             c.runErr,
 	}, model, rounds)
+	stats.NetworkSentBytes, stats.NetworkReceivedBytes = c.NetworkBytes()
+	return final, stats, err
 }
 
 // Shutdown sends MsgDone down the hierarchy and waits for the worker nodes

@@ -42,17 +42,23 @@ func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]fl
 	cur := append([]float64(nil), model...)
 	stats := TrainStats{Rounds: rounds}
 	groupZeroChunks := cfg.GroupZeroMembers * ChunksFor(cfg.ModelSize)
+	tr := m.obs.tracer()
 
 	for seq := 0; seq < rounds; seq++ {
 		start := time.Now()
+		roundSp := tr.Begin("runtime", "round", m.obs.threadID())
 		m.agg.Reset()
 		// Hierarchical model broadcast: one frame to each direct child
 		// (group Sigmas forward to their Deltas).
+		sp := tr.Begin("runtime", "broadcast", m.obs.threadID())
 		m.broadcastDownstream(&cosmicnet.Frame{
 			Type: cosmicnet.MsgModel, Seq: uint32(seq), Payload: cur,
 		})
+		sp.End()
 		// The master is group 0's Sigma and computes its own partial.
+		sp = tr.Begin("runtime", "master-compute", m.obs.threadID())
 		partial, err := m.computePartial(cur)
+		sp.End()
 		if err != nil {
 			return nil, stats, err
 		}
@@ -62,11 +68,15 @@ func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]fl
 			}
 		}
 		// Level 1: group 0 aggregates locally.
-		if !m.agg.WaitChunksTimeout(groupZeroChunks, cfg.RoundTimeout) {
+		sp = tr.Begin("runtime", "group-zero-aggregate", m.obs.threadID())
+		ok := m.agg.WaitChunksTimeout(groupZeroChunks, cfg.RoundTimeout)
+		sp.End()
+		if !ok {
 			return nil, stats, fmt.Errorf("runtime: round %d timed out waiting for group 0 partials", seq)
 		}
 		sum, weight := m.agg.Sum()
 		// Level 2: combine the other groups' aggregates.
+		combine := tr.Begin("runtime", "combine-groups", m.obs.threadID())
 		for g := 1; g < cfg.Groups; g++ {
 			var timeoutC <-chan time.Time
 			if cfg.RoundTimeout > 0 {
@@ -97,6 +107,7 @@ func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]fl
 			}
 			weight += f.Weight
 		}
+		combine.End()
 		// The update rule of the stack (Equations 2 and 3b).
 		switch cfg.Agg {
 		case dsl.AggAverage:
@@ -109,8 +120,12 @@ func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]fl
 				cur[i] -= scale * sum[i]
 			}
 		}
-		stats.RoundDurations = append(stats.RoundDurations, time.Since(start))
+		d := time.Since(start)
+		stats.RoundDurations = append(stats.RoundDurations, d)
+		m.obs.roundDone(d)
+		roundSp.EndArgs(map[string]any{"seq": seq})
 	}
+	stats.RoundP50, stats.RoundP95, stats.RoundMax = summarizeRounds(stats.RoundDurations)
 	return cur, stats, nil
 }
 

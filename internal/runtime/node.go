@@ -3,12 +3,14 @@ package runtime
 import (
 	"fmt"
 	"log"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/cosmicnet"
 	"repro/internal/dsl"
 	"repro/internal/ml"
+	"repro/internal/obs"
 )
 
 // NodeConfig configures one node of the scale-out system.
@@ -42,6 +44,9 @@ type NodeConfig struct {
 	RingCapacity int
 	// Logf, when set, receives diagnostic output.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, records per-frame counters, aggregation fan-in,
+	// ring depth, and per-round spans for this node. nil disables all of it.
+	Obs *obs.Observer
 }
 
 func (c *NodeConfig) logf(format string, args ...any) {
@@ -53,6 +58,7 @@ func (c *NodeConfig) logf(format string, args ...any) {
 // Node is one running member of the cluster.
 type Node struct {
 	cfg  NodeConfig
+	obs  *nodeObs
 	data []ml.Sample
 	// cursor is the node's position in its data shard.
 	cursor int
@@ -118,6 +124,7 @@ func StartNode(cfg NodeConfig, shard []ml.Sample) (*Node, error) {
 		cfg.RingCapacity = 64
 	}
 	n := &Node{cfg: cfg, data: shard, stopped: make(chan struct{})}
+	n.obs = newNodeObs(cfg.Obs, cfg.ID, cfg.Role)
 	n.helloCond = sync.NewCond(&n.helloMu)
 	if cfg.Role != RoleDelta {
 		ln, err := cosmicnet.Listen("127.0.0.1:0")
@@ -126,6 +133,10 @@ func StartNode(cfg NodeConfig, shard []ml.Sample) (*Node, error) {
 		}
 		n.ln = ln
 		n.ring = NewCircularBuffer(cfg.RingCapacity)
+		if cfg.Obs != nil {
+			n.ring.SetDepthGauge(cfg.Obs.Registry().Gauge(
+				obs.Labeled("cosmic_node_ring_depth", "node", strconv.Itoa(int(cfg.ID)))))
+		}
 		n.agg = NewAggregationBuffer(cfg.ModelSize)
 		n.netPool = NewPool(cfg.NetWorkers)
 		n.aggPool = NewPool(cfg.AggWorkers)
@@ -155,6 +166,7 @@ func (n *Node) aggWorker() {
 			n.fail(err)
 			return
 		}
+		n.obs.chunkFolded(c.Last)
 	}
 }
 
@@ -187,11 +199,17 @@ func (n *Node) readLoop(conn *cosmicnet.Conn) {
 		switch f.Type {
 		case cosmicnet.MsgHello:
 			n.cfg.logf("node %d: member %d connected (%s)", n.cfg.ID, f.From, f.Text)
+			if n.obs != nil {
+				n.obs.recvFrame(n.obs.framesHello, len(f.Payload))
+			}
 			n.helloMu.Lock()
 			n.helloCount++
 			n.helloMu.Unlock()
 			n.helloCond.Broadcast()
 		case cosmicnet.MsgPartial:
+			if n.obs != nil {
+				n.obs.recvFrame(n.obs.framesPartial, len(f.Payload))
+			}
 			// Networking Pool: copy the received vector into the circular
 			// buffer as chunks; the Aggregation Pool picks them up
 			// concurrently (producer-consumer overlap).
@@ -204,6 +222,9 @@ func (n *Node) readLoop(conn *cosmicnet.Conn) {
 				}
 			})
 		case cosmicnet.MsgGroupAggregate:
+			if n.obs != nil {
+				n.obs.recvFrame(n.obs.framesGroupAgg, len(f.Payload))
+			}
 			if n.groupAgg != nil {
 				n.groupAgg <- f
 			} else {
@@ -314,25 +335,34 @@ func (n *Node) Run() error {
 
 // handleModel processes one mini-batch round for a Delta or group Sigma.
 func (n *Node) handleModel(f *cosmicnet.Frame) error {
+	tr := n.obs.tracer()
+	roundStart := time.Now()
 	switch n.cfg.Role {
 	case RoleDelta:
+		sp := tr.Begin("runtime", "delta-compute", n.obs.threadID())
 		partial, err := n.computePartial(f.Payload)
+		sp.EndArgs(map[string]any{"seq": f.Seq})
 		if err != nil {
 			return err
 		}
+		n.obs.sent(len(partial))
+		n.obs.roundDone(time.Since(roundStart))
 		return n.upstream.Send(&cosmicnet.Frame{
 			Type: cosmicnet.MsgPartial, Seq: f.Seq, From: n.cfg.ID,
 			Weight: 1, Payload: partial,
 		})
 
 	case RoleGroupSigma:
+		round := tr.Begin("runtime", "sigma-round", n.obs.threadID())
 		// New round: clear the aggregation state before any member can
 		// respond to the forwarded model.
 		n.agg.Reset()
 		n.broadcastDownstream(f)
 		// The Sigma computes its own partial too; its contribution takes
 		// the same chunked path as remote ones.
+		sp := tr.Begin("runtime", "sigma-compute", n.obs.threadID())
 		partial, err := n.computePartial(f.Payload)
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -342,10 +372,16 @@ func (n *Node) handleModel(f *cosmicnet.Frame) error {
 			}
 		}
 		// Wait for every member's every chunk, then ship the group sum.
-		if !n.agg.WaitChunksTimeout(n.cfg.Members*ChunksFor(n.cfg.ModelSize), n.cfg.RoundTimeout) {
+		sp = tr.Begin("runtime", "sigma-aggregate-wait", n.obs.threadID())
+		ok := n.agg.WaitChunksTimeout(n.cfg.Members*ChunksFor(n.cfg.ModelSize), n.cfg.RoundTimeout)
+		sp.End()
+		if !ok {
 			return fmt.Errorf("node %d: round %d timed out waiting for group members", n.cfg.ID, f.Seq)
 		}
 		sum, weight := n.agg.Sum()
+		n.obs.sent(len(sum))
+		n.obs.roundDone(time.Since(roundStart))
+		round.EndArgs(map[string]any{"seq": f.Seq})
 		return n.upstream.Send(&cosmicnet.Frame{
 			Type: cosmicnet.MsgGroupAggregate, Seq: f.Seq, From: n.cfg.ID,
 			Weight: weight, Payload: sum,

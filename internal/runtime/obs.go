@@ -1,0 +1,139 @@
+package runtime
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// roundSecondsBuckets spans loopback micro-rounds (tens of microseconds) up
+// to multi-second WAN rounds.
+var roundSecondsBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1, 2.5,
+}
+
+// nodeObs holds a node's pre-resolved instruments so the frame, chunk, and
+// round paths never touch the registry's lock. A nil *nodeObs (no observer
+// attached) makes every recording call a no-op via the obs package's
+// nil-instrument contract.
+type nodeObs struct {
+	tr  *obs.Tracer
+	tid int
+
+	// framesHello/Partial/GroupAgg count inbound frames on member
+	// connections by type; rxWords/txWords count payload float64s moved.
+	framesHello, framesPartial, framesGroupAgg *obs.Counter
+	rxWords, txWords                           *obs.Counter
+
+	// chunks and contributions measure the Sigma aggregation fan-in: ring
+	// chunks folded into the aggregation buffer, and completed partials.
+	chunks, contributions *obs.Counter
+
+	rounds *obs.Counter
+	// roundSeconds is the master's per-round wall-time distribution.
+	roundSeconds *obs.Histogram
+}
+
+// newNodeObs resolves one node's instruments; nil observer → nil (disabled).
+func newNodeObs(o *obs.Observer, id uint32, role Role) *nodeObs {
+	if o == nil {
+		return nil
+	}
+	reg := o.Registry()
+	node := strconv.Itoa(int(id))
+	frames := func(typ string) *obs.Counter {
+		return reg.Counter(obs.Labeled("cosmic_node_frames_received_total", "node", node, "type", typ))
+	}
+	no := &nodeObs{
+		tr:             o.Tracer(),
+		tid:            int(id),
+		framesHello:    frames("hello"),
+		framesPartial:  frames("partial"),
+		framesGroupAgg: frames("group_aggregate"),
+		rxWords:        reg.Counter(obs.Labeled("cosmic_node_rx_payload_words_total", "node", node)),
+		txWords:        reg.Counter(obs.Labeled("cosmic_node_tx_payload_words_total", "node", node)),
+		chunks:         reg.Counter(obs.Labeled("cosmic_sigma_chunks_total", "node", node)),
+		contributions:  reg.Counter(obs.Labeled("cosmic_sigma_contributions_total", "node", node)),
+		rounds:         reg.Counter(obs.Labeled("cosmic_node_rounds_total", "node", node)),
+	}
+	if role == RoleMasterSigma {
+		no.roundSeconds = reg.Histogram(obs.Labeled("cosmic_round_seconds", "node", node), roundSecondsBuckets)
+	}
+	no.tr.NameThread(obs.PIDHost, int(id), "node "+node+" ("+role.String()+")")
+	return no
+}
+
+// tracer returns the node's tracer (nil when disabled — nil-safe to use).
+func (no *nodeObs) tracer() *obs.Tracer {
+	if no == nil {
+		return nil
+	}
+	return no.tr
+}
+
+// threadID returns the node's trace thread ID (0 when disabled).
+func (no *nodeObs) threadID() int {
+	if no == nil {
+		return 0
+	}
+	return no.tid
+}
+
+// recvFrame records one inbound member frame.
+func (no *nodeObs) recvFrame(typ *obs.Counter, payloadLen int) {
+	if no == nil {
+		return
+	}
+	typ.Inc()
+	no.rxWords.Add(int64(payloadLen))
+}
+
+// sent records one outbound frame's payload.
+func (no *nodeObs) sent(payloadLen int) {
+	if no == nil {
+		return
+	}
+	no.txWords.Add(int64(payloadLen))
+}
+
+// chunkFolded records one ring chunk reaching the aggregation buffer.
+func (no *nodeObs) chunkFolded(last bool) {
+	if no == nil {
+		return
+	}
+	no.chunks.Inc()
+	if last {
+		no.contributions.Inc()
+	}
+}
+
+// roundDone records one completed round at this node.
+func (no *nodeObs) roundDone(d time.Duration) {
+	if no == nil {
+		return
+	}
+	no.rounds.Inc()
+	no.roundSeconds.Observe(d.Seconds())
+}
+
+// summarizeRounds computes nearest-rank p50/p95 and the max over the round
+// durations; zeros for an empty run.
+func summarizeRounds(durs []time.Duration) (p50, p95, max time.Duration) {
+	if len(durs) == 0 {
+		return 0, 0, 0
+	}
+	s := append([]time.Duration(nil), durs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := func(q float64) time.Duration {
+		idx := int(math.Ceil(q*float64(len(s)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return s[idx]
+	}
+	return rank(0.50), rank(0.95), s[len(s)-1]
+}

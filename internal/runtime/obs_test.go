@@ -1,0 +1,140 @@
+package runtime
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dsl"
+	"repro/internal/ml"
+	"repro/internal/obs"
+)
+
+// TestClusterTelemetry trains a small hierarchical cluster with an observer
+// attached and checks every layer reported: round stats and percentiles,
+// network byte totals, per-node counters, and per-round trace spans.
+func TestClusterTelemetry(t *testing.T) {
+	const nodes, groups, rounds = 4, 2, 3
+	alg := &ml.LinearRegression{M: 24}
+	rng := rand.New(rand.NewSource(7))
+	shards := make([][]ml.Sample, nodes)
+	for n := range shards {
+		shards[n] = make([]ml.Sample, 16)
+		for i := range shards[n] {
+			x := make([]float64, alg.M)
+			for j := range x {
+				x[j] = rng.NormFloat64()
+			}
+			shards[n][i] = ml.Sample{X: x, Y: []float64{rng.NormFloat64()}}
+		}
+	}
+	o := obs.New()
+	cl, err := Launch(ClusterOptions{
+		Nodes: nodes, Groups: groups,
+		Engines: func(int) Engine {
+			return &RefEngine{Alg: alg, Threads: 1, LR: 0.01, Agg: dsl.AggAverage}
+		},
+		Shards:    func(id int) []ml.Sample { return shards[id] },
+		ModelSize: alg.ModelSize(),
+		Agg:       dsl.AggAverage,
+		LR:        0.01,
+		MiniBatch: nodes * 4,
+		Obs:       o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	_, stats, err := cl.Train(make([]float64, alg.ModelSize()), rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// TrainStats: percentiles ordered and non-zero, network totals balanced.
+	if stats.RoundP50 <= 0 || stats.RoundP95 < stats.RoundP50 || stats.RoundMax < stats.RoundP95 {
+		t.Errorf("round percentiles not ordered: p50=%v p95=%v max=%v",
+			stats.RoundP50, stats.RoundP95, stats.RoundMax)
+	}
+	if stats.NetworkSentBytes <= 0 || stats.NetworkSentBytes != stats.NetworkReceivedBytes {
+		t.Errorf("network bytes sent=%d received=%d; want equal and positive",
+			stats.NetworkSentBytes, stats.NetworkReceivedBytes)
+	}
+
+	// Registry: the master counted its rounds, partial frames arrived, the
+	// Sigma fan-in processed chunks, and ring depth gauges exist.
+	reg := o.Registry()
+	if got := reg.Counter(obs.Labeled("cosmic_node_rounds_total", "node", "0")).Value(); got != rounds {
+		t.Errorf("master rounds_total = %d, want %d", got, rounds)
+	}
+	var partials, chunks, contribs, rings int64
+	for _, s := range reg.Snapshot() {
+		switch {
+		case strings.HasPrefix(s.Name, `cosmic_node_frames_received_total`) &&
+			strings.Contains(s.Name, `type="partial"`):
+			partials += int64(s.Value)
+		case strings.HasPrefix(s.Name, "cosmic_sigma_chunks_total"):
+			chunks += int64(s.Value)
+		case strings.HasPrefix(s.Name, "cosmic_sigma_contributions_total"):
+			contribs += int64(s.Value)
+		case strings.HasPrefix(s.Name, "cosmic_node_ring_depth"):
+			rings++
+		}
+	}
+	// Each round, the nodes-groups Deltas each send one partial frame.
+	if want := int64(rounds * (nodes - groups)); partials != want {
+		t.Errorf("partial frames = %d, want %d", partials, want)
+	}
+	// Every node contributes at every Sigma it belongs to, every round.
+	if want := int64(rounds * nodes); contribs != want {
+		t.Errorf("sigma contributions = %d, want %d", contribs, want)
+	}
+	if chunks < contribs {
+		t.Errorf("chunks = %d < contributions = %d", chunks, contribs)
+	}
+	if rings != groups {
+		t.Errorf("ring depth gauges = %d, want %d (one per Sigma)", rings, groups)
+	}
+
+	// Trace: one master round span per round, and compute spans from both
+	// Deltas and the group Sigma.
+	var roundSpans, deltaSpans, sigmaSpans int
+	for _, e := range o.Tracer().Events() {
+		if e.Phase != "X" {
+			continue
+		}
+		switch e.Name {
+		case "round":
+			roundSpans++
+		case "delta-compute":
+			deltaSpans++
+		case "sigma-round":
+			sigmaSpans++
+		}
+	}
+	if roundSpans != rounds {
+		t.Errorf("round spans = %d, want %d", roundSpans, rounds)
+	}
+	if want := rounds * (nodes - groups); deltaSpans != want {
+		t.Errorf("delta-compute spans = %d, want %d", deltaSpans, want)
+	}
+	if want := rounds * (groups - 1); sigmaSpans != want {
+		t.Errorf("sigma-round spans = %d, want %d", sigmaSpans, want)
+	}
+}
+
+// TestSummarizeRounds pins the nearest-rank percentile math.
+func TestSummarizeRounds(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	p50, p95, max := summarizeRounds([]time.Duration{ms(4), ms(1), ms(3), ms(2)})
+	if p50 != ms(2) || p95 != ms(4) || max != ms(4) {
+		t.Errorf("got p50=%v p95=%v max=%v, want 2ms 4ms 4ms", p50, p95, max)
+	}
+	if p50, p95, max := summarizeRounds(nil); p50 != 0 || p95 != 0 || max != 0 {
+		t.Error("empty input should summarize to zeros")
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Chunk is one unit of work flowing from the Networking Pool to the
@@ -53,6 +55,16 @@ type CircularBuffer struct {
 	head     int // next pop
 	count    int
 	closed   bool
+	// depth, when set, mirrors count so /metrics shows queue pressure live.
+	depth *obs.Gauge
+}
+
+// SetDepthGauge publishes the ring's occupancy to the given gauge on every
+// push and pop. Call before the ring is shared; a nil gauge is a no-op.
+func (cb *CircularBuffer) SetDepthGauge(g *obs.Gauge) {
+	cb.mu.Lock()
+	cb.depth = g
+	cb.mu.Unlock()
 }
 
 // NewCircularBuffer creates a ring with the given capacity.
@@ -79,6 +91,7 @@ func (cb *CircularBuffer) Push(c Chunk) bool {
 	}
 	cb.buf[(cb.head+cb.count)%len(cb.buf)] = c
 	cb.count++
+	cb.depth.Set(float64(cb.count))
 	cb.notEmpty.Signal()
 	return true
 }
@@ -98,6 +111,7 @@ func (cb *CircularBuffer) Pop() (Chunk, bool) {
 	cb.buf[cb.head] = Chunk{}
 	cb.head = (cb.head + 1) % len(cb.buf)
 	cb.count--
+	cb.depth.Set(float64(cb.count))
 	cb.notFull.Signal()
 	return c, true
 }

@@ -2,6 +2,7 @@ package cosmic
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/dsl"
@@ -49,6 +50,9 @@ type ClusterConfig struct {
 	Prog *Program
 	// Rounds is the number of mini-batch aggregation rounds to run.
 	Rounds int
+	// Obs, when non-nil, records per-node frame counters, aggregation
+	// fan-in, ring depth gauges, and per-round spans across the cluster.
+	Obs *Observer
 }
 
 // TrainResult reports a distributed training run.
@@ -63,6 +67,12 @@ type TrainResult struct {
 	// AccelCycles is the total simulated accelerator cycles (simulator
 	// engine only).
 	AccelCycles int64
+	// RoundP50/P95/Max summarize the per-round wall times at the master
+	// (nearest-rank percentiles).
+	RoundP50, RoundP95, RoundMax time.Duration
+	// NetworkSentBytes/NetworkReceivedBytes sum the frame bytes every node
+	// moved during the run.
+	NetworkSentBytes, NetworkReceivedBytes int64
 }
 
 // Train runs distributed training of alg over data on an in-process
@@ -116,6 +126,7 @@ func Train(alg Algorithm, data []Sample, model []float64, cfg ClusterConfig) (Tr
 		Agg:       agg,
 		LR:        cfg.LearningRate,
 		MiniBatch: cfg.MiniBatch,
+		Obs:       cfg.Obs,
 	})
 	if err != nil {
 		return TrainResult{}, err
@@ -132,6 +143,8 @@ func Train(alg Algorithm, data []Sample, model []float64, cfg ClusterConfig) (Tr
 	}
 	res.Model = trained
 	res.Rounds = stats.Rounds
+	res.RoundP50, res.RoundP95, res.RoundMax = stats.RoundP50, stats.RoundP95, stats.RoundMax
+	res.NetworkSentBytes, res.NetworkReceivedBytes = stats.NetworkSentBytes, stats.NetworkReceivedBytes
 	res.FinalLoss = ml.MeanLoss(alg, trained, data)
 	for _, e := range engines {
 		if ae, ok := e.(*runtime.AccelEngine); ok {
