@@ -14,6 +14,11 @@
 //	cosmic-bench -experiment fig7 # run one experiment
 //	cosmic-bench -list            # list experiment identifiers
 //	cosmic-bench -out /tmp        # write BENCH_<timestamp>.json there
+//
+// -compare diffs two artifacts entry by entry (ns/op, cycles, utilization)
+// and exits nonzero when any shared entry regressed beyond -threshold:
+//
+//	cosmic-bench -compare -threshold 0.25 old.json new.json
 package main
 
 import (
@@ -54,6 +59,8 @@ func main() {
 	exp := flag.String("experiment", "", "experiment to run (empty = all); one of "+strings.Join(experiments.IDs(), ", "))
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	out := flag.String("out", ".", "directory for the BENCH_<timestamp>.json artifact (empty = don't write)")
+	compare := flag.Bool("compare", false, "compare two BENCH_*.json artifacts (old new) instead of running")
+	threshold := flag.Float64("threshold", 0.25, "with -compare, exit nonzero when a shared entry regresses more than this fraction")
 	flag.Parse()
 
 	if *list {
@@ -61,6 +68,13 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "cosmic-bench: -compare needs exactly two artifacts: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
 	}
 
 	report := benchReport{Timestamp: time.Now().UTC().Format("20060102T150405Z")}
@@ -105,6 +119,90 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d entries)\n", path, len(report.Entries))
 	}
+}
+
+// runCompare diffs two benchmark artifacts entry by entry and reports each
+// shared entry's ns/op, cycle, and utilization movement. Returns 1 when any
+// shared entry's ns/op or cycles regressed (grew) by more than threshold,
+// 0 otherwise — entries only present on one side are reported but never
+// fail the comparison.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cosmic-bench: %v\n", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cosmic-bench: %v\n", err)
+		return 2
+	}
+	oldByName := make(map[string]benchEntry, len(oldRep.Entries))
+	for _, e := range oldRep.Entries {
+		oldByName[e.Name] = e
+	}
+
+	// relDelta is (new-old)/old: positive = regression for ns/op and cycles.
+	relDelta := func(oldV, newV float64) float64 {
+		if oldV == 0 {
+			return 0
+		}
+		return (newV - oldV) / oldV
+	}
+	fmt.Printf("%-28s %14s %14s %8s\n", "entry", "old", "new", "delta")
+	failed := false
+	seen := make(map[string]bool, len(newRep.Entries))
+	for _, e := range newRep.Entries {
+		seen[e.Name] = true
+		o, ok := oldByName[e.Name]
+		if !ok {
+			fmt.Printf("%-28s %14s %14.0f   (new entry)\n", e.Name+" ns/op", "-", e.NsPerOp)
+			continue
+		}
+		d := relDelta(o.NsPerOp, e.NsPerOp)
+		mark := ""
+		if d > threshold {
+			mark = "  REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-28s %14.0f %14.0f %+7.1f%%%s\n", e.Name+" ns/op", o.NsPerOp, e.NsPerOp, 100*d, mark)
+		if o.Cycles != 0 || e.Cycles != 0 {
+			cd := relDelta(float64(o.Cycles), float64(e.Cycles))
+			mark = ""
+			if cd > threshold {
+				mark = "  REGRESSED"
+				failed = true
+			}
+			fmt.Printf("%-28s %14d %14d %+7.1f%%%s\n", e.Name+" cycles", o.Cycles, e.Cycles, 100*cd, mark)
+		}
+		if o.Utilization != 0 || e.Utilization != 0 {
+			fmt.Printf("%-28s %13.1f%% %13.1f%% %+7.1f%%\n", e.Name+" util",
+				100*o.Utilization, 100*e.Utilization, 100*(e.Utilization-o.Utilization))
+		}
+	}
+	for _, e := range oldRep.Entries {
+		if !seen[e.Name] {
+			fmt.Printf("%-28s %14.0f %14s   (dropped)\n", e.Name+" ns/op", e.NsPerOp, "-")
+		}
+	}
+	if failed {
+		fmt.Printf("FAIL: at least one entry regressed more than %.0f%%\n", 100*threshold)
+		return 1
+	}
+	fmt.Printf("OK: no entry regressed more than %.0f%%\n", 100*threshold)
+	return 0
+}
+
+func loadReport(path string) (benchReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return benchReport{}, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return benchReport{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
 }
 
 // simMicro compiles a benchmark at small geometry and times one simulated

@@ -10,42 +10,82 @@
 //
 // -http serves live telemetry while the node trains: /metrics is the
 // Prometheus text exposition of the node's counters (frames received,
-// aggregation fan-in, ring depth), and /debug/pprof/ exposes the standard
-// Go profiling endpoints.
+// aggregation fan-in, ring depth), /healthz reports the node's identity and
+// round progress (503 until the Director has configured it), and
+// /debug/pprof/ exposes the standard Go profiling endpoints.
+//
+// -trace writes the node's Chrome trace-event JSON on exit; merge the
+// per-node files with cosmic-trace into one cluster timeline.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 
 	"repro/internal/deploy"
 	"repro/internal/obs"
+	"repro/internal/runtime"
 )
 
 func main() {
 	join := flag.String("join", "", "master control address to join")
-	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof/ on this address while training")
+	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and /debug/pprof/ on this address while training")
+	tracePath := flag.String("trace", "", "write this node's Chrome trace-event JSON here on exit (merge with cosmic-trace)")
 	flag.Parse()
 	if *join == "" {
 		fmt.Fprintln(os.Stderr, "cosmic-node: -join <addr> is required")
 		os.Exit(2)
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	var o *obs.Observer
-	if *httpAddr != "" {
+	var health *obs.Health
+	if *httpAddr != "" || *tracePath != "" {
 		o = obs.New()
-		srv := &http.Server{Addr: *httpAddr, Handler: obs.NewHTTPMux(o.Registry())}
+	}
+	if *httpAddr != "" {
+		health = obs.NewHealth()
+		srv := &http.Server{Addr: *httpAddr, Handler: obs.NewNodeMux(o.Registry(), health)}
 		go func() {
 			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "cosmic-node: http: %v\n", err)
 			}
 		}()
-		fmt.Printf("cosmic-node: serving /metrics and /debug/pprof/ on %s\n", *httpAddr)
+		fmt.Printf("cosmic-node: serving /metrics, /healthz, and /debug/pprof/ on %s\n", *httpAddr)
 	}
-	if err := deploy.RunWorkerObs(*join, o); err != nil {
+	err := deploy.RunWorkerOpts(*join, deploy.WorkerOptions{
+		Obs:    o,
+		Logger: logger,
+		OnNode: func(n *runtime.Node) {
+			if health == nil {
+				return
+			}
+			id := n.Health()
+			health.SetReady(
+				map[string]any{"node": id.ID, "role": id.Role, "group": id.Group},
+				func() map[string]any {
+					h := n.Health()
+					return map[string]any{
+						"last_round_seq":     h.LastSeq,
+						"ring_depth":         h.RingDepth,
+						"flight_depth":       h.FlightDepth,
+						"last_round_seconds": h.LastRoundSeconds,
+					}
+				})
+		},
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "cosmic-node: %v\n", err)
 		os.Exit(1)
+	}
+	if err := o.WriteTraceFile(*tracePath); err != nil {
+		fmt.Fprintf(os.Stderr, "cosmic-node: trace: %v\n", err)
+		os.Exit(1)
+	}
+	if *tracePath != "" {
+		fmt.Printf("cosmic-node: trace written to %s\n", *tracePath)
 	}
 	fmt.Println("cosmic-node: training complete, shutting down")
 }

@@ -13,12 +13,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
+	"time"
 
 	cosmic "repro"
 	"repro/internal/dataset"
 	"repro/internal/deploy"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -37,6 +40,9 @@ func main() {
 	listen := flag.String("listen", "", "multi-process mode: listen here as the master and wait for cosmic-node workers to join")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run here (view at ui.perfetto.dev)")
 	metricsPath := flag.String("metrics", "", "write a Prometheus text exposition here")
+	httpAddr := flag.String("http", "", "multi-process mode: serve the Director's federated /metrics and /cluster roster on this address")
+	stragglerK := flag.Float64("straggler-k", 2, "flag a node straggling when its round latency exceeds k×cluster-p50")
+	stragglerM := flag.Int("straggler-m", 3, "consecutive slow scrapes before a node is flagged")
 	flag.Parse()
 
 	if *listen != "" {
@@ -46,7 +52,7 @@ func main() {
 			Samples: *samples / *nodes, Seed: *seed,
 			MiniBatch: *batch, Rounds: *rounds, Threads: *threads,
 			Average: true,
-		})
+		}, *httpAddr, *tracePath, *stragglerK, *stragglerM)
 		return
 	}
 
@@ -133,11 +139,33 @@ func main() {
 }
 
 // runDistributed hosts the System Director and the master Sigma, waiting
-// for external cosmic-node worker processes to join.
-func runDistributed(addr string, spec deploy.Spec) {
+// for external cosmic-node worker processes to join. With httpAddr set the
+// Director scrapes every worker's metrics over the control plane, serves
+// the federated /metrics and the /cluster roster, and flags stragglers.
+func runDistributed(addr string, spec deploy.Spec, httpAddr, tracePath string, stragglerK float64, stragglerM int) {
 	fmt.Printf("master:    listening on %s; waiting for %d cosmic-node workers to join\n",
 		addr, spec.Nodes-1)
-	res, err := deploy.RunMaster(addr, spec)
+	opts := deploy.MasterOptions{
+		StragglerK: stragglerK,
+		StragglerM: stragglerM,
+		Logger:     slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	}
+	if httpAddr != "" || tracePath != "" {
+		opts.Obs = obs.New()
+	}
+	if tracePath != "" {
+		// Trace propagation rides the wire frames; workers started with
+		// -trace record the same trace IDs for cosmic-trace to merge.
+		opts.TraceIDBase = 1 << 32
+	}
+	if httpAddr != "" {
+		opts.HTTPAddr = httpAddr
+		opts.ScrapeInterval = 250 * time.Millisecond
+		opts.OnHTTP = func(a string) {
+			fmt.Printf("director:  serving federated /metrics and /cluster on %s\n", a)
+		}
+	}
+	res, err := deploy.RunMasterOpts(addr, spec, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -147,6 +175,12 @@ func runDistributed(addr string, spec deploy.Spec) {
 	fmt.Printf("rounds:    p50 %v, p95 %v, max %v; network %.2f MB sent\n",
 		res.Stats.RoundP50, res.Stats.RoundP95, res.Stats.RoundMax,
 		float64(res.Stats.NetworkSentBytes)/1e6)
+	if err := opts.Obs.WriteTraceFile(tracePath); err != nil {
+		fatal(err)
+	}
+	if tracePath != "" {
+		fmt.Printf("trace:     %s (merge with cosmic-trace)\n", tracePath)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,54 @@
+// Command cosmic-trace merges per-node Chrome trace-event files into one
+// cluster-wide Perfetto timeline. Each input is the JSON one node's tracer
+// wrote (cosmic-run -trace, cosmic-node -trace); the merger aligns their
+// clocks using the cosmic_clock_sync anchor every tracer embeds (worker
+// skew is measured during the Director's config handshake) and draws flow
+// arrows from each send span to the receive spans that carried the same
+// wire span ID, so a round's broadcast → partial → group-aggregate chain
+// reads as one connected graph.
+//
+// Usage:
+//
+//	cosmic-trace -o merged.json master.json node-1.json node-2.json
+//
+// Load the output at https://ui.perfetto.dev.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	out := flag.String("o", "trace-merged.json", "output path for the merged trace")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "cosmic-trace: usage: cosmic-trace [-o merged.json] <trace.json>...")
+		os.Exit(2)
+	}
+	inputs := make([][]byte, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		inputs = append(inputs, blob)
+	}
+	merged, stats, err := obs.MergeChromeTraces(inputs)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, merged, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cosmic-trace: merged %d traces into %s: %d events, %d flow arrows (%d unmatched)\n",
+		stats.Inputs, *out, stats.Events, stats.Flows, stats.UnmatchedFlows)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cosmic-trace:", err)
+	os.Exit(1)
+}

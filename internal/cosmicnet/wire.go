@@ -41,10 +41,17 @@ const (
 	MsgAck
 )
 
+const (
+	// MsgStats is the metrics-federation round trip on the Director's
+	// control plane: an empty request from the director, answered by a
+	// frame whose Text is the node's JSON status + Prometheus exposition.
+	MsgStats MsgType = iota + 8
+)
+
 var msgNames = map[MsgType]string{
 	MsgHello: "hello", MsgConfig: "config", MsgModel: "model",
 	MsgPartial: "partial", MsgGroupAggregate: "group-aggregate",
-	MsgDone: "done", MsgAck: "ack",
+	MsgDone: "done", MsgAck: "ack", MsgStats: "stats",
 }
 
 // String names the message type.
@@ -70,6 +77,12 @@ type Frame struct {
 	Payload []float64
 	// Text carries small string payloads (e.g. the Hello listen address).
 	Text string
+	// TraceID identifies the distributed operation (one training round)
+	// this frame belongs to; SpanID identifies the individual send, so a
+	// trace merger can draw a flow arrow from the sender's span to every
+	// receiver's span. Both are optional: a frame with neither set encodes
+	// byte-identically to the pre-trace wire format.
+	TraceID, SpanID uint64
 }
 
 // MaxFrameBytes bounds a frame's wire size; a frame larger than this is
@@ -79,6 +92,15 @@ const MaxFrameBytes = 256 << 20
 // header: type(1) seq(4) from(4) weight(8) textLen(4) payloadLen(4)
 const headerBytes = 25
 
+// flagTrace on the type byte marks a trace extension: traceExtBytes
+// (traceID 8 + spanID 8) inserted between the fixed header and the text.
+// Frames without trace context never set the flag, so a pre-trace reader
+// parses a new writer's untraced frames unchanged.
+const (
+	flagTrace     = 0x80
+	traceExtBytes = 16
+)
+
 // WriteFrame encodes and writes one frame.
 func WriteFrame(w io.Writer, f *Frame) error {
 	_, err := writeFrame(w, f)
@@ -87,22 +109,37 @@ func WriteFrame(w io.Writer, f *Frame) error {
 
 // writeFrame reports the bytes written.
 func writeFrame(w io.Writer, f *Frame) (int, error) {
+	traced := f.TraceID != 0 || f.SpanID != 0
+	ext := 0
+	if traced {
+		ext = traceExtBytes
+	}
 	textLen := len(f.Text)
 	payloadLen := len(f.Payload) * 8
-	total := headerBytes + textLen + payloadLen
+	total := headerBytes + ext + textLen + payloadLen
 	if total > MaxFrameBytes {
 		return 0, fmt.Errorf("cosmicnet: frame of %d bytes exceeds limit", total)
 	}
 	buf := make([]byte, 4+total)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(total))
-	buf[4] = byte(f.Type)
+	typeByte := byte(f.Type)
+	if traced {
+		typeByte |= flagTrace
+	}
+	buf[4] = typeByte
 	binary.LittleEndian.PutUint32(buf[5:], f.Seq)
 	binary.LittleEndian.PutUint32(buf[9:], f.From)
 	binary.LittleEndian.PutUint64(buf[13:], math.Float64bits(f.Weight))
 	binary.LittleEndian.PutUint32(buf[21:], uint32(textLen))
 	binary.LittleEndian.PutUint32(buf[25:], uint32(len(f.Payload)))
-	copy(buf[29:], f.Text)
-	off := 29 + textLen
+	off := 29
+	if traced {
+		binary.LittleEndian.PutUint64(buf[off:], f.TraceID)
+		binary.LittleEndian.PutUint64(buf[off+8:], f.SpanID)
+		off += traceExtBytes
+	}
+	copy(buf[off:], f.Text)
+	off += textLen
 	for _, v := range f.Payload {
 		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
 		off += 8
@@ -131,21 +168,32 @@ func readFrame(r io.Reader) (*Frame, int, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, 4, err
 	}
+	traced := buf[0]&flagTrace != 0
+	ext := uint32(0)
+	if traced {
+		ext = traceExtBytes
+	}
 	f := &Frame{
-		Type:   MsgType(buf[0]),
+		Type:   MsgType(buf[0] &^ flagTrace),
 		Seq:    binary.LittleEndian.Uint32(buf[1:]),
 		From:   binary.LittleEndian.Uint32(buf[5:]),
 		Weight: math.Float64frombits(binary.LittleEndian.Uint64(buf[9:])),
 	}
 	textLen := binary.LittleEndian.Uint32(buf[17:])
 	payloadLen := binary.LittleEndian.Uint32(buf[21:])
-	if uint32(len(buf)) != headerBytes+textLen+payloadLen*8 {
-		return nil, 4 + int(total), fmt.Errorf("cosmicnet: inconsistent frame: total %d, text %d, payload %d",
-			total, textLen, payloadLen)
+	if uint32(len(buf)) != headerBytes+ext+textLen+payloadLen*8 {
+		return nil, 4 + int(total), fmt.Errorf("cosmicnet: inconsistent frame: total %d, ext %d, text %d, payload %d",
+			total, ext, textLen, payloadLen)
 	}
-	f.Text = string(buf[headerBytes : headerBytes+textLen])
+	off := headerBytes
+	if traced {
+		f.TraceID = binary.LittleEndian.Uint64(buf[off:])
+		f.SpanID = binary.LittleEndian.Uint64(buf[off+8:])
+		off += traceExtBytes
+	}
+	f.Text = string(buf[off : off+int(textLen)])
+	off += int(textLen)
 	f.Payload = make([]float64, payloadLen)
-	off := headerBytes + int(textLen)
 	for i := range f.Payload {
 		f.Payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
 		off += 8

@@ -2,6 +2,9 @@ package cosmicnet
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
 	"math"
 	"reflect"
 	"testing"
@@ -15,6 +18,9 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Type: MsgPartial, Seq: 7, From: 2, Weight: 3.5, Payload: []float64{0.25}},
 		{Type: MsgDone},
 		{Type: MsgGroupAggregate, Seq: 1, From: 1, Weight: 4, Payload: make([]float64, 10000)},
+		{Type: MsgModel, Seq: 3, Payload: []float64{1}, TraceID: 0xdeadbeefcafe, SpanID: 0x1234},
+		{Type: MsgPartial, Seq: 3, From: 5, Weight: 1, TraceID: 1, SpanID: 1 << 63, Text: "x"},
+		{Type: MsgStats, From: 2, Text: `{"node":2}`},
 	}
 	for _, f := range frames {
 		var buf bytes.Buffer
@@ -35,6 +41,108 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestFrameRoundTripProperty(t *testing.T) {
+	check := func(seq, from uint32, weight float64, payload []float64, text string, traceID, spanID uint64) bool {
+		if math.IsNaN(weight) {
+			return true
+		}
+		for _, v := range payload {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		f := &Frame{Type: MsgPartial, Seq: seq, From: from, Weight: weight, Payload: payload, Text: text,
+			TraceID: traceID, SpanID: spanID}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, f); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Seq != seq || got.From != from || got.Weight != weight || got.Text != text {
+			return false
+		}
+		if got.TraceID != traceID || got.SpanID != spanID {
+			return false
+		}
+		if len(got.Payload) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if got.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	// The untraced half of the space, explicitly: trace/span zero must take
+	// the legacy encoding path.
+	untraced := func(seq, from uint32, payload []float64) bool {
+		for _, v := range payload {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		f := &Frame{Type: MsgModel, Seq: seq, From: from, Payload: payload}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, f); err != nil {
+			return false
+		}
+		if buf.Bytes()[4]&flagTrace != 0 {
+			return false // untraced frame must not set the extension flag
+		}
+		got, err := ReadFrame(&buf)
+		return err == nil && got.TraceID == 0 && got.SpanID == 0 && got.Seq == seq
+	}
+	if err := quick.Check(untraced, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// readLegacyFrame is a copy of the pre-trace reader: fixed 25-byte header,
+// no extension awareness. It stands in for an old binary on the other end
+// of the connection.
+func readLegacyFrame(r io.Reader) (*Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	total := binary.LittleEndian.Uint32(lenBuf[:])
+	if total < headerBytes || total > MaxFrameBytes {
+		return nil, fmt.Errorf("bad frame length %d", total)
+	}
+	buf := make([]byte, total)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	f := &Frame{
+		Type:   MsgType(buf[0]),
+		Seq:    binary.LittleEndian.Uint32(buf[1:]),
+		From:   binary.LittleEndian.Uint32(buf[5:]),
+		Weight: math.Float64frombits(binary.LittleEndian.Uint64(buf[9:])),
+	}
+	textLen := binary.LittleEndian.Uint32(buf[17:])
+	payloadLen := binary.LittleEndian.Uint32(buf[21:])
+	if uint32(len(buf)) != headerBytes+textLen+payloadLen*8 {
+		return nil, fmt.Errorf("inconsistent frame")
+	}
+	f.Text = string(buf[headerBytes : headerBytes+textLen])
+	f.Payload = make([]float64, payloadLen)
+	off := headerBytes + int(textLen)
+	for i := range f.Payload {
+		f.Payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	return f, nil
+}
+
+// TestOldReaderNewWriterCompatibility: a new writer's untraced frames are
+// byte-identical to the legacy format, so a pre-trace reader parses them.
+func TestOldReaderNewWriterCompatibility(t *testing.T) {
 	check := func(seq, from uint32, weight float64, payload []float64, text string) bool {
 		if math.IsNaN(weight) {
 			return true
@@ -49,14 +157,11 @@ func TestFrameRoundTripProperty(t *testing.T) {
 		if err := WriteFrame(&buf, f); err != nil {
 			return false
 		}
-		got, err := ReadFrame(&buf)
+		got, err := readLegacyFrame(&buf)
 		if err != nil {
 			return false
 		}
 		if got.Seq != seq || got.From != from || got.Weight != weight || got.Text != text {
-			return false
-		}
-		if len(got.Payload) != len(payload) {
 			return false
 		}
 		for i := range payload {
@@ -66,8 +171,28 @@ func TestFrameRoundTripProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+	// And a traced frame is visibly not legacy: the flag bit is set and the
+	// extension bytes sit between the fixed header and the text.
+	f := &Frame{Type: MsgModel, Seq: 9, TraceID: 0xa1b2c3d4e5f60708, SpanID: 0x1122334455667788, Text: "hi"}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if raw[4]&flagTrace == 0 {
+		t.Fatal("traced frame missing extension flag")
+	}
+	if got := binary.LittleEndian.Uint64(raw[4+headerBytes:]); got != f.TraceID {
+		t.Errorf("trace ID at extension offset = %#x, want %#x", got, f.TraceID)
+	}
+	if got := binary.LittleEndian.Uint64(raw[4+headerBytes+8:]); got != f.SpanID {
+		t.Errorf("span ID at extension offset = %#x, want %#x", got, f.SpanID)
+	}
+	if got := string(raw[4+headerBytes+traceExtBytes:]); got != "hi" {
+		t.Errorf("text after extension = %q", got)
 	}
 }
 

@@ -20,10 +20,16 @@
 package deploy
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/cosmicnet"
@@ -104,11 +110,147 @@ type workerConfig struct {
 	Members      int     `json:"members"`
 	Spec         Spec    `json:"spec"`
 	LR           float64 `json:"lr"`
+	// MasterUnixUS is the Director's clock (Unix micros) at config-send
+	// time. The worker derives its clock skew from it so cosmic-trace can
+	// align per-node trace timelines; the one-way control-plane latency is
+	// absorbed into the estimate, which is fine at loopback/LAN scales.
+	MasterUnixUS int64 `json:"master_unix_us,omitempty"`
+}
+
+// NodeStats is the MsgStats reply a node sends the Director: identity,
+// round progress, flight-recorder depth, and the node's full metrics
+// exposition for federation into the Director's /metrics.
+type NodeStats struct {
+	ID               uint32  `json:"id"`
+	Role             string  `json:"role"`
+	Group            int     `json:"group"`
+	LastSeq          uint32  `json:"last_seq"`
+	RingDepth        int     `json:"ring_depth"`
+	FlightDepth      int     `json:"flight_depth"`
+	LastRoundSeconds float64 `json:"last_round_seconds"`
+	Exposition       string  `json:"exposition,omitempty"`
+}
+
+// statsFor snapshots a node's stats, attaching the observer's exposition
+// when one is wired.
+func statsFor(node *runtime.Node, o *obs.Observer) NodeStats {
+	h := node.Health()
+	st := NodeStats{
+		ID: h.ID, Role: h.Role, Group: h.Group, LastSeq: h.LastSeq,
+		RingDepth: h.RingDepth, FlightDepth: h.FlightDepth,
+		LastRoundSeconds: h.LastRoundSeconds,
+	}
+	if o != nil {
+		var buf bytes.Buffer
+		if err := o.Registry().WritePrometheus(&buf); err == nil {
+			st.Exposition = buf.String()
+		}
+	}
+	return st
+}
+
+// serveStats answers MsgStats scrapes on the worker's control connection,
+// which is otherwise idle between configuration and shutdown (the Director
+// is its only other user). Returns when the connection closes.
+func serveStats(conn *cosmicnet.Conn, node *runtime.Node, o *obs.Observer) {
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if f.Type != cosmicnet.MsgStats {
+			continue
+		}
+		st := statsFor(node, o)
+		blob, err := json.Marshal(st)
+		if err != nil {
+			continue
+		}
+		if err := conn.Send(&cosmicnet.Frame{
+			Type: cosmicnet.MsgStats, From: st.ID, Seq: f.Seq, Text: string(blob),
+		}); err != nil {
+			return
+		}
+	}
+}
+
+// scrapeWorker round-trips one MsgStats request on a worker's control
+// connection, bounded by a deadline so a wedged worker cannot stall the
+// Director's scrape loop.
+func scrapeWorker(conn *cosmicnet.Conn, seq uint32) (NodeStats, error) {
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	defer conn.SetDeadline(time.Time{})
+	if err := conn.Send(&cosmicnet.Frame{Type: cosmicnet.MsgStats, Seq: seq}); err != nil {
+		return NodeStats{}, err
+	}
+	f, err := conn.Recv()
+	if err != nil {
+		return NodeStats{}, err
+	}
+	if f.Type != cosmicnet.MsgStats {
+		return NodeStats{}, fmt.Errorf("deploy: stats reply was %v", f.Type)
+	}
+	var st NodeStats
+	if err := json.Unmarshal([]byte(f.Text), &st); err != nil {
+		return NodeStats{}, err
+	}
+	return st, nil
+}
+
+// clusterView is the Director's live roster — the last stats scraped from
+// every node plus the current straggler flags — served as /cluster.
+type clusterView struct {
+	mu         sync.Mutex
+	nodes      map[uint32]NodeStats
+	stragglers []string
+}
+
+func newClusterView() *clusterView {
+	return &clusterView{nodes: make(map[uint32]NodeStats)}
+}
+
+func (cv *clusterView) update(st NodeStats) {
+	cv.mu.Lock()
+	cv.nodes[st.ID] = st
+	cv.mu.Unlock()
+}
+
+func (cv *clusterView) setStragglers(s []string) {
+	cv.mu.Lock()
+	cv.stragglers = append(cv.stragglers[:0], s...)
+	cv.mu.Unlock()
+}
+
+// handler serves the roster as JSON, node IDs ascending. The per-node
+// exposition is stripped — raw metrics are /metrics' job.
+func (cv *clusterView) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		cv.mu.Lock()
+		ids := make([]int, 0, len(cv.nodes))
+		for id := range cv.nodes {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		nodes := make([]NodeStats, 0, len(ids))
+		for _, id := range ids {
+			st := cv.nodes[uint32(id)]
+			st.Exposition = ""
+			nodes = append(nodes, st)
+		}
+		doc := map[string]any{
+			"nodes":      nodes,
+			"stragglers": append([]string(nil), cv.stragglers...),
+		}
+		cv.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(doc) //nolint:errcheck // best-effort HTTP write
+	}
 }
 
 // buildNode constructs the local node for a config: engine, shard, and the
-// runtime Node. o, when non-nil, receives the node's telemetry.
-func buildNode(cfg workerConfig, o *obs.Observer) (*runtime.Node, error) {
+// runtime Node. o, when non-nil, receives the node's telemetry; logger,
+// when non-nil, its structured diagnostics.
+func buildNode(cfg workerConfig, o *obs.Observer, logger *slog.Logger) (*runtime.Node, error) {
 	bench, err := dataset.ByName(cfg.Spec.Benchmark)
 	if err != nil {
 		return nil, err
@@ -136,6 +278,7 @@ func buildNode(cfg workerConfig, o *obs.Observer) (*runtime.Node, error) {
 		LR:           lr,
 		ShardBatch:   perNode,
 		Obs:          o,
+		Logger:       logger,
 	}, shard)
 }
 
@@ -147,10 +290,43 @@ type Result struct {
 	FinalLoss   float64
 }
 
+// MasterOptions tunes the System Director's observability: metrics
+// federation over the control plane, the /metrics and /cluster HTTP
+// endpoints, straggler detection, and distributed tracing.
+type MasterOptions struct {
+	// Obs observes the master node itself; its registry is also the local
+	// half of the federated /metrics.
+	Obs *obs.Observer
+	// HTTPAddr, when set, serves the Director's federated /metrics and the
+	// /cluster roster for the duration of the run.
+	HTTPAddr string
+	// OnHTTP, when set, receives the bound HTTP address once listening.
+	OnHTTP func(addr string)
+	// ScrapeInterval is how often the Director scrapes every worker's stats
+	// over the control plane (0 disables scraping and straggler detection).
+	ScrapeInterval time.Duration
+	// StragglerK and StragglerM tune the detector: a node flags after M
+	// consecutive scrapes with round latency over K×cluster-p50 (0 = the
+	// defaults of 2 and 3).
+	StragglerK float64
+	StragglerM int
+	// TraceIDBase, when nonzero, enables distributed trace propagation
+	// across the cluster's wire frames.
+	TraceIDBase uint64
+	Logger      *slog.Logger
+	// DiagDir is where the master's round-failure flight dumps land.
+	DiagDir string
+}
+
 // RunMaster listens on controlAddr, admits spec.Nodes-1 workers, assigns
 // roles, drives training, and shuts the cluster down. It blocks until
 // training completes.
 func RunMaster(controlAddr string, spec Spec) (*Result, error) {
+	return RunMasterOpts(controlAddr, spec, MasterOptions{})
+}
+
+// RunMasterOpts is RunMaster with the Director's observability attached.
+func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -177,11 +353,36 @@ func RunMaster(controlAddr string, spec Spec) (*Result, error) {
 		NodeID: 0, Role: int(runtime.RoleMasterSigma), Group: 0,
 		Members: len(topo.Members[0]), Spec: spec, LR: lr,
 	}
-	master, err := buildNode(masterCfg, nil)
+	master, err := buildNode(masterCfg, opts.Obs, opts.Logger)
 	if err != nil {
 		return nil, err
 	}
 	defer master.Close()
+
+	// The Director's federated registry: the master's own metrics locally,
+	// every worker's scraped exposition as a source.
+	localReg := obs.NewRegistry()
+	if opts.Obs != nil {
+		localReg = opts.Obs.Registry()
+	}
+	fed := obs.NewFederation(localReg)
+	mon := runtime.NewMonitor(localReg, opts.StragglerK, opts.StragglerM, opts.Logger)
+	view := newClusterView()
+	if opts.HTTPAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", fed.Handler())
+		mux.HandleFunc("/cluster", view.handler())
+		httpLn, err := net.Listen("tcp", opts.HTTPAddr)
+		if err != nil {
+			return nil, err
+		}
+		if opts.OnHTTP != nil {
+			opts.OnHTTP(httpLn.Addr().String())
+		}
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(httpLn) //nolint:errcheck // closed on return
+		defer srv.Close()
+	}
 
 	// Phase 0: admit every worker's join connection.
 	type joined struct {
@@ -203,6 +404,7 @@ func RunMaster(controlAddr string, spec Spec) (*Result, error) {
 	}
 
 	sendConfig := func(w joined, cfg workerConfig) error {
+		cfg.MasterUnixUS = time.Now().UnixMicro()
 		blob, err := json.Marshal(cfg)
 		if err != nil {
 			return err
@@ -248,6 +450,62 @@ func RunMaster(controlAddr string, spec Spec) (*Result, error) {
 	direct := (spec.Groups - 1) + (len(topo.Members[0]) - 1)
 	master.WaitMembers(direct)
 
+	// Metrics federation: the control connections are idle during training,
+	// so the Director periodically round-trips a MsgStats on each one,
+	// merges every worker's exposition into /metrics, and feeds the round
+	// latencies to the straggler detector. The scrape goroutine is this
+	// side's only reader/writer on those connections until it is stopped.
+	var scrapeWG sync.WaitGroup
+	var stopScrape chan struct{}
+	stopScrapers := func() {
+		if stopScrape != nil {
+			close(stopScrape)
+			scrapeWG.Wait()
+			stopScrape = nil
+		}
+	}
+	defer stopScrapers()
+	if opts.ScrapeInterval > 0 {
+		stopScrape = make(chan struct{})
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			ticker := time.NewTicker(opts.ScrapeInterval)
+			defer ticker.Stop()
+			var seq uint32
+			for {
+				select {
+				case <-stopScrape:
+					return
+				case <-ticker.C:
+				}
+				seq++
+				lat := make(map[string]float64)
+				mst := statsFor(master, opts.Obs)
+				view.update(mst)
+				if mst.LastRoundSeconds > 0 {
+					lat[strconv.Itoa(int(mst.ID))] = mst.LastRoundSeconds
+				}
+				for _, w := range workers {
+					st, err := scrapeWorker(w.conn, seq)
+					if err != nil {
+						continue
+					}
+					view.update(st)
+					if st.Exposition != "" {
+						if samples, err := obs.ParseExposition(st.Exposition); err == nil {
+							fed.Update(fmt.Sprintf("node-%d", st.ID), samples)
+						}
+					}
+					if st.LastRoundSeconds > 0 {
+						lat[strconv.Itoa(int(st.ID))] = st.LastRoundSeconds
+					}
+				}
+				view.setStragglers(mon.Observe(lat))
+			}
+		}()
+	}
+
 	model := alg.InitModel(rand.New(rand.NewSource(spec.Seed)))
 	res := &Result{}
 	full := bench.Generate(alg, spec.Samples, spec.Seed) // master's view of the loss
@@ -260,11 +518,15 @@ func RunMaster(controlAddr string, spec Spec) (*Result, error) {
 		Agg:              spec.agg(),
 		LR:               lr,
 		MiniBatch:        spec.MiniBatch,
+		TraceIDBase:      opts.TraceIDBase,
 	}, model, spec.Rounds)
 	if err != nil {
 		return nil, err
 	}
 	master.SendDone()
+	// Quiesce the scrape loop before tearing down the control connections
+	// it shares.
+	stopScrapers()
 	res.Model = trained
 	res.Stats = stats
 	res.Stats.NetworkSentBytes, res.Stats.NetworkReceivedBytes = master.NetworkBytes()
@@ -279,15 +541,34 @@ func RunMaster(controlAddr string, spec Spec) (*Result, error) {
 	return res, nil
 }
 
+// WorkerOptions attaches observability to a worker process.
+type WorkerOptions struct {
+	// Obs receives the node's telemetry; its exposition also rides MsgStats
+	// replies so the Director can federate it.
+	Obs *obs.Observer
+	// Logger receives the node's structured diagnostics.
+	Logger *slog.Logger
+	// OnNode, when set, receives the running node once configured — the
+	// hook cmd/cosmic-node uses to wire its /healthz probe.
+	OnNode func(n *runtime.Node)
+}
+
 // RunWorker joins the master at controlAddr, receives its assignment, and
 // runs its node loop until training completes.
 func RunWorker(controlAddr string) error {
-	return RunWorkerObs(controlAddr, nil)
+	return RunWorkerOpts(controlAddr, WorkerOptions{})
 }
 
 // RunWorkerObs is RunWorker with an observer attached to the local node, so
 // a long-running worker process can serve live /metrics while training.
 func RunWorkerObs(controlAddr string, o *obs.Observer) error {
+	return RunWorkerOpts(controlAddr, WorkerOptions{Obs: o})
+}
+
+// RunWorkerOpts is RunWorker with full observability wiring. After
+// configuration the worker answers the Director's MsgStats scrapes on the
+// control connection while the node loop runs on the data plane.
+func RunWorkerOpts(controlAddr string, opts WorkerOptions) error {
 	conn, err := cosmicnet.Dial(controlAddr)
 	if err != nil {
 		return err
@@ -307,11 +588,19 @@ func RunWorkerObs(controlAddr string, o *obs.Observer) error {
 	if err := json.Unmarshal([]byte(f.Text), &cfg); err != nil {
 		return err
 	}
-	node, err := buildNode(cfg, o)
+	if cfg.MasterUnixUS != 0 {
+		// Clock alignment for cosmic-trace: skew is positive when this
+		// worker's clock runs ahead of the Director's.
+		opts.Obs.Tracer().SetClockSkew(time.Now().UnixMicro() - cfg.MasterUnixUS)
+	}
+	node, err := buildNode(cfg, opts.Obs, opts.Logger)
 	if err != nil {
 		return err
 	}
 	defer node.Close()
+	if opts.OnNode != nil {
+		opts.OnNode(node)
+	}
 	if runtime.Role(cfg.Role) == runtime.RoleGroupSigma {
 		// Report the data-plane listener so the Director can point this
 		// group's Deltas at it.
@@ -319,5 +608,8 @@ func RunWorkerObs(controlAddr string, o *obs.Observer) error {
 			return err
 		}
 	}
+	// The control connection is now idle on this side; serve the Director's
+	// stats scrapes until it closes.
+	go serveStats(conn, node, opts.Obs)
 	return node.Run()
 }

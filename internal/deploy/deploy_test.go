@@ -1,11 +1,16 @@
 package deploy
 
 import (
+	"io"
 	"net"
+	"net/http"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cosmicnet"
+	"repro/internal/obs"
 )
 
 // TestMasterWorkersEndToEnd runs the full Director handshake and a training
@@ -145,6 +150,85 @@ func TestMasterIgnoresGarbageJoin(t *testing.T) {
 		t.Fatal(err)
 	}
 	garbage.Close()
+}
+
+// TestMasterFederatesWorkerMetrics: the Director scrapes workers over the
+// control plane during training and serves their metrics, its own, and the
+// cluster roster over HTTP.
+func TestMasterFederatesWorkerMetrics(t *testing.T) {
+	spec := Spec{
+		Nodes: 3, Groups: 1,
+		Benchmark: "face", Scale: 0.02, Samples: 120, Seed: 7,
+		MiniBatch: 60, Rounds: 200, Average: true,
+	}
+	addr := freeAddr(t)
+
+	var wg sync.WaitGroup
+	for i := 0; i < spec.Nodes-1; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := RunWorkerObs(addr, obs.New()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+
+	httpAddr := make(chan string, 1)
+	masterDone := make(chan error, 1)
+	var res *Result
+	go func() {
+		var err error
+		res, err = RunMasterOpts(addr, spec, MasterOptions{
+			Obs:            obs.New(),
+			HTTPAddr:       "127.0.0.1:0",
+			OnHTTP:         func(a string) { httpAddr <- a },
+			ScrapeInterval: 2 * time.Millisecond,
+			TraceIDBase:    1 << 32,
+		})
+		masterDone <- err
+	}()
+
+	base := "http://" + <-httpAddr
+	fetch := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return ""
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	// Poll /metrics until a worker's federated series and the Director's
+	// derived round-latency gauge appear. Bounded: training runs 200 rounds,
+	// far longer than a few scrape ticks.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		body := fetch("/metrics")
+		if strings.Contains(body, `cosmic_node_rounds_total{node="1"}`) &&
+			strings.Contains(body, `cosmic_cluster_node_round_seconds{node="1"}`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("federated series never appeared:\n%s", body)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	roster := fetch("/cluster")
+	for _, want := range []string{`"id":0`, `"id":1`, `"id":2`, `"stragglers"`} {
+		if !strings.Contains(roster, want) {
+			t.Errorf("/cluster missing %s:\n%s", want, roster)
+		}
+	}
+
+	if err := <-masterDone; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if res.FinalLoss >= res.InitialLoss {
+		t.Errorf("loss %g -> %g", res.InitialLoss, res.FinalLoss)
+	}
 }
 
 func freeAddr(t *testing.T) string {

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ParseExposition parses Prometheus text exposition (as WritePrometheus
+// emits it: sample lines only) back into samples. Comment and blank lines
+// are skipped; a malformed sample line is an error.
+func ParseExposition(text string) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("obs: malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad value in %q: %v", line, err)
+		}
+		out = append(out, Sample{Name: line[:sp], Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Federation merges metric snapshots from many sources (the director's own
+// registry plus every scraped node) into one cluster-level exposition. Each
+// source's samples replace that source's previous contribution atomically,
+// so a node that stops reporting keeps its last-known values (stamped with
+// a staleness age) instead of flapping in and out of the exposition.
+type Federation struct {
+	local *Registry
+
+	mu      sync.Mutex
+	sources map[string]*federatedSource
+}
+
+type federatedSource struct {
+	samples []Sample
+	updated time.Time
+}
+
+// NewFederation creates a federation rooted at the director's own registry
+// (nil for none): local series are merged into every snapshot.
+func NewFederation(local *Registry) *Federation {
+	return &Federation{local: local, sources: map[string]*federatedSource{}}
+}
+
+// Update replaces one source's contribution.
+func (f *Federation) Update(source string, samples []Sample) {
+	f.mu.Lock()
+	f.sources[source] = &federatedSource{
+		samples: append([]Sample(nil), samples...),
+		updated: time.Now(),
+	}
+	f.mu.Unlock()
+}
+
+// Sources returns the scraped source names, sorted.
+func (f *Federation) Sources() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.sources))
+	for name := range f.sources {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Age returns how long ago the source last reported, and whether it exists.
+func (f *Federation) Age(source string) (time.Duration, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.sources[source]
+	if !ok {
+		return 0, false
+	}
+	return time.Since(s.updated), true
+}
+
+// Snapshot merges the local registry and every source deterministically:
+// all series sorted by name. When two sources export the same series name
+// the lexically later source wins (node series are node-labeled, so
+// collisions only arise from misconfiguration).
+func (f *Federation) Snapshot() []Sample {
+	merged := map[string]float64{}
+	for _, s := range f.local.Snapshot() {
+		merged[s.Name] = s.Value
+	}
+	f.mu.Lock()
+	names := make([]string, 0, len(f.sources))
+	for name := range f.sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, s := range f.sources[name].samples {
+			merged[s.Name] = s.Value
+		}
+	}
+	f.mu.Unlock()
+
+	out := make([]Sample, 0, len(merged))
+	for name, v := range merged {
+		out = append(out, Sample{Name: name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WritePrometheus writes the merged snapshot in the text exposition format.
+func (f *Federation) WritePrometheus(w io.Writer) error {
+	for _, s := range f.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, strconv.FormatFloat(s.Value, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the merged exposition — the director's /metrics.
+func (f *Federation) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		f.WritePrometheus(w) //nolint:errcheck // best-effort over a dying socket
+	})
+}
+
+// StragglerDetector flags nodes whose round latency stays above K times the
+// cluster median for M consecutive observations — the communication skew
+// that eats scale-out speedup (Sridharan et al.). It is pure bookkeeping:
+// deterministic, no clocks, no goroutines; callers feed it one latency map
+// per scrape/round.
+type StragglerDetector struct {
+	// K is the latency multiple over the cluster p50 that counts as
+	// straggling (default 2).
+	K float64
+	// M is how many consecutive observations must stay above the bar
+	// before a node is flagged (default 3).
+	M int
+
+	streak  map[string]int
+	flagged map[string]bool
+}
+
+// NewStragglerDetector creates a detector with the given thresholds;
+// non-positive values take the defaults (K=2, M=3).
+func NewStragglerDetector(k float64, m int) *StragglerDetector {
+	if k <= 0 {
+		k = 2
+	}
+	if m <= 0 {
+		m = 3
+	}
+	return &StragglerDetector{K: k, M: m, streak: map[string]int{}, flagged: map[string]bool{}}
+}
+
+// Observe folds in one round of per-node latencies (seconds) and returns
+// the currently flagged node names, sorted. A node below the bar resets its
+// streak and clears its flag; nodes absent from the map keep their state.
+func (d *StragglerDetector) Observe(latency map[string]float64) []string {
+	if len(latency) > 0 {
+		p50 := medianOf(latency)
+		for node, lat := range latency {
+			if p50 > 0 && lat > d.K*p50 {
+				d.streak[node]++
+				if d.streak[node] >= d.M {
+					d.flagged[node] = true
+				}
+			} else {
+				d.streak[node] = 0
+				delete(d.flagged, node)
+			}
+		}
+	}
+	out := make([]string, 0, len(d.flagged))
+	for node := range d.flagged {
+		out = append(out, node)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Streak returns the node's current consecutive-over-bar count.
+func (d *StragglerDetector) Streak(node string) int { return d.streak[node] }
+
+// medianOf returns the nearest-rank p50 of the map's values.
+func medianOf(m map[string]float64) float64 {
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	return vals[(len(vals)-1)/2]
+}

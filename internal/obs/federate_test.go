@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseExpositionRoundTrip: a registry's exposition parses back into
+// the same samples the snapshot reported.
+func TestParseExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Labeled("x_total", "node", "1")).Add(5)
+	r.Gauge("level").Set(-2.5)
+	r.Histogram("lat_seconds", []float64{0.1, 1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseExposition(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := r.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("parse mismatch:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+func TestParseExpositionRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"noval", "name notanumber", " 3"} {
+		if _, err := ParseExposition(bad); err == nil {
+			t.Errorf("ParseExposition(%q) accepted garbage", bad)
+		}
+	}
+	// Blank and comment lines are tolerated.
+	got, err := ParseExposition("\n# HELP x\nx_total 1\n")
+	if err != nil || len(got) != 1 || got[0].Name != "x_total" {
+		t.Errorf("got %v, %v", got, err)
+	}
+}
+
+// TestFederationMerge: sources merge with the local registry, updates
+// replace a source's previous contribution, and the snapshot is sorted.
+func TestFederationMerge(t *testing.T) {
+	local := NewRegistry()
+	local.Gauge(Labeled("cosmic_cluster_node_round_seconds", "node", "1")).Set(0.25)
+	fed := NewFederation(local)
+	fed.Update("node-1", []Sample{{Name: `a_total{node="1"}`, Value: 1}})
+	fed.Update("node-2", []Sample{{Name: `a_total{node="2"}`, Value: 2}})
+	fed.Update("node-1", []Sample{{Name: `a_total{node="1"}`, Value: 3}}) // replaces
+
+	snap := fed.Snapshot()
+	want := []Sample{
+		{Name: `a_total{node="1"}`, Value: 3},
+		{Name: `a_total{node="2"}`, Value: 2},
+		{Name: `cosmic_cluster_node_round_seconds{node="1"}`, Value: 0.25},
+	}
+	if !reflect.DeepEqual(snap, want) {
+		t.Errorf("snapshot:\ngot  %v\nwant %v", snap, want)
+	}
+	if got := fed.Sources(); !reflect.DeepEqual(got, []string{"node-1", "node-2"}) {
+		t.Errorf("sources = %v", got)
+	}
+	if _, ok := fed.Age("node-1"); !ok {
+		t.Error("node-1 has no age")
+	}
+
+	srv := httptest.NewServer(fed.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.String(), `a_total{node="2"} 2`) {
+		t.Errorf("handler body missing federated series:\n%s", body.String())
+	}
+}
+
+// TestStragglerDetector: a node flags only after M consecutive rounds over
+// K×p50, and recovers when it drops back under the bar.
+func TestStragglerDetector(t *testing.T) {
+	d := NewStragglerDetector(2, 3)
+	healthy := map[string]float64{"0": 0.10, "1": 0.11, "2": 0.09, "3": 0.10}
+	slow := map[string]float64{"0": 0.10, "1": 0.11, "2": 0.09, "3": 0.55}
+
+	if got := d.Observe(healthy); len(got) != 0 {
+		t.Fatalf("flagged %v on healthy cluster", got)
+	}
+	for i := 0; i < 2; i++ {
+		if got := d.Observe(slow); len(got) != 0 {
+			t.Fatalf("flagged %v after only %d slow rounds (m=3)", got, i+1)
+		}
+	}
+	if got := d.Observe(slow); len(got) != 1 || got[0] != "3" {
+		t.Fatalf("flagged %v after 3 slow rounds, want [3]", got)
+	}
+	if d.Streak("3") != 3 {
+		t.Errorf("streak = %d", d.Streak("3"))
+	}
+	// One healthy round clears both streak and flag.
+	if got := d.Observe(healthy); len(got) != 0 {
+		t.Errorf("still flagged %v after recovery", got)
+	}
+	if d.Streak("3") != 0 {
+		t.Errorf("streak after recovery = %d", d.Streak("3"))
+	}
+}
+
+// TestHealthHandler: /healthz is 503 until SetReady, then merges static
+// identity with the live probe.
+func TestHealthHandler(t *testing.T) {
+	h := NewHealth()
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+
+	get := func() (int, string) {
+		resp, err := srv.Client().Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body bytes.Buffer
+		body.ReadFrom(resp.Body) //nolint:errcheck
+		return resp.StatusCode, body.String()
+	}
+	if code, body := get(); code != 503 || !strings.Contains(body, "starting") {
+		t.Errorf("unconfigured healthz = %d %q, want 503 starting", code, body)
+	}
+	seq := uint32(0)
+	h.SetReady(map[string]any{"role": "delta", "group": 1},
+		func() map[string]any { return map[string]any{"last_seq": seq} })
+	seq = 12
+	code, body := get()
+	if code != 200 {
+		t.Fatalf("configured healthz = %d", code)
+	}
+	for _, want := range []string{`"role":"delta"`, `"group":1`, `"last_seq":12`, `"status":"ok"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("healthz body missing %s:\n%s", want, body)
+		}
+	}
+	// Nil receiver stays a no-op.
+	var nh *Health
+	nh.SetReady(nil, nil)
+	if ready, _ := nh.Snapshot(); ready {
+		t.Error("nil health reported ready")
+	}
+}
+
+// TestStragglerDetectorUniformSlowdown: if every node slows down equally,
+// nobody is a straggler (the bar is relative to the cluster median).
+func TestStragglerDetectorUniformSlowdown(t *testing.T) {
+	d := NewStragglerDetector(2, 1)
+	all := map[string]float64{"0": 5, "1": 5.1, "2": 4.9}
+	for i := 0; i < 5; i++ {
+		if got := d.Observe(all); len(got) != 0 {
+			t.Fatalf("flagged %v under uniform slowdown", got)
+		}
+	}
+}

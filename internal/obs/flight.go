@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// FlightDir is the direction of a recorded wire event.
+type FlightDir uint8
+
+// Directions.
+const (
+	FlightSend FlightDir = iota
+	FlightRecv
+	// FlightMark records a runtime milestone that is not a frame (round
+	// start, timeout, failure); Type carries the milestone name.
+	FlightMark
+)
+
+var flightDirNames = [...]string{"send", "recv", "mark"}
+
+// String names the direction.
+func (d FlightDir) String() string {
+	if int(d) < len(flightDirNames) {
+		return flightDirNames[d]
+	}
+	return fmt.Sprintf("FlightDir(%d)", uint8(d))
+}
+
+// FlightEvent is one entry of the flight recorder: a wire or runtime event
+// compressed to a fixed-size record so recording never allocates.
+type FlightEvent struct {
+	// UnixNanos is the event's wall-clock timestamp.
+	UnixNanos int64
+	Dir       FlightDir
+	// Type names the frame type ("model", "partial", ...) or, for
+	// FlightMark, the milestone ("round-timeout", "node-failed"). Callers
+	// pass string constants, so storing the header is alloc-free.
+	Type string
+	// Peer is the other node's ID (0 for marks and unknown peers).
+	Peer uint32
+	// Seq is the mini-batch round the event belongs to.
+	Seq uint32
+	// Bytes is the frame's payload size in bytes (0 for marks).
+	Bytes int
+}
+
+// FlightRecorder is a bounded in-memory ring of the last N wire/runtime
+// events on one node — the forensic record a dead or straggling node leaves
+// behind. Recording is alloc-free and safe for concurrent use; the ring
+// overwrites its oldest entry when full.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []FlightEvent
+	next  int // next write position
+	count int // total events ever recorded
+}
+
+// NewFlightRecorder creates a recorder keeping the last capacity events.
+// A nil recorder (capacity ≤ 0 is clamped to 1; nil pointer from a disabled
+// path) is a no-op.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &FlightRecorder{ring: make([]FlightEvent, capacity)}
+}
+
+// Record appends one event, stamping it with the current time if the event
+// carries none. Nil-safe.
+func (fr *FlightRecorder) Record(ev FlightEvent) {
+	if fr == nil {
+		return
+	}
+	if ev.UnixNanos == 0 {
+		ev.UnixNanos = time.Now().UnixNano()
+	}
+	fr.mu.Lock()
+	fr.ring[fr.next] = ev
+	fr.next = (fr.next + 1) % len(fr.ring)
+	fr.count++
+	fr.mu.Unlock()
+}
+
+// Len returns how many events the ring currently holds.
+func (fr *FlightRecorder) Len() int {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if fr.count < len(fr.ring) {
+		return fr.count
+	}
+	return len(fr.ring)
+}
+
+// Total returns how many events were ever recorded (including overwritten
+// ones).
+func (fr *FlightRecorder) Total() int {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.count
+}
+
+// Snapshot returns the retained events oldest-first.
+func (fr *FlightRecorder) Snapshot() []FlightEvent {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	n := fr.count
+	if n > len(fr.ring) {
+		n = len(fr.ring)
+	}
+	out := make([]FlightEvent, 0, n)
+	start := 0
+	if fr.count >= len(fr.ring) {
+		start = fr.next
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, fr.ring[(start+i)%len(fr.ring)])
+	}
+	return out
+}
+
+// LastSeqFrom returns the highest Seq among retained receive events from the
+// given peer, and whether any were seen — the "last sign of life" a timeout
+// diagnostic reports for a missing member.
+func (fr *FlightRecorder) LastSeqFrom(peer uint32) (uint32, bool) {
+	if fr == nil {
+		return 0, false
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	var last uint32
+	seen := false
+	n := fr.count
+	if n > len(fr.ring) {
+		n = len(fr.ring)
+	}
+	for i := 0; i < n; i++ {
+		ev := &fr.ring[i]
+		if ev.Dir == FlightRecv && ev.Peer == peer {
+			if !seen || ev.Seq > last {
+				last = ev.Seq
+			}
+			seen = true
+		}
+	}
+	return last, seen
+}
+
+// LastRecvSeqs returns the highest retained receive Seq per peer — the
+// one-line "last sign of life" table a round-timeout error embeds.
+func (fr *FlightRecorder) LastRecvSeqs() map[uint32]uint32 {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	n := fr.count
+	if n > len(fr.ring) {
+		n = len(fr.ring)
+	}
+	var out map[uint32]uint32
+	for i := 0; i < n; i++ {
+		ev := &fr.ring[i]
+		if ev.Dir != FlightRecv {
+			continue
+		}
+		if out == nil {
+			out = make(map[uint32]uint32)
+		}
+		if last, ok := out[ev.Peer]; !ok || ev.Seq > last {
+			out[ev.Peer] = ev.Seq
+		}
+	}
+	return out
+}
+
+// Dump writes the retained events as one text line each:
+//
+//	2026-08-06T17:01:02.000000003Z recv partial peer=3 seq=12 bytes=8192
+//
+// oldest first, and reports the dumped event count.
+func (fr *FlightRecorder) Dump(w io.Writer) (int, error) {
+	evs := fr.Snapshot()
+	for _, ev := range evs {
+		ts := time.Unix(0, ev.UnixNanos).UTC().Format(time.RFC3339Nano)
+		if _, err := fmt.Fprintf(w, "%s %s %s peer=%d seq=%d bytes=%d\n",
+			ts, ev.Dir, ev.Type, ev.Peer, ev.Seq, ev.Bytes); err != nil {
+			return 0, err
+		}
+	}
+	return len(evs), nil
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderOrderAndWrap(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 0; i < 6; i++ {
+		fr.Record(FlightEvent{UnixNanos: int64(i + 1), Dir: FlightSend, Type: "model", Seq: uint32(i)})
+	}
+	if fr.Len() != 4 || fr.Total() != 6 {
+		t.Fatalf("len=%d total=%d, want 4/6", fr.Len(), fr.Total())
+	}
+	evs := fr.Snapshot()
+	for i, ev := range evs {
+		if want := uint32(i + 2); ev.Seq != want {
+			t.Errorf("event %d seq = %d, want %d (oldest two overwritten)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderLastSeqFrom(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Record(FlightEvent{UnixNanos: 1, Dir: FlightRecv, Type: "partial", Peer: 3, Seq: 5})
+	fr.Record(FlightEvent{UnixNanos: 2, Dir: FlightRecv, Type: "partial", Peer: 3, Seq: 7})
+	fr.Record(FlightEvent{UnixNanos: 3, Dir: FlightSend, Type: "partial", Peer: 3, Seq: 9})
+	fr.Record(FlightEvent{UnixNanos: 4, Dir: FlightRecv, Type: "partial", Peer: 4, Seq: 2})
+	if seq, ok := fr.LastSeqFrom(3); !ok || seq != 7 {
+		t.Errorf("LastSeqFrom(3) = %d,%v, want 7,true (sends don't count)", seq, ok)
+	}
+	if _, ok := fr.LastSeqFrom(99); ok {
+		t.Error("LastSeqFrom(99) found events for an unknown peer")
+	}
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Record(FlightEvent{UnixNanos: 1700000000000000001, Dir: FlightRecv, Type: "partial", Peer: 2, Seq: 11, Bytes: 8192})
+	fr.Record(FlightEvent{UnixNanos: 1700000000000000002, Dir: FlightMark, Type: "round-timeout", Seq: 11})
+	var buf bytes.Buffer
+	n, err := fr.Dump(&buf)
+	if err != nil || n != 2 {
+		t.Fatalf("Dump = %d, %v", n, err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "recv partial peer=2 seq=11 bytes=8192") {
+		t.Errorf("dump missing recv line:\n%s", out)
+	}
+	if !strings.Contains(out, "mark round-timeout") {
+		t.Errorf("dump missing mark line:\n%s", out)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record(FlightEvent{})
+	if fr.Len() != 0 || fr.Total() != 0 || fr.Snapshot() != nil {
+		t.Error("nil recorder not a no-op")
+	}
+	if _, ok := fr.LastSeqFrom(1); ok {
+		t.Error("nil recorder reported a seq")
+	}
+}
+
+func TestFlightRecorderRecordDoesNotAllocate(t *testing.T) {
+	fr := NewFlightRecorder(64)
+	ev := FlightEvent{UnixNanos: 1, Dir: FlightSend, Type: "partial", Peer: 1, Seq: 2, Bytes: 3}
+	if allocs := testing.AllocsPerRun(100, func() { fr.Record(ev) }); allocs != 0 {
+		t.Errorf("Record allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				fr.Record(FlightEvent{UnixNanos: 1, Dir: FlightSend, Type: "model", Peer: uint32(g), Seq: uint32(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if fr.Total() != 800 || fr.Len() != 32 {
+		t.Errorf("total=%d len=%d, want 800/32", fr.Total(), fr.Len())
+	}
+}

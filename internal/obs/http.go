@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
 
 // Handler serves the registry in Prometheus text exposition format — the
@@ -26,4 +29,81 @@ func NewHTTPMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// NewNodeMux is NewHTTPMux plus the node's /healthz endpoint.
+func NewNodeMux(r *Registry, h *Health) *http.ServeMux {
+	mux := NewHTTPMux(r)
+	mux.Handle("/healthz", h.Handler())
+	return mux
+}
+
+// Health is a node's /healthz state: 503 with {"status":"starting"} until
+// the Director configures the node, then 200 with the node's static
+// identity (role, group) merged with a live probe (last-round seq, ring
+// depth) sampled per request. All methods are nil-safe.
+type Health struct {
+	mu     sync.Mutex
+	ready  bool
+	static map[string]any
+	probe  func() map[string]any
+}
+
+// NewHealth creates an unconfigured (not-ready) health state.
+func NewHealth() *Health { return &Health{} }
+
+// SetReady marks the node configured: static holds identity fields, probe
+// (optional) supplies live fields per request.
+func (h *Health) SetReady(static map[string]any, probe func() map[string]any) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.ready = true
+	h.static = static
+	h.probe = probe
+	h.mu.Unlock()
+}
+
+// Snapshot returns readiness and the merged health document.
+func (h *Health) Snapshot() (bool, map[string]any) {
+	if h == nil {
+		return false, nil
+	}
+	h.mu.Lock()
+	ready, probe := h.ready, h.probe
+	doc := map[string]any{}
+	for k, v := range h.static {
+		doc[k] = v
+	}
+	h.mu.Unlock()
+	if !ready {
+		return false, nil
+	}
+	if probe != nil {
+		for k, v := range probe() {
+			doc[k] = v
+		}
+	}
+	return true, doc
+}
+
+// Handler serves /healthz: 503 until SetReady, then the JSON document.
+func (h *Health) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ready, doc := h.Snapshot()
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"starting"}`)
+			return
+		}
+		doc["status"] = "ok"
+		blob, err := json.Marshal(doc)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(blob, '\n')) //nolint:errcheck // best-effort
+	})
 }

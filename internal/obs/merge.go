@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// This file is the cluster half of the tracer: it merges per-node Chrome
+// trace files (each on its own wall clock) into one Perfetto timeline. Each
+// input's cosmic_clock_sync metadata anchors its relative timestamps to the
+// cluster reference clock (the director's), and matching flow_out/flow_in
+// span arguments — the wire trace context of cosmicnet.Frame — become
+// Chrome flow events (ph "s"/"f") drawing an arrow from every frame's send
+// span to its receive span.
+
+// Span-argument keys the runtime stamps and the merger consumes.
+const (
+	// ArgTraceID tags a span with the round's trace ID (hex string).
+	ArgTraceID = "trace_id"
+	// ArgFlowOut tags a send span with the frame's span ID (hex string).
+	ArgFlowOut = "flow_out"
+	// ArgFlowIn tags a receive span with the originating span ID.
+	ArgFlowIn = "flow_in"
+)
+
+// IDString renders a trace or span ID the way span arguments carry it.
+func IDString(id uint64) string { return "0x" + strconv.FormatUint(id, 16) }
+
+// MergeStats summarizes a merge.
+type MergeStats struct {
+	// Inputs is the number of trace files merged.
+	Inputs int
+	// Events is the merged event count (flows included, metadata excluded).
+	Events int
+	// Flows is the number of sender→receiver arrows drawn.
+	Flows int
+	// UnmatchedFlows counts receive spans whose sender span was not in any
+	// input (e.g. a node's trace file is missing from the merge).
+	UnmatchedFlows int
+}
+
+// MergeChromeTraces merges per-node Chrome trace JSON documents into one.
+// Host-domain timestamps are shifted onto the earliest input's clock using
+// each file's cosmic_clock_sync anchor (unix_us minus skew_us);
+// accelerator-domain (simulated-cycle) events are never shifted. Metadata
+// events are deduplicated. The result is deterministic for a given set of
+// inputs.
+func MergeChromeTraces(inputs [][]byte) ([]byte, MergeStats, error) {
+	stats := MergeStats{Inputs: len(inputs)}
+	if len(inputs) == 0 {
+		return nil, stats, fmt.Errorf("obs: no trace files to merge")
+	}
+	type parsed struct {
+		doc    chromeTrace
+		anchor int64 // trace start in reference-clock unix micros
+	}
+	docs := make([]parsed, 0, len(inputs))
+	minAnchor := int64(0)
+	for i, raw := range inputs {
+		var doc chromeTrace
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, stats, fmt.Errorf("obs: trace file %d: %v", i, err)
+		}
+		anchor, err := clockAnchor(doc)
+		if err != nil {
+			return nil, stats, fmt.Errorf("obs: trace file %d: %v", i, err)
+		}
+		if len(docs) == 0 || anchor < minAnchor {
+			minAnchor = anchor
+		}
+		docs = append(docs, parsed{doc: doc, anchor: anchor})
+	}
+
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	seenMeta := map[string]bool{}
+	var spans []Event
+	for _, p := range docs {
+		offset := p.anchor - minAnchor
+		for _, e := range p.doc.TraceEvents {
+			if e.Phase == "M" {
+				if e.Name == ClockSyncEventName {
+					continue // replaced by one merged anchor below
+				}
+				key := fmt.Sprintf("%s/%d/%d/%v", e.Name, e.PID, e.TID, e.Args["name"])
+				if seenMeta[key] {
+					continue
+				}
+				seenMeta[key] = true
+				out.TraceEvents = append(out.TraceEvents, e)
+				continue
+			}
+			if e.PID == PIDHost {
+				e.TS += offset
+			}
+			spans = append(spans, e)
+		}
+	}
+	out.TraceEvents = append(out.TraceEvents, Event{
+		Name: ClockSyncEventName, Phase: "M", PID: PIDHost,
+		Args: map[string]any{"unix_us": minAnchor, "skew_us": int64(0)},
+	})
+
+	flows, unmatched := drawFlows(spans)
+	stats.Flows = len(flows) / 2
+	stats.UnmatchedFlows = unmatched
+	spans = append(spans, flows...)
+	sortEvents(spans)
+	out.TraceEvents = append(out.TraceEvents, spans...)
+	stats.Events = len(spans)
+
+	blob, err := json.Marshal(out)
+	if err != nil {
+		return nil, stats, err
+	}
+	return append(blob, '\n'), stats, nil
+}
+
+// clockAnchor extracts a document's reference-clock start time.
+func clockAnchor(doc chromeTrace) (int64, error) {
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "M" && e.Name == ClockSyncEventName {
+			unix, ok1 := argInt64(e.Args, "unix_us")
+			skew, ok2 := argInt64(e.Args, "skew_us")
+			if !ok1 || !ok2 {
+				return 0, fmt.Errorf("malformed %s event args %v", ClockSyncEventName, e.Args)
+			}
+			return unix - skew, nil
+		}
+	}
+	return 0, fmt.Errorf("no %s event (trace written by an older build?)", ClockSyncEventName)
+}
+
+// argInt64 reads a numeric argument (JSON decodes numbers as float64).
+func argInt64(args map[string]any, key string) (int64, bool) {
+	switch v := args[key].(type) {
+	case float64:
+		return int64(v), true
+	case int64:
+		return v, true
+	case int:
+		return int64(v), true
+	}
+	return 0, false
+}
+
+// drawFlows matches receive spans (ArgFlowIn) to their send spans
+// (ArgFlowOut) and returns the Chrome flow-event pairs: an "s" anchored at
+// the send span's end and an "f" (bp "e") at the receive span's start. One
+// send span may fan out to many receivers (a broadcast); each arrow gets
+// its own flow ID. It also reports the count of unmatched receive spans.
+func drawFlows(spans []Event) (flows []Event, unmatched int) {
+	senders := map[string]Event{}
+	for _, e := range spans {
+		if e.Phase != "X" || e.Args == nil {
+			continue
+		}
+		if id, ok := e.Args[ArgFlowOut].(string); ok {
+			if _, dup := senders[id]; !dup {
+				senders[id] = e
+			}
+		}
+	}
+	// Receivers in deterministic order so flow IDs are stable.
+	var recvs []Event
+	for _, e := range spans {
+		if e.Phase != "X" || e.Args == nil {
+			continue
+		}
+		if _, ok := e.Args[ArgFlowIn].(string); ok {
+			recvs = append(recvs, e)
+		}
+	}
+	sortEvents(recvs)
+	next := 1
+	for _, r := range recvs {
+		id := r.Args[ArgFlowIn].(string)
+		s, ok := senders[id]
+		if !ok {
+			unmatched++
+			continue
+		}
+		flowID := strconv.Itoa(next)
+		next++
+		flows = append(flows,
+			Event{Name: "frame", Cat: "cosmicnet", Phase: "s", ID: flowID,
+				TS: s.TS + s.Dur, PID: s.PID, TID: s.TID},
+			Event{Name: "frame", Cat: "cosmicnet", Phase: "f", BP: "e", ID: flowID,
+				TS: r.TS, PID: r.PID, TID: r.TID})
+	}
+	return flows, unmatched
+}
+
+// sortEvents orders events deterministically: by timestamp, then pid, tid,
+// phase, and name.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		return a.Name < b.Name
+	})
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// traceDocBytes hand-builds one node's trace file: a clock anchor plus the
+// given span events.
+func traceDocBytes(t *testing.T, unixUS, skewUS int64, events ...Event) []byte {
+	t.Helper()
+	doc := chromeTrace{
+		TraceEvents: append([]Event{
+			{Name: "process_name", Phase: "M", PID: PIDHost,
+				Args: map[string]any{"name": "host (wall-clock us)"}},
+			{Name: ClockSyncEventName, Phase: "M", PID: PIDHost,
+				Args: map[string]any{"unix_us": unixUS, "skew_us": skewUS}},
+		}, events...),
+		DisplayTimeUnit: "ms",
+	}
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestMergeChromeTraces: two nodes with different clock anchors merge onto
+// one timeline, the duplicate process metadata collapses, and the matching
+// flow_out/flow_in span pair grows an s→f flow arrow.
+func TestMergeChromeTraces(t *testing.T) {
+	// Master's tracer started at unix 1_000_000 µs; node 1's at 1_000_300
+	// with a measured skew of +100 µs (its clock runs ahead), so node 1's
+	// events shift by (1_000_300-100) - 1_000_000 = 200 µs.
+	master := traceDocBytes(t, 1_000_000, 0,
+		Event{Name: "broadcast", Cat: "runtime", Phase: "X", TS: 50, Dur: 10, PID: PIDHost, TID: 0,
+			Args: map[string]any{ArgTraceID: IDString(0xabc), ArgFlowOut: IDString(0x111)}},
+	)
+	node1 := traceDocBytes(t, 1_000_300, 100,
+		Event{Name: "recv-model", Cat: "runtime", Phase: "X", TS: 5, Dur: 2, PID: PIDHost, TID: 1,
+			Args: map[string]any{ArgTraceID: IDString(0xabc), ArgFlowIn: IDString(0x111)}},
+		Event{Name: "recv-model", Cat: "runtime", Phase: "X", TS: 40, Dur: 2, PID: PIDHost, TID: 1,
+			Args: map[string]any{ArgTraceID: IDString(0xdef), ArgFlowIn: IDString(0x999)}}, // no sender
+		Event{Name: "pe", Cat: "accel", Phase: "X", TS: 7, Dur: 3, PID: PIDAccel, TID: 0},
+	)
+
+	merged, stats, err := MergeChromeTraces([][]byte{master, node1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inputs != 2 || stats.Flows != 1 || stats.UnmatchedFlows != 1 {
+		t.Errorf("stats = %+v, want 2 inputs, 1 flow, 1 unmatched", stats)
+	}
+
+	var doc chromeTrace
+	if err := json.Unmarshal(merged, &doc); err != nil {
+		t.Fatalf("merged doc does not parse: %v", err)
+	}
+	var recvTS, accelTS int64 = -1, -1
+	var flowS, flowF *Event
+	procMeta := 0
+	for i := range doc.TraceEvents {
+		e := &doc.TraceEvents[i]
+		switch {
+		case e.Phase == "M" && e.Name == "process_name" && e.PID == PIDHost:
+			procMeta++
+		case e.Name == "recv-model" && e.Args[ArgTraceID] == IDString(0xabc):
+			recvTS = e.TS
+		case e.Name == "pe":
+			accelTS = e.TS
+		case e.Phase == "s":
+			flowS = e
+		case e.Phase == "f":
+			flowF = e
+		}
+	}
+	if procMeta != 1 {
+		t.Errorf("host process_name metadata appears %d times, want deduplicated to 1", procMeta)
+	}
+	if recvTS != 5+200 {
+		t.Errorf("node 1 recv span ts = %d, want 205 (shifted by anchor delta minus skew)", recvTS)
+	}
+	if accelTS != 7 {
+		t.Errorf("accelerator-domain ts = %d, want 7 (cycle domain never shifts)", accelTS)
+	}
+	if flowS == nil || flowF == nil {
+		t.Fatal("merged trace has no flow event pair")
+	}
+	if flowS.ID != flowF.ID {
+		t.Errorf("flow ids differ: s=%q f=%q", flowS.ID, flowF.ID)
+	}
+	if flowS.TS != 60 || flowS.TID != 0 {
+		t.Errorf("flow start at ts=%d tid=%d, want anchored at send span end (60) on master row", flowS.TS, flowS.TID)
+	}
+	if flowF.TS != 205 || flowF.TID != 1 || flowF.BP != "e" {
+		t.Errorf("flow finish = %+v, want ts 205, tid 1, bp e", flowF)
+	}
+}
+
+func TestMergeChromeTracesErrors(t *testing.T) {
+	if _, _, err := MergeChromeTraces(nil); err == nil {
+		t.Error("empty merge succeeded")
+	}
+	if _, _, err := MergeChromeTraces([][]byte{[]byte("not json")}); err == nil {
+		t.Error("garbage input accepted")
+	}
+	// A trace without a clock anchor (older build) is rejected.
+	doc := chromeTrace{TraceEvents: []Event{{Name: "x", Phase: "X", PID: PIDHost}}}
+	blob, _ := json.Marshal(doc)
+	if _, _, err := MergeChromeTraces([][]byte{blob}); err == nil {
+		t.Error("anchorless trace accepted")
+	}
+}
+
+// TestMergeRealTracerOutput merges two real WriteChromeTrace documents —
+// the same path cosmic-trace takes on per-node files.
+func TestMergeRealTracerOutput(t *testing.T) {
+	a, b := NewTracer(), NewTracer()
+	a.NameThread(PIDHost, 0, "node 0")
+	sp := a.Begin("runtime", "broadcast", 0)
+	sp.EndArgs(map[string]any{ArgTraceID: IDString(7), ArgFlowOut: IDString(42)})
+	b.NameThread(PIDHost, 1, "node 1")
+	sp = b.Begin("runtime", "recv-model", 1)
+	sp.EndArgs(map[string]any{ArgTraceID: IDString(7), ArgFlowIn: IDString(42)})
+
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteChromeTrace(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteChromeTrace(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	merged, stats, err := MergeChromeTraces([][]byte{bufA.Bytes(), bufB.Bytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Flows != 1 || stats.UnmatchedFlows != 0 {
+		t.Errorf("stats = %+v, want one matched flow", stats)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(merged, &doc); err != nil {
+		t.Fatalf("merged output does not parse: %v", err)
+	}
+}

@@ -22,14 +22,19 @@ const (
 
 // Event is one Chrome trace event (the Trace Event Format's JSON shape).
 type Event struct {
-	Name  string         `json:"name"`
-	Cat   string         `json:"cat,omitempty"`
-	Phase string         `json:"ph"`
-	TS    int64          `json:"ts"`
-	Dur   int64          `json:"dur,omitempty"`
-	PID   int            `json:"pid"`
-	TID   int            `json:"tid"`
-	Args  map[string]any `json:"args,omitempty"`
+	Name  string `json:"name"`
+	Cat   string `json:"cat,omitempty"`
+	Phase string `json:"ph"`
+	TS    int64  `json:"ts"`
+	Dur   int64  `json:"dur,omitempty"`
+	PID   int    `json:"pid"`
+	TID   int    `json:"tid"`
+	// ID and BP are set on flow events only ("s"/"f" phases): ID associates
+	// a flow's start with its finish, BP "e" binds the finish to the
+	// enclosing slice.
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // Tracer records spans. All methods are safe for concurrent use and are
@@ -39,10 +44,26 @@ type Tracer struct {
 
 	mu     sync.Mutex
 	events []Event
+	skewUS int64
 }
 
 // NewTracer starts a tracer; wall-clock spans are relative to this moment.
 func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+
+// SetClockSkew records this process's estimated clock offset relative to
+// the cluster's reference clock (the director), in microseconds: positive
+// when the local clock runs ahead. The trace merger subtracts it when
+// aligning per-node timelines. Derived from the director's config
+// handshake; exact on a single machine, bounded by one control-plane RTT
+// across machines.
+func (t *Tracer) SetClockSkew(us int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.skewUS = us
+	t.mu.Unlock()
+}
 
 // Now returns the tracer's wall clock: microseconds since NewTracer.
 func (t *Tracer) Now() int64 {
@@ -150,6 +171,30 @@ type chromeTrace struct {
 	DisplayTimeUnit string  `json:"displayTimeUnit"`
 }
 
+// ClockSyncEventName marks the metadata event carrying a trace's absolute
+// clock anchor: args.unix_us is the tracer's start as Unix microseconds and
+// args.skew_us the process's estimated offset from the cluster reference
+// clock. MergeChromeTraces uses it to put per-node traces on one timeline.
+const ClockSyncEventName = "cosmic_clock_sync"
+
+// clockSyncEvent builds the tracer's clock-anchor metadata event.
+func (t *Tracer) clockSyncEvent() Event {
+	if t == nil {
+		return Event{Name: ClockSyncEventName, Phase: "M", PID: PIDHost,
+			Args: map[string]any{"unix_us": int64(0), "skew_us": int64(0)}}
+	}
+	t.mu.Lock()
+	skew := t.skewUS
+	t.mu.Unlock()
+	return Event{
+		Name: ClockSyncEventName, Phase: "M", PID: PIDHost,
+		Args: map[string]any{
+			"unix_us": t.start.UnixMicro(),
+			"skew_us": skew,
+		},
+	}
+}
+
 // WriteChromeTrace writes the trace as Chrome trace-event JSON: load the
 // file at ui.perfetto.dev (or chrome://tracing) to browse it. The output is
 // deterministic for a given set of recorded events.
@@ -160,6 +205,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				Args: map[string]any{"name": "host (wall-clock us)"}},
 			{Name: "process_name", Phase: "M", PID: PIDAccel,
 				Args: map[string]any{"name": "accelerator (simulated cycles)"}},
+			t.clockSyncEvent(),
 		},
 		DisplayTimeUnit: "ms",
 	}

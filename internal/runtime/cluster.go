@@ -1,6 +1,9 @@
 package runtime
 
 import (
+	"log/slog"
+	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/dsl"
@@ -33,6 +36,20 @@ type ClusterOptions struct {
 	// Obs, when non-nil, is shared by every node: per-node frame and
 	// fan-in counters, ring depth gauges, and per-round spans land in it.
 	Obs *obs.Observer
+	// PerNodeObs, when non-nil, gives each node its own observer instead of
+	// the shared Obs — the deployment shape (one tracer per process) that
+	// cosmic-trace merges back together. Takes precedence over Obs.
+	PerNodeObs func(nodeID int) *obs.Observer
+	// Logger receives structured diagnostics from every node, with
+	// node/role/group attributes attached per node.
+	Logger *slog.Logger
+	// TraceIDBase, when nonzero, enables distributed trace propagation
+	// (round seq → trace ID TraceIDBase+seq on the wire).
+	TraceIDBase uint64
+	// FlightSize bounds each node's flight recorder (0 = default 256);
+	// DiagDir is where round-failure diagnostic bundles land.
+	FlightSize int
+	DiagDir    string
 }
 
 // Cluster is a running scale-out system.
@@ -75,7 +92,7 @@ func Launch(opts ClusterOptions) (*Cluster, error) {
 
 	c := &Cluster{opts: opts, topo: topo, runErr: make(chan error, opts.Nodes)}
 	baseCfg := func(id int) NodeConfig {
-		return NodeConfig{
+		cfg := NodeConfig{
 			ID:           uint32(id),
 			Group:        topo.GroupOf[id],
 			Engine:       opts.Engines(id),
@@ -89,7 +106,14 @@ func Launch(opts ClusterOptions) (*Cluster, error) {
 			RingCapacity: opts.RingCapacity,
 			Logf:         opts.Logf,
 			Obs:          opts.Obs,
+			Logger:       opts.Logger,
+			FlightSize:   opts.FlightSize,
+			DiagDir:      opts.DiagDir,
 		}
+		if opts.PerNodeObs != nil {
+			cfg.Obs = opts.PerNodeObs(id)
+		}
+		return cfg
 	}
 
 	// Master first: every group Sigma dials it.
@@ -168,9 +192,47 @@ func (c *Cluster) Train(model []float64, rounds int) ([]float64, TrainStats, err
 		MiniBatch:        c.opts.MiniBatch,
 		RoundTimeout:     c.opts.RoundTimeout,
 		Fail:             c.runErr,
+		TraceIDBase:      c.opts.TraceIDBase,
+		Diagnostics:      c.DumpDiagnostics,
 	}, model, rounds)
 	stats.NetworkSentBytes, stats.NetworkReceivedBytes = c.NetworkBytes()
 	return final, stats, err
+}
+
+// Nodes returns every node of the cluster, master first.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// DumpDiagnostics writes every node's flight recorder into one fresh
+// directory under DiagDir (OS temp dir when unset) and returns its path —
+// the bundle a round failure points the operator at. Best-effort: nodes
+// whose dump fails are skipped so a sick node cannot block the bundle.
+func (c *Cluster) DumpDiagnostics(reason string) string {
+	base := c.opts.DiagDir
+	if base == "" {
+		base = os.TempDir()
+	}
+	dir, err := os.MkdirTemp(base, "cosmic-diag-*")
+	if err != nil {
+		return "(diagnostics unavailable: " + err.Error() + ")"
+	}
+	for _, n := range c.nodes {
+		n.flight.Record(obs.FlightEvent{Dir: obs.FlightMark, Type: reason, Seq: n.lastSeq.Load()})
+		_, _ = n.DumpFlight(dir)
+	}
+	return dir
+}
+
+// ScrapeLatencies returns each node's most recent round wall time in seconds
+// keyed by node ID — the straggler detector's input for in-process clusters.
+// Nodes that have not finished a round yet are omitted.
+func (c *Cluster) ScrapeLatencies() map[string]float64 {
+	out := make(map[string]float64, len(c.nodes))
+	for _, n := range c.nodes {
+		if v := n.LastRoundSeconds(); v > 0 {
+			out[strconv.Itoa(int(n.cfg.ID))] = v
+		}
+	}
+	return out
 }
 
 // Shutdown sends MsgDone down the hierarchy and waits for the worker nodes

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cosmicnet"
 	"repro/internal/dsl"
+	"repro/internal/obs"
 )
 
 // DriveConfig parameterizes the master Sigma's training loop, independent
@@ -25,6 +26,24 @@ type DriveConfig struct {
 	RoundTimeout time.Duration
 	// Fail, when non-nil, aborts a round when a node failure arrives.
 	Fail <-chan error
+	// TraceIDBase, when nonzero, turns on distributed trace propagation:
+	// round seq gets trace ID TraceIDBase+seq, stamped on the model
+	// broadcast and carried by every partial and group aggregate back up.
+	TraceIDBase uint64
+	// Diagnostics, when non-nil, is invoked on round failure to dump
+	// whatever forensic state the driver's environment has (e.g. every
+	// in-process node's flight recorder) and returns the bundle's path for
+	// the error message. Nil falls back to the master's own flight dump.
+	Diagnostics func(reason string) string
+}
+
+// RoundTraceID is the trace ID of round seq under the given base (0 base =
+// tracing off).
+func RoundTraceID(base uint64, seq int) uint64 {
+	if base == 0 {
+		return 0
+	}
+	return base + uint64(seq)
 }
 
 // DriveTraining runs the master Sigma's side of training for the given
@@ -43,18 +62,31 @@ func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]fl
 	stats := TrainStats{Rounds: rounds}
 	groupZeroChunks := cfg.GroupZeroMembers * ChunksFor(cfg.ModelSize)
 	tr := m.obs.tracer()
+	diag := func(reason string) string {
+		if cfg.Diagnostics != nil {
+			return cfg.Diagnostics(reason)
+		}
+		return m.dumpDiagnostics(reason)
+	}
 
 	for seq := 0; seq < rounds; seq++ {
 		start := time.Now()
+		traceID := RoundTraceID(cfg.TraceIDBase, seq)
+		roundArgs := map[string]any{"seq": seq}
+		if traceID != 0 {
+			roundArgs[obs.ArgTraceID] = obs.IDString(traceID)
+		}
 		roundSp := tr.Begin("runtime", "round", m.obs.threadID())
 		m.agg.Reset()
 		// Hierarchical model broadcast: one frame to each direct child
-		// (group Sigmas forward to their Deltas).
+		// (group Sigmas forward to their Deltas); broadcastDownstream stamps
+		// a fresh wire span ID per hop so the merged trace shows one flow
+		// arrow per receiver.
 		sp := tr.Begin("runtime", "broadcast", m.obs.threadID())
 		m.broadcastDownstream(&cosmicnet.Frame{
-			Type: cosmicnet.MsgModel, Seq: uint32(seq), Payload: cur,
+			Type: cosmicnet.MsgModel, Seq: uint32(seq), Payload: cur, TraceID: traceID,
 		})
-		sp.End()
+		sp.EndArgs(roundArgs)
 		// The master is group 0's Sigma and computes its own partial.
 		sp = tr.Begin("runtime", "master-compute", m.obs.threadID())
 		partial, err := m.computePartial(cur)
@@ -72,7 +104,12 @@ func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]fl
 		ok := m.agg.WaitChunksTimeout(groupZeroChunks, cfg.RoundTimeout)
 		sp.End()
 		if !ok {
-			return nil, stats, fmt.Errorf("runtime: round %d timed out waiting for group 0 partials", seq)
+			lastSeen := m.lastSeenSummary()
+			dump := diag("round-timeout")
+			m.logger.Error("round timed out waiting for group 0 partials",
+				"round", seq, "last_seen", lastSeen, "diagnostics", dump)
+			return nil, stats, fmt.Errorf("runtime: round %d timed out waiting for group 0 partials (last seen: %s; flight dump: %s)",
+				seq, lastSeen, dump)
 		}
 		sum, weight := m.agg.Sum()
 		// Level 2: combine the other groups' aggregates.
@@ -93,11 +130,18 @@ func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]fl
 			case f = <-m.groupAgg:
 			case err := <-failC:
 				if err != nil {
-					return nil, stats, fmt.Errorf("runtime: node failed mid-round: %w", err)
+					dump := diag("node-failed")
+					return nil, stats, fmt.Errorf("runtime: node failed mid-round: %w (last seen: %s; flight dump: %s)",
+						err, m.lastSeenSummary(), dump)
 				}
 				return nil, stats, fmt.Errorf("runtime: node exited mid-round")
 			case <-timeoutC:
-				return nil, stats, fmt.Errorf("runtime: round %d timed out waiting for group %d", seq, g)
+				lastSeen := m.lastSeenSummary()
+				dump := diag("round-timeout")
+				m.logger.Error("round timed out waiting for group aggregate",
+					"round", seq, "group", g, "last_seen", lastSeen, "diagnostics", dump)
+				return nil, stats, fmt.Errorf("runtime: round %d timed out waiting for group %d (last seen: %s; flight dump: %s)",
+					seq, g, lastSeen, dump)
 			}
 			if int(f.Seq) != seq {
 				return nil, stats, fmt.Errorf("runtime: group aggregate for round %d during round %d", f.Seq, seq)
@@ -122,8 +166,8 @@ func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]fl
 		}
 		d := time.Since(start)
 		stats.RoundDurations = append(stats.RoundDurations, d)
-		m.obs.roundDone(d)
-		roundSp.EndArgs(map[string]any{"seq": seq})
+		m.noteRound(uint32(seq), d)
+		roundSp.EndArgs(roundArgs)
 	}
 	stats.RoundP50, stats.RoundP95, stats.RoundMax = summarizeRounds(stats.RoundDurations)
 	return cur, stats, nil

@@ -2,9 +2,15 @@ package runtime
 
 import (
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cosmicnet"
@@ -44,9 +50,19 @@ type NodeConfig struct {
 	RingCapacity int
 	// Logf, when set, receives diagnostic output.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives structured diagnostics (failures,
+	// timeouts, straggler warnings) with node/role/group attributes
+	// attached; nil discards them (Logf still fires).
+	Logger *slog.Logger
 	// Obs, when non-nil, records per-frame counters, aggregation fan-in,
 	// ring depth, and per-round spans for this node. nil disables all of it.
 	Obs *obs.Observer
+	// FlightSize bounds the node's flight recorder (last-N wire events
+	// kept for post-mortem dumps); 0 means the default of 256.
+	FlightSize int
+	// DiagDir is where round-failure diagnostic dumps land; empty means
+	// the OS temp directory.
+	DiagDir string
 }
 
 func (c *NodeConfig) logf(format string, args ...any) {
@@ -55,11 +71,23 @@ func (c *NodeConfig) logf(format string, args ...any) {
 	}
 }
 
+// discardLogger drops records; the default when no Logger is configured.
+var discardLogger = slog.New(slog.NewTextHandler(io.Discard, nil))
+
 // Node is one running member of the cluster.
 type Node struct {
-	cfg  NodeConfig
-	obs  *nodeObs
-	data []ml.Sample
+	cfg    NodeConfig
+	obs    *nodeObs
+	logger *slog.Logger
+	// flight is the node's bounded forensic ring of wire events; always on
+	// (it is alloc-free), dumped when a round fails.
+	flight *obs.FlightRecorder
+	// spanCtr mints this node's wire span IDs; lastSeq and lastRoundNanos
+	// feed /healthz and the director's straggler detector.
+	spanCtr        atomic.Uint64
+	lastSeq        atomic.Uint32
+	lastRoundNanos atomic.Int64
+	data           []ml.Sample
 	// cursor is the node's position in its data shard.
 	cursor int
 
@@ -107,7 +135,117 @@ func (n *Node) fail(err error) {
 	n.errOnce.Do(func() {
 		n.err = err
 		n.cfg.logf("node %d failed: %v", n.cfg.ID, err)
+		n.logger.Error("node failed", "round", n.lastSeq.Load(), "err", err)
+		n.flight.Record(obs.FlightEvent{Dir: obs.FlightMark, Type: "node-failed", Seq: n.lastSeq.Load()})
 	})
+}
+
+// nextSpanID mints a node-unique wire span ID: node ID in the high bits, a
+// monotonic counter below.
+func (n *Node) nextSpanID() uint64 {
+	return uint64(n.cfg.ID+1)<<40 | n.spanCtr.Add(1)
+}
+
+// NodeHealth is the /healthz document of one node.
+type NodeHealth struct {
+	ID      uint32 `json:"node"`
+	Role    string `json:"role"`
+	Group   int    `json:"group"`
+	LastSeq uint32 `json:"last_round_seq"`
+	// RingDepth is the Sigma aggregation ring's current occupancy (0 for
+	// Deltas); FlightDepth the retained flight-recorder events.
+	RingDepth   int `json:"ring_depth"`
+	FlightDepth int `json:"flight_depth"`
+	// LastRoundSeconds is the node's most recent round wall time.
+	LastRoundSeconds float64 `json:"last_round_seconds"`
+}
+
+// Health reports the node's live state.
+func (n *Node) Health() NodeHealth {
+	h := NodeHealth{
+		ID:               n.cfg.ID,
+		Role:             n.cfg.Role.String(),
+		Group:            n.cfg.Group,
+		LastSeq:          n.lastSeq.Load(),
+		FlightDepth:      n.flight.Len(),
+		LastRoundSeconds: time.Duration(n.lastRoundNanos.Load()).Seconds(),
+	}
+	if n.ring != nil {
+		h.RingDepth = n.ring.Len()
+	}
+	return h
+}
+
+// LastRoundSeconds returns the node's most recent round wall time (0 before
+// the first completed round).
+func (n *Node) LastRoundSeconds() float64 {
+	return time.Duration(n.lastRoundNanos.Load()).Seconds()
+}
+
+// noteRound records a completed round for health and straggler reporting.
+func (n *Node) noteRound(seq uint32, d time.Duration) {
+	n.lastSeq.Store(seq)
+	n.lastRoundNanos.Store(int64(d))
+	n.obs.roundDone(d)
+}
+
+// DumpFlight writes the node's flight-recorder contents to a file named
+// node-<id>.flight in dir (created if needed) and returns its path.
+func (n *Node) DumpFlight(dir string) (string, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("node-%d.flight", n.cfg.ID))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if _, err := n.flight.Dump(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// dumpDiagnostics is the node's own round-failure bundle: a fresh directory
+// under DiagDir holding this node's flight dump. Best-effort — on error it
+// returns a placeholder path so the caller's error message stays useful.
+func (n *Node) dumpDiagnostics(reason string) string {
+	n.flight.Record(obs.FlightEvent{Dir: obs.FlightMark, Type: reason, Seq: n.lastSeq.Load()})
+	base := n.cfg.DiagDir
+	if base == "" {
+		base = os.TempDir()
+	}
+	dir, err := os.MkdirTemp(base, "cosmic-diag-*")
+	if err != nil {
+		return "(diagnostics unavailable: " + err.Error() + ")"
+	}
+	if _, err := n.DumpFlight(dir); err != nil {
+		return "(diagnostics unavailable: " + err.Error() + ")"
+	}
+	return dir
+}
+
+// lastSeenSummary formats the flight recorder's per-peer last receive seqs
+// ("peer 3: seq 12, peer 4: none") for timeout diagnostics.
+func (n *Node) lastSeenSummary() string {
+	seqs := n.flight.LastRecvSeqs()
+	if len(seqs) == 0 {
+		return "no frames received"
+	}
+	peers := make([]int, 0, len(seqs))
+	for p := range seqs {
+		peers = append(peers, int(p))
+	}
+	sort.Ints(peers)
+	parts := make([]string, 0, len(peers))
+	for _, p := range peers {
+		parts = append(parts, fmt.Sprintf("peer %d: seq %d", p, seqs[uint32(p)]))
+	}
+	return strings.Join(parts, ", ")
 }
 
 // StartNode launches a node over its shard. Sigma roles open a listener and
@@ -123,8 +261,17 @@ func StartNode(cfg NodeConfig, shard []ml.Sample) (*Node, error) {
 	if cfg.RingCapacity <= 0 {
 		cfg.RingCapacity = 64
 	}
+	if cfg.FlightSize <= 0 {
+		cfg.FlightSize = 256
+	}
 	n := &Node{cfg: cfg, data: shard, stopped: make(chan struct{})}
 	n.obs = newNodeObs(cfg.Obs, cfg.ID, cfg.Role)
+	n.flight = obs.NewFlightRecorder(cfg.FlightSize)
+	logger := cfg.Logger
+	if logger == nil {
+		logger = discardLogger
+	}
+	n.logger = logger.With("node", cfg.ID, "role", cfg.Role.String(), "group", cfg.Group)
 	n.helloCond = sync.NewCond(&n.helloMu)
 	if cfg.Role != RoleDelta {
 		ln, err := cosmicnet.Listen("127.0.0.1:0")
@@ -196,6 +343,10 @@ func (n *Node) readLoop(conn *cosmicnet.Conn) {
 		if err != nil {
 			return // peer closed
 		}
+		n.flight.Record(obs.FlightEvent{
+			Dir: obs.FlightRecv, Type: f.Type.String(), Peer: f.From,
+			Seq: f.Seq, Bytes: len(f.Payload) * 8,
+		})
 		switch f.Type {
 		case cosmicnet.MsgHello:
 			n.cfg.logf("node %d: member %d connected (%s)", n.cfg.ID, f.From, f.Text)
@@ -209,6 +360,8 @@ func (n *Node) readLoop(conn *cosmicnet.Conn) {
 		case cosmicnet.MsgPartial:
 			if n.obs != nil {
 				n.obs.recvFrame(n.obs.framesPartial, len(f.Payload))
+				sp := n.obs.tracer().Begin("runtime", "recv-partial", n.obs.threadID())
+				sp.EndArgs(traceArgs(f, obs.ArgFlowIn))
 			}
 			// Networking Pool: copy the received vector into the circular
 			// buffer as chunks; the Aggregation Pool picks them up
@@ -224,6 +377,8 @@ func (n *Node) readLoop(conn *cosmicnet.Conn) {
 		case cosmicnet.MsgGroupAggregate:
 			if n.obs != nil {
 				n.obs.recvFrame(n.obs.framesGroupAgg, len(f.Payload))
+				sp := n.obs.tracer().Begin("runtime", "recv-group-aggregate", n.obs.threadID())
+				sp.EndArgs(traceArgs(f, obs.ArgFlowIn))
 			}
 			if n.groupAgg != nil {
 				n.groupAgg <- f
@@ -302,6 +457,7 @@ func (n *Node) Run() error {
 	n.upstream = up
 	n.upMu.Unlock()
 	defer up.Close()
+	n.flight.Record(obs.FlightEvent{Dir: obs.FlightSend, Type: cosmicnet.MsgHello.String()})
 	if err := up.Send(&cosmicnet.Frame{Type: cosmicnet.MsgHello, From: n.cfg.ID, Text: n.Addr()}); err != nil {
 		n.fail(err)
 		return err
@@ -318,6 +474,10 @@ func (n *Node) Run() error {
 			n.fail(fmt.Errorf("node %d: upstream: %w", n.cfg.ID, err))
 			return n.err
 		}
+		n.flight.Record(obs.FlightEvent{
+			Dir: obs.FlightRecv, Type: f.Type.String(), Peer: f.From,
+			Seq: f.Seq, Bytes: len(f.Payload) * 8,
+		})
 		switch f.Type {
 		case cosmicnet.MsgModel:
 			if err := n.handleModel(f); err != nil {
@@ -328,7 +488,7 @@ func (n *Node) Run() error {
 			n.forwardDone()
 			return nil
 		default:
-			log.Printf("node %d: ignoring %v frame", n.cfg.ID, f.Type)
+			n.logger.Warn("ignoring unexpected frame", "type", f.Type.String(), "from", f.From, "seq", f.Seq)
 		}
 	}
 }
@@ -341,15 +501,15 @@ func (n *Node) handleModel(f *cosmicnet.Frame) error {
 	case RoleDelta:
 		sp := tr.Begin("runtime", "delta-compute", n.obs.threadID())
 		partial, err := n.computePartial(f.Payload)
-		sp.EndArgs(map[string]any{"seq": f.Seq})
+		sp.EndArgs(traceArgs(f, obs.ArgFlowIn))
 		if err != nil {
 			return err
 		}
 		n.obs.sent(len(partial))
-		n.obs.roundDone(time.Since(roundStart))
-		return n.upstream.Send(&cosmicnet.Frame{
+		n.noteRound(f.Seq, time.Since(roundStart))
+		return n.sendUpstream(&cosmicnet.Frame{
 			Type: cosmicnet.MsgPartial, Seq: f.Seq, From: n.cfg.ID,
-			Weight: 1, Payload: partial,
+			Weight: 1, Payload: partial, TraceID: f.TraceID,
 		})
 
 	case RoleGroupSigma:
@@ -376,33 +536,71 @@ func (n *Node) handleModel(f *cosmicnet.Frame) error {
 		ok := n.agg.WaitChunksTimeout(n.cfg.Members*ChunksFor(n.cfg.ModelSize), n.cfg.RoundTimeout)
 		sp.End()
 		if !ok {
-			return fmt.Errorf("node %d: round %d timed out waiting for group members", n.cfg.ID, f.Seq)
+			lastSeen := n.lastSeenSummary()
+			dump := n.dumpDiagnostics("round-timeout")
+			n.logger.Error("round timed out waiting for group members",
+				"round", f.Seq, "last_seen", lastSeen, "diagnostics", dump)
+			return fmt.Errorf("node %d: round %d timed out waiting for group members (last seen: %s; flight dump: %s)",
+				n.cfg.ID, f.Seq, lastSeen, dump)
 		}
 		sum, weight := n.agg.Sum()
 		n.obs.sent(len(sum))
-		n.obs.roundDone(time.Since(roundStart))
-		round.EndArgs(map[string]any{"seq": f.Seq})
-		return n.upstream.Send(&cosmicnet.Frame{
+		n.noteRound(f.Seq, time.Since(roundStart))
+		round.EndArgs(traceArgs(f, obs.ArgFlowIn))
+		return n.sendUpstream(&cosmicnet.Frame{
 			Type: cosmicnet.MsgGroupAggregate, Seq: f.Seq, From: n.cfg.ID,
-			Weight: weight, Payload: sum,
+			Weight: weight, Payload: sum, TraceID: f.TraceID,
 		})
 	}
 	return fmt.Errorf("node %d: role %v cannot handle model frames via Run", n.cfg.ID, n.cfg.Role)
 }
 
-// broadcastDownstream forwards a frame to every member connection.
+// sendUpstream stamps the frame with a fresh wire span ID when it belongs to
+// a trace, emits the matching send span (its ArgFlowOut is what the trace
+// merger joins to the receiver's ArgFlowIn), records the flight event, and
+// writes the frame upstream.
+func (n *Node) sendUpstream(f *cosmicnet.Frame) error {
+	if f.TraceID != 0 {
+		f.SpanID = n.nextSpanID()
+	}
+	if n.obs != nil {
+		sp := n.obs.tracer().Begin("runtime", "send-"+f.Type.String(), n.obs.threadID())
+		sp.EndArgs(traceArgs(f, obs.ArgFlowOut))
+	}
+	n.flight.Record(obs.FlightEvent{
+		Dir: obs.FlightSend, Type: f.Type.String(), Seq: f.Seq, Bytes: len(f.Payload) * 8,
+	})
+	return n.upstream.Send(f)
+}
+
+// broadcastDownstream forwards a frame to every member connection. Each hop
+// gets its own wire span ID (a broadcast is one arrow per receiver in the
+// merged trace), so the frame is copied per connection.
 func (n *Node) broadcastDownstream(f *cosmicnet.Frame) {
 	n.downstreamMu.Lock()
 	conns := append([]*cosmicnet.Conn(nil), n.downstream...)
 	n.downstreamMu.Unlock()
 	for _, c := range conns {
-		if err := c.Send(f); err != nil {
+		out := *f
+		if out.TraceID != 0 {
+			out.SpanID = n.nextSpanID()
+		}
+		if n.obs != nil {
+			sp := n.obs.tracer().Begin("runtime", "send-"+out.Type.String(), n.obs.threadID())
+			sp.EndArgs(traceArgs(&out, obs.ArgFlowOut))
+		}
+		n.flight.Record(obs.FlightEvent{
+			Dir: obs.FlightSend, Type: out.Type.String(), Seq: out.Seq, Bytes: len(out.Payload) * 8,
+		})
+		if err := c.Send(&out); err != nil {
 			n.cfg.logf("node %d: downstream send: %v", n.cfg.ID, err)
+			n.logger.Warn("downstream send failed", "round", out.Seq, "err", err)
 		}
 	}
 }
 
 func (n *Node) forwardDone() {
+	n.flight.Record(obs.FlightEvent{Dir: obs.FlightMark, Type: "done"})
 	n.broadcastDownstream(&cosmicnet.Frame{Type: cosmicnet.MsgDone, From: n.cfg.ID})
 }
 

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/cosmicnet"
 	"repro/internal/obs"
 )
 
@@ -34,6 +35,9 @@ type nodeObs struct {
 	chunks, contributions *obs.Counter
 
 	rounds *obs.Counter
+	// lastRoundSeconds is the node's most recent round wall time — the
+	// series the director's straggler detector keys on.
+	lastRoundSeconds *obs.Gauge
 	// roundSeconds is the master's per-round wall-time distribution.
 	roundSeconds *obs.Histogram
 }
@@ -59,6 +63,8 @@ func newNodeObs(o *obs.Observer, id uint32, role Role) *nodeObs {
 		chunks:         reg.Counter(obs.Labeled("cosmic_sigma_chunks_total", "node", node)),
 		contributions:  reg.Counter(obs.Labeled("cosmic_sigma_contributions_total", "node", node)),
 		rounds:         reg.Counter(obs.Labeled("cosmic_node_rounds_total", "node", node)),
+		lastRoundSeconds: reg.Gauge(
+			obs.Labeled("cosmic_node_last_round_seconds", "node", node)),
 	}
 	if role == RoleMasterSigma {
 		no.roundSeconds = reg.Histogram(obs.Labeled("cosmic_round_seconds", "node", node), roundSecondsBuckets)
@@ -117,7 +123,22 @@ func (no *nodeObs) roundDone(d time.Duration) {
 		return
 	}
 	no.rounds.Inc()
+	no.lastRoundSeconds.Set(d.Seconds())
 	no.roundSeconds.Observe(d.Seconds())
+}
+
+// traceArgs builds the span arguments that let the merger draw flow arrows:
+// the frame's trace ID plus its span ID under flowKey (obs.ArgFlowOut on
+// send spans, obs.ArgFlowIn on receive spans).
+func traceArgs(f *cosmicnet.Frame, flowKey string) map[string]any {
+	args := map[string]any{"seq": f.Seq}
+	if f.TraceID != 0 {
+		args[obs.ArgTraceID] = obs.IDString(f.TraceID)
+	}
+	if f.SpanID != 0 {
+		args[flowKey] = obs.IDString(f.SpanID)
+	}
+	return args
 }
 
 // summarizeRounds computes nearest-rank p50/p95 and the max over the round
