@@ -34,6 +34,7 @@ func main() {
 	join := flag.String("join", "", "master control address to join")
 	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and /debug/pprof/ on this address while training")
 	tracePath := flag.String("trace", "", "write this node's Chrome trace-event JSON here on exit (merge with cosmic-trace)")
+	chunkWords := flag.Int("chunk-words", 0, "assert the cluster's streaming-chunk boundary (0 = accept the Director's; a mismatch is an error)")
 	flag.Parse()
 	if *join == "" {
 		fmt.Fprintln(os.Stderr, "cosmic-node: -join <addr> is required")
@@ -56,8 +57,9 @@ func main() {
 		fmt.Printf("cosmic-node: serving /metrics, /healthz, and /debug/pprof/ on %s\n", *httpAddr)
 	}
 	err := deploy.RunWorkerOpts(*join, deploy.WorkerOptions{
-		Obs:    o,
-		Logger: logger,
+		Obs:        o,
+		Logger:     logger,
+		ChunkWords: *chunkWords,
 		OnNode: func(n *runtime.Node) {
 			if health == nil {
 				return

@@ -43,6 +43,8 @@ func main() {
 	httpAddr := flag.String("http", "", "multi-process mode: serve the Director's federated /metrics and /cluster roster on this address")
 	stragglerK := flag.Float64("straggler-k", 2, "flag a node straggling when its round latency exceeds k×cluster-p50")
 	stragglerM := flag.Int("straggler-m", 3, "consecutive slow scrapes before a node is flagged")
+	chunkWords := flag.Int("chunk-words", 0, "streaming-chunk boundary in vector elements (0 = default 4096; must be a power of two)")
+	monolithic := flag.Bool("monolithic", false, "ship whole-vector frames instead of streaming chunks (pre-streaming wire behavior)")
 	flag.Parse()
 
 	if *listen != "" {
@@ -51,7 +53,8 @@ func main() {
 			Benchmark: *benchName, Scale: *scale,
 			Samples: *samples / *nodes, Seed: *seed,
 			MiniBatch: *batch, Rounds: *rounds, Threads: *threads,
-			Average: true,
+			Average:    true,
+			ChunkWords: *chunkWords, Monolithic: *monolithic,
 		}, *httpAddr, *tracePath, *stragglerK, *stragglerM)
 		return
 	}
@@ -94,6 +97,8 @@ func main() {
 		LearningRate: bench.DefaultLR(alg),
 		Average:      true,
 		Rounds:       *rounds,
+		ChunkWords:   *chunkWords,
+		Monolithic:   *monolithic,
 		Obs:          o,
 	}
 	if *useSim {

@@ -12,6 +12,7 @@ import (
 	"io"
 	"math"
 	"net"
+	"sync"
 	"sync/atomic"
 )
 
@@ -83,23 +84,115 @@ type Frame struct {
 	// receiver's span. Both are optional: a frame with neither set encodes
 	// byte-identically to the pre-trace wire format.
 	TraceID, SpanID uint64
+	// ChunkIndex/ChunkCount/ChunkOffset carry the streaming-aggregation
+	// chunk extension: a data frame whose Payload is chunk ChunkIndex of
+	// ChunkCount fixed-boundary sub-vectors of one contribution, starting
+	// at element ChunkOffset of the full vector. A frame is chunked iff
+	// ChunkCount > 0; unchunked frames encode byte-identically to the
+	// pre-chunk wire format.
+	ChunkIndex, ChunkCount, ChunkOffset uint32
 }
 
-// MaxFrameBytes bounds a frame's wire size; a frame larger than this is
-// corrupt (the largest legitimate payload is a full model vector).
+// Chunked reports whether the frame carries the chunk extension.
+func (f *Frame) Chunked() bool { return f.ChunkCount > 0 }
+
+// MaxFrameBytes is the default bound on a frame's wire size; a frame larger
+// than this is corrupt (the largest legitimate payload is a full model
+// vector). SetMaxFrameBytes tightens or relaxes the bound at runtime.
 const MaxFrameBytes = 256 << 20
+
+// frameCap is the live frame-size bound, checked on both encode and decode
+// before any allocation happens.
+var frameCap atomic.Int64
+
+func init() { frameCap.Store(MaxFrameBytes) }
+
+// SetMaxFrameBytes bounds the wire size of every subsequently encoded or
+// decoded frame. Receiving a length prefix above the bound fails the frame
+// before allocating, so a corrupt or malicious peer cannot induce an
+// arbitrarily large allocation. Values below the fixed header size or zero
+// restore the default.
+func SetMaxFrameBytes(n int) {
+	if n < headerBytes {
+		n = MaxFrameBytes
+	}
+	frameCap.Store(int64(n))
+}
+
+// FrameCap returns the current frame-size bound.
+func FrameCap() int { return int(frameCap.Load()) }
 
 // header: type(1) seq(4) from(4) weight(8) textLen(4) payloadLen(4)
 const headerBytes = 25
 
-// flagTrace on the type byte marks a trace extension: traceExtBytes
-// (traceID 8 + spanID 8) inserted between the fixed header and the text.
-// Frames without trace context never set the flag, so a pre-trace reader
-// parses a new writer's untraced frames unchanged.
+// Extension flags on the type byte. Each flag marks a fixed-size extension
+// inserted between the fixed header and the text, in flag order: trace
+// first, chunk second. Frames that use no extension never set a flag, so a
+// pre-extension reader parses a new writer's plain frames unchanged — and
+// rejects extended frames via its length-consistency check.
 const (
+	// flagTrace marks the trace extension: traceID(8) + spanID(8).
 	flagTrace     = 0x80
 	traceExtBytes = 16
+	// flagChunk marks the chunk extension: chunkIndex(4) + chunkCount(4) +
+	// chunkOffset(4).
+	flagChunk     = 0x40
+	chunkExtBytes = 12
+
+	flagMask = flagTrace | flagChunk
 )
+
+// bufPool recycles encode/decode scratch buffers so steady-state frame I/O
+// is allocation-free.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// getBuf returns a pooled byte slice of length n.
+func getBuf(n int) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putBuf(bp *[]byte) { bufPool.Put(bp) }
+
+// payloadPool recycles decoded payload vectors. The runtime returns a
+// received chunk's payload here once it has been folded into the
+// aggregation buffer, closing the loop so a streaming round recycles a
+// handful of buffers instead of allocating one per frame.
+var payloadPool = sync.Pool{
+	New: func() any {
+		p := make([]float64, 0)
+		return &p
+	},
+}
+
+// GetPayload returns a pooled []float64 of length n (contents undefined).
+func GetPayload(n int) []float64 {
+	pp := payloadPool.Get().(*[]float64)
+	p := *pp
+	if cap(p) < n {
+		p = make([]float64, n)
+	}
+	return p[:n]
+}
+
+// PutPayload recycles a payload slice obtained from GetPayload or a decoded
+// frame. The caller must not use the slice afterwards.
+func PutPayload(p []float64) {
+	if cap(p) == 0 {
+		return
+	}
+	p = p[:0]
+	payloadPool.Put(&p)
+}
 
 // WriteFrame encodes and writes one frame.
 func WriteFrame(w io.Writer, f *Frame) error {
@@ -110,21 +203,36 @@ func WriteFrame(w io.Writer, f *Frame) error {
 // writeFrame reports the bytes written.
 func writeFrame(w io.Writer, f *Frame) (int, error) {
 	traced := f.TraceID != 0 || f.SpanID != 0
+	chunked := f.ChunkCount > 0
+	if !chunked && (f.ChunkIndex != 0 || f.ChunkOffset != 0) {
+		return 0, fmt.Errorf("cosmicnet: chunk index/offset set without chunk count")
+	}
+	if chunked && f.ChunkIndex >= f.ChunkCount {
+		return 0, fmt.Errorf("cosmicnet: chunk index %d out of range for count %d", f.ChunkIndex, f.ChunkCount)
+	}
 	ext := 0
 	if traced {
-		ext = traceExtBytes
+		ext += traceExtBytes
+	}
+	if chunked {
+		ext += chunkExtBytes
 	}
 	textLen := len(f.Text)
 	payloadLen := len(f.Payload) * 8
 	total := headerBytes + ext + textLen + payloadLen
-	if total > MaxFrameBytes {
-		return 0, fmt.Errorf("cosmicnet: frame of %d bytes exceeds limit", total)
+	if int64(total) > frameCap.Load() {
+		return 0, fmt.Errorf("cosmicnet: frame of %d bytes exceeds limit %d", total, FrameCap())
 	}
-	buf := make([]byte, 4+total)
+	bp := getBuf(4 + total)
+	defer putBuf(bp)
+	buf := *bp
 	binary.LittleEndian.PutUint32(buf[0:], uint32(total))
 	typeByte := byte(f.Type)
 	if traced {
 		typeByte |= flagTrace
+	}
+	if chunked {
+		typeByte |= flagChunk
 	}
 	buf[4] = typeByte
 	binary.LittleEndian.PutUint32(buf[5:], f.Seq)
@@ -138,6 +246,12 @@ func writeFrame(w io.Writer, f *Frame) (int, error) {
 		binary.LittleEndian.PutUint64(buf[off+8:], f.SpanID)
 		off += traceExtBytes
 	}
+	if chunked {
+		binary.LittleEndian.PutUint32(buf[off:], f.ChunkIndex)
+		binary.LittleEndian.PutUint32(buf[off+4:], f.ChunkCount)
+		binary.LittleEndian.PutUint32(buf[off+8:], f.ChunkOffset)
+		off += chunkExtBytes
+	}
 	copy(buf[off:], f.Text)
 	off += textLen
 	for _, v := range f.Payload {
@@ -150,55 +264,93 @@ func writeFrame(w io.Writer, f *Frame) (int, error) {
 
 // ReadFrame reads and decodes one frame.
 func ReadFrame(r io.Reader) (*Frame, error) {
-	f, _, err := readFrame(r)
-	return f, err
+	f := new(Frame)
+	_, err := readFrameInto(r, f)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
-// readFrame reports the bytes consumed.
-func readFrame(r io.Reader) (*Frame, int, error) {
+// ReadFrameInto reads and decodes one frame into f, reusing f.Payload's
+// capacity when it suffices. Every field of f is overwritten.
+func ReadFrameInto(r io.Reader, f *Frame) error {
+	_, err := readFrameInto(r, f)
+	return err
+}
+
+// readFrameInto reports the bytes consumed.
+func readFrameInto(r io.Reader, f *Frame) (int, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	total := binary.LittleEndian.Uint32(lenBuf[:])
-	if total < headerBytes || total > MaxFrameBytes {
-		return nil, 4, fmt.Errorf("cosmicnet: bad frame length %d", total)
+	// Bound the length prefix before allocating anything: a corrupt peer
+	// must not be able to induce an arbitrarily large allocation.
+	if total < headerBytes || int64(total) > frameCap.Load() {
+		return 4, fmt.Errorf("cosmicnet: bad frame length %d (cap %d)", total, FrameCap())
 	}
-	buf := make([]byte, total)
+	bp := getBuf(int(total))
+	defer putBuf(bp)
+	buf := *bp
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, 4, err
+		return 4, err
 	}
 	traced := buf[0]&flagTrace != 0
-	ext := uint32(0)
+	chunked := buf[0]&flagChunk != 0
+	ext := 0
 	if traced {
-		ext = traceExtBytes
+		ext += traceExtBytes
 	}
-	f := &Frame{
-		Type:   MsgType(buf[0] &^ flagTrace),
-		Seq:    binary.LittleEndian.Uint32(buf[1:]),
-		From:   binary.LittleEndian.Uint32(buf[5:]),
-		Weight: math.Float64frombits(binary.LittleEndian.Uint64(buf[9:])),
+	if chunked {
+		ext += chunkExtBytes
 	}
+	f.Type = MsgType(buf[0] &^ flagMask)
+	f.Seq = binary.LittleEndian.Uint32(buf[1:])
+	f.From = binary.LittleEndian.Uint32(buf[5:])
+	f.Weight = math.Float64frombits(binary.LittleEndian.Uint64(buf[9:]))
 	textLen := binary.LittleEndian.Uint32(buf[17:])
 	payloadLen := binary.LittleEndian.Uint32(buf[21:])
-	if uint32(len(buf)) != headerBytes+ext+textLen+payloadLen*8 {
-		return nil, 4 + int(total), fmt.Errorf("cosmicnet: inconsistent frame: total %d, ext %d, text %d, payload %d",
+	// The consistency check is done in 64-bit arithmetic: payloadLen*8 in
+	// uint32 can wrap (e.g. payloadLen = 2^29) and match total, which would
+	// send the decode loop out of bounds.
+	if int64(len(buf)) != int64(headerBytes)+int64(ext)+int64(textLen)+int64(payloadLen)*8 {
+		return 4 + int(total), fmt.Errorf("cosmicnet: inconsistent frame: total %d, ext %d, text %d, payload %d",
 			total, ext, textLen, payloadLen)
 	}
 	off := headerBytes
+	f.TraceID, f.SpanID = 0, 0
 	if traced {
 		f.TraceID = binary.LittleEndian.Uint64(buf[off:])
 		f.SpanID = binary.LittleEndian.Uint64(buf[off+8:])
 		off += traceExtBytes
 	}
+	f.ChunkIndex, f.ChunkCount, f.ChunkOffset = 0, 0, 0
+	if chunked {
+		f.ChunkIndex = binary.LittleEndian.Uint32(buf[off:])
+		f.ChunkCount = binary.LittleEndian.Uint32(buf[off+4:])
+		f.ChunkOffset = binary.LittleEndian.Uint32(buf[off+8:])
+		off += chunkExtBytes
+		if f.ChunkCount == 0 || f.ChunkIndex >= f.ChunkCount {
+			return 4 + int(total), fmt.Errorf("cosmicnet: bad chunk extension: index %d, count %d", f.ChunkIndex, f.ChunkCount)
+		}
+	}
 	f.Text = string(buf[off : off+int(textLen)])
 	off += int(textLen)
-	f.Payload = make([]float64, payloadLen)
+	n := int(payloadLen)
+	if f.Payload == nil || cap(f.Payload) < n {
+		// make([]float64, 0) is allocation-free and non-nil, keeping decoded
+		// frames uniform (a decoded payload is never nil, as before).
+		f.Payload = make([]float64, n)
+	} else {
+		f.Payload = f.Payload[:n]
+	}
 	for i := range f.Payload {
 		f.Payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
 		off += 8
 	}
-	return f, 4 + int(total), nil
+	return 4 + int(total), nil
 }
 
 // Conn wraps a net.Conn with frame I/O and byte accounting (the
@@ -226,9 +378,21 @@ func (c *Conn) Send(f *Frame) error {
 
 // Recv reads one frame.
 func (c *Conn) Recv() (*Frame, error) {
-	f, n, err := readFrame(c.Conn)
+	f := new(Frame)
+	n, err := readFrameInto(c.Conn, f)
 	c.received.Add(int64(n))
-	return f, err
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// RecvInto reads one frame into f, reusing f.Payload's capacity. Every
+// field of f is overwritten.
+func (c *Conn) RecvInto(f *Frame) error {
+	n, err := readFrameInto(c.Conn, f)
+	c.received.Add(int64(n))
+	return err
 }
 
 // BytesSent returns the total frame bytes written on this connection.

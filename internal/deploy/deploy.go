@@ -59,6 +59,15 @@ type Spec struct {
 	Threads      int     `json:"threads"`
 	LearningRate float64 `json:"learning_rate"`
 	Average      bool    `json:"average"`
+
+	// ChunkWords is the cluster-wide streaming-chunk boundary in vector
+	// elements (0 = the runtime default; must be a power of two). Every
+	// node must agree on it — fixed boundaries are what keep the
+	// aggregation deterministic — so the Director distributes it.
+	ChunkWords int `json:"chunk_words,omitempty"`
+	// Monolithic disables streaming: whole-vector partial/aggregate frames,
+	// as pre-streaming binaries sent them.
+	Monolithic bool `json:"monolithic,omitempty"`
 }
 
 // Validate fills defaults and rejects nonsense.
@@ -87,6 +96,9 @@ func (s *Spec) Validate() error {
 	if s.MiniBatch <= 0 {
 		s.MiniBatch = s.Nodes * 64
 	}
+	if !runtime.ValidChunkWords(s.ChunkWords) {
+		return fmt.Errorf("deploy: chunk_words %d is not a power of two", s.ChunkWords)
+	}
 	if _, err := dataset.ByName(s.Benchmark); err != nil {
 		return err
 	}
@@ -103,13 +115,14 @@ func (s Spec) agg() dsl.AggregatorKind {
 
 // workerConfig is the MsgConfig payload.
 type workerConfig struct {
-	NodeID       uint32  `json:"node_id"`
-	Role         int     `json:"role"`
-	Group        int     `json:"group"`
-	UpstreamAddr string  `json:"upstream_addr"`
-	Members      int     `json:"members"`
-	Spec         Spec    `json:"spec"`
-	LR           float64 `json:"lr"`
+	NodeID       uint32   `json:"node_id"`
+	Role         int      `json:"role"`
+	Group        int      `json:"group"`
+	UpstreamAddr string   `json:"upstream_addr"`
+	Members      int      `json:"members"`
+	MemberIDs    []uint32 `json:"member_ids,omitempty"`
+	Spec         Spec     `json:"spec"`
+	LR           float64  `json:"lr"`
 	// MasterUnixUS is the Director's clock (Unix micros) at config-send
 	// time. The worker derives its clock skew from it so cosmic-trace can
 	// align per-node trace timelines; the one-way control-plane latency is
@@ -272,6 +285,9 @@ func buildNode(cfg workerConfig, o *obs.Observer, logger *slog.Logger) (*runtime
 		Group:        cfg.Group,
 		UpstreamAddr: cfg.UpstreamAddr,
 		Members:      cfg.Members,
+		MemberIDs:    cfg.MemberIDs,
+		ChunkWords:   cfg.Spec.ChunkWords,
+		Monolithic:   cfg.Spec.Monolithic,
 		Engine:       engine,
 		ModelSize:    alg.ModelSize(),
 		Agg:          cfg.Spec.agg(),
@@ -351,7 +367,8 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 	// The master node itself (group 0's Sigma + top-level combiner).
 	masterCfg := workerConfig{
 		NodeID: 0, Role: int(runtime.RoleMasterSigma), Group: 0,
-		Members: len(topo.Members[0]), Spec: spec, LR: lr,
+		Members: len(topo.Members[0]), MemberIDs: topo.MasterMemberIDs(),
+		Spec: spec, LR: lr,
 	}
 	master, err := buildNode(masterCfg, opts.Obs, opts.Logger)
 	if err != nil {
@@ -421,7 +438,7 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 		cfg := workerConfig{
 			NodeID: uint32(g), Role: int(runtime.RoleGroupSigma), Group: g,
 			UpstreamAddr: master.Addr(), Members: len(topo.Members[g]),
-			Spec: spec, LR: lr,
+			MemberIDs: topo.MemberIDs(g), Spec: spec, LR: lr,
 		}
 		if err := sendConfig(w, cfg); err != nil {
 			return nil, err
@@ -512,13 +529,12 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 	res.InitialLoss = ml.MeanLoss(alg, model, full)
 
 	trained, stats, err := master.DriveTraining(runtime.DriveConfig{
-		Groups:           spec.Groups,
-		GroupZeroMembers: len(topo.Members[0]),
-		ModelSize:        alg.ModelSize(),
-		Agg:              spec.agg(),
-		LR:               lr,
-		MiniBatch:        spec.MiniBatch,
-		TraceIDBase:      opts.TraceIDBase,
+		Groups:      spec.Groups,
+		ModelSize:   alg.ModelSize(),
+		Agg:         spec.agg(),
+		LR:          lr,
+		MiniBatch:   spec.MiniBatch,
+		TraceIDBase: opts.TraceIDBase,
 	}, model, spec.Rounds)
 	if err != nil {
 		return nil, err
@@ -551,6 +567,12 @@ type WorkerOptions struct {
 	// OnNode, when set, receives the running node once configured — the
 	// hook cmd/cosmic-node uses to wire its /healthz probe.
 	OnNode func(n *runtime.Node)
+	// ChunkWords, when non-zero, is the streaming-chunk boundary this
+	// worker insists on. The boundary is cluster-wide (fixed boundaries are
+	// what keep the ordered fold deterministic), so a Director whose spec
+	// resolves to a different value is rejected instead of silently
+	// diverging.
+	ChunkWords int
 }
 
 // RunWorker joins the master at controlAddr, receives its assignment, and
@@ -592,6 +614,15 @@ func RunWorkerOpts(controlAddr string, opts WorkerOptions) error {
 		// Clock alignment for cosmic-trace: skew is positive when this
 		// worker's clock runs ahead of the Director's.
 		opts.Obs.Tracer().SetClockSkew(time.Now().UnixMicro() - cfg.MasterUnixUS)
+	}
+	if opts.ChunkWords != 0 {
+		want, got := opts.ChunkWords, cfg.Spec.ChunkWords
+		if got == 0 {
+			got = runtime.ChunkSize
+		}
+		if want != got {
+			return fmt.Errorf("deploy: worker wants chunk-words %d but the Director's spec uses %d", want, got)
+		}
 	}
 	node, err := buildNode(cfg, opts.Obs, opts.Logger)
 	if err != nil {

@@ -30,6 +30,13 @@ type ClusterOptions struct {
 	MiniBatch int
 	// RoundTimeout bounds each aggregation round (0 = forever).
 	RoundTimeout time.Duration
+	// ChunkWords is the fixed streaming-chunk boundary in vector elements
+	// (0 = the default; must be a power of two).
+	ChunkWords int
+	// Monolithic ships whole-vector partial/aggregate frames instead of
+	// chunk streams (the pre-streaming wire behavior). Results are
+	// bit-identical to streaming either way.
+	Monolithic bool
 	// NetWorkers/AggWorkers/RingCapacity tune the Sigma pools.
 	NetWorkers, AggWorkers, RingCapacity int
 	Logf                                 func(format string, args ...any)
@@ -101,6 +108,8 @@ func Launch(opts ClusterOptions) (*Cluster, error) {
 			LR:           opts.LR,
 			ShardBatch:   perNode,
 			RoundTimeout: opts.RoundTimeout,
+			ChunkWords:   opts.ChunkWords,
+			Monolithic:   opts.Monolithic,
 			NetWorkers:   opts.NetWorkers,
 			AggWorkers:   opts.AggWorkers,
 			RingCapacity: opts.RingCapacity,
@@ -120,6 +129,7 @@ func Launch(opts ClusterOptions) (*Cluster, error) {
 	mcfg := baseCfg(0)
 	mcfg.Role = RoleMasterSigma
 	mcfg.Members = len(topo.Members[0])
+	mcfg.MemberIDs = topo.MasterMemberIDs()
 	master, err := StartNode(mcfg, opts.Shards(0))
 	if err != nil {
 		return nil, err
@@ -135,6 +145,7 @@ func Launch(opts ClusterOptions) (*Cluster, error) {
 		cfg.Role = RoleGroupSigma
 		cfg.UpstreamAddr = master.Addr()
 		cfg.Members = len(topo.Members[g])
+		cfg.MemberIDs = topo.MemberIDs(g)
 		node, err := StartNode(cfg, opts.Shards(g))
 		if err != nil {
 			c.Close()
@@ -184,16 +195,15 @@ func (c *Cluster) NetworkBytes() (sent, received int64) {
 // returns the final model.
 func (c *Cluster) Train(model []float64, rounds int) ([]float64, TrainStats, error) {
 	final, stats, err := c.master.DriveTraining(DriveConfig{
-		Groups:           c.topo.Groups,
-		GroupZeroMembers: len(c.topo.Members[0]),
-		ModelSize:        c.opts.ModelSize,
-		Agg:              c.opts.Agg,
-		LR:               c.opts.LR,
-		MiniBatch:        c.opts.MiniBatch,
-		RoundTimeout:     c.opts.RoundTimeout,
-		Fail:             c.runErr,
-		TraceIDBase:      c.opts.TraceIDBase,
-		Diagnostics:      c.DumpDiagnostics,
+		Groups:       c.topo.Groups,
+		ModelSize:    c.opts.ModelSize,
+		Agg:          c.opts.Agg,
+		LR:           c.opts.LR,
+		MiniBatch:    c.opts.MiniBatch,
+		RoundTimeout: c.opts.RoundTimeout,
+		Fail:         c.runErr,
+		TraceIDBase:  c.opts.TraceIDBase,
+		Diagnostics:  c.DumpDiagnostics,
 	}, model, rounds)
 	stats.NetworkSentBytes, stats.NetworkReceivedBytes = c.NetworkBytes()
 	return final, stats, err

@@ -80,6 +80,28 @@ func (t Topology) ExpectedContributions(group int) int {
 	return len(t.Members[group])
 }
 
+// MemberIDs returns the node IDs whose contributions the group's Sigma
+// folds each round (its own included) — the ordered aggregation buffer's
+// member set.
+func (t Topology) MemberIDs(group int) []uint32 {
+	out := make([]uint32, 0, len(t.Members[group]))
+	for _, n := range t.Members[group] {
+		out = append(out, uint32(n))
+	}
+	return out
+}
+
+// MasterMemberIDs returns the node IDs the master Sigma folds each round:
+// its own group's members plus one pre-summed aggregate per other group's
+// Sigma.
+func (t Topology) MasterMemberIDs() []uint32 {
+	out := t.MemberIDs(0)
+	for g := 1; g < t.Groups; g++ {
+		out = append(out, uint32(t.SigmaOf[g]))
+	}
+	return out
+}
+
 // Validate checks internal consistency.
 func (t Topology) Validate() error {
 	if t.RoleOf[0] != RoleMasterSigma {

@@ -13,12 +13,11 @@ import (
 // of whether the other nodes are goroutines in this process (Cluster) or
 // remote processes (package deploy).
 type DriveConfig struct {
-	// Groups is the number of aggregation groups; GroupZeroMembers the
-	// size of the master's own group (including itself).
-	Groups, GroupZeroMembers int
-	ModelSize                int
-	Agg                      dsl.AggregatorKind
-	LR                       float64
+	// Groups is the number of aggregation groups.
+	Groups    int
+	ModelSize int
+	Agg       dsl.AggregatorKind
+	LR        float64
 	// MiniBatch is the system-wide samples per round (for the summing
 	// aggregator's update scale).
 	MiniBatch int
@@ -48,9 +47,12 @@ func RoundTraceID(base uint64, seq int) uint64 {
 
 // DriveTraining runs the master Sigma's side of training for the given
 // number of mini-batch rounds: broadcast the model, compute the master's
-// own partial, aggregate group 0 locally, combine the other groups'
-// aggregates, apply the update rule, repeat. The receiver must be a node
-// started with RoleMasterSigma.
+// own partial, fold every member's contribution — its own group's partials
+// and the other groups' (streamed) aggregates all flow through the same
+// ring — and apply the update rule to each chunk of the model the moment
+// that chunk has every member, repeat. There is no whole-vector barrier:
+// by the time the last chunk completes, the rest of the model is already
+// updated. The receiver must be a node started with RoleMasterSigma.
 func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]float64, TrainStats, error) {
 	if m.cfg.Role != RoleMasterSigma {
 		return nil, TrainStats{}, fmt.Errorf("runtime: DriveTraining on a %v node", m.cfg.Role)
@@ -60,7 +62,6 @@ func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]fl
 	}
 	cur := append([]float64(nil), model...)
 	stats := TrainStats{Rounds: rounds}
-	groupZeroChunks := cfg.GroupZeroMembers * ChunksFor(cfg.ModelSize)
 	tr := m.obs.tracer()
 	diag := func(reason string) string {
 		if cfg.Diagnostics != nil {
@@ -68,6 +69,7 @@ func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]fl
 		}
 		return m.dumpDiagnostics(reason)
 	}
+	scale := cfg.LR / float64(cfg.MiniBatch)
 
 	for seq := 0; seq < rounds; seq++ {
 		start := time.Now()
@@ -78,6 +80,24 @@ func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]fl
 		}
 		roundSp := tr.Begin("runtime", "round", m.obs.threadID())
 		m.agg.Reset()
+		// Apply-on-complete: the moment chunk idx has every member's
+		// contribution, the update rule of the stack (Equations 2 and 3b)
+		// lands on that span of the model. No member can complete a chunk
+		// before the master's own local push below, and the broadcast is
+		// done by then, so cur is never mutated while a send reads it.
+		m.agg.SetOnComplete(func(idx int, span []float64, weight float64) {
+			out := cur[idx*m.chunkWords : idx*m.chunkWords+len(span)]
+			switch cfg.Agg {
+			case dsl.AggAverage:
+				for j, v := range span {
+					out[j] = v / weight
+				}
+			case dsl.AggSum:
+				for j, v := range span {
+					out[j] -= scale * v
+				}
+			}
+		})
 		// Hierarchical model broadcast: one frame to each direct child
 		// (group Sigmas forward to their Deltas); broadcastDownstream stamps
 		// a fresh wire span ID per hop so the merged trace shows one flow
@@ -94,75 +114,26 @@ func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]fl
 		if err != nil {
 			return nil, stats, err
 		}
-		for _, ch := range SplitIntoChunks(uint32(seq), 0, partial, 1) {
-			if !m.ring.Push(ch) {
-				return nil, stats, fmt.Errorf("runtime: master ring closed")
-			}
+		if err := m.pushLocalChunks(uint32(seq), partial, 1); err != nil {
+			return nil, stats, err
 		}
-		// Level 1: group 0 aggregates locally.
-		sp = tr.Begin("runtime", "group-zero-aggregate", m.obs.threadID())
-		ok := m.agg.WaitChunksTimeout(groupZeroChunks, cfg.RoundTimeout)
+		// Wait for every chunk of the model to finish folding (the update
+		// rule has then already been applied chunk by chunk).
+		sp = tr.Begin("runtime", "aggregate-wait", m.obs.threadID())
+		ok, err := m.agg.WaitComplete(cfg.RoundTimeout, cfg.Fail)
 		sp.End()
+		if err != nil {
+			dump := diag("node-failed")
+			return nil, stats, fmt.Errorf("runtime: node failed mid-round: %w (last seen: %s; flight dump: %s)",
+				err, m.lastSeenSummary(), dump)
+		}
 		if !ok {
 			lastSeen := m.lastSeenSummary()
 			dump := diag("round-timeout")
-			m.logger.Error("round timed out waiting for group 0 partials",
+			m.logger.Error("round timed out waiting for contributions",
 				"round", seq, "last_seen", lastSeen, "diagnostics", dump)
-			return nil, stats, fmt.Errorf("runtime: round %d timed out waiting for group 0 partials (last seen: %s; flight dump: %s)",
+			return nil, stats, fmt.Errorf("runtime: round %d timed out waiting for contributions (last seen: %s; flight dump: %s)",
 				seq, lastSeen, dump)
-		}
-		sum, weight := m.agg.Sum()
-		// Level 2: combine the other groups' aggregates.
-		combine := tr.Begin("runtime", "combine-groups", m.obs.threadID())
-		for g := 1; g < cfg.Groups; g++ {
-			var timeoutC <-chan time.Time
-			if cfg.RoundTimeout > 0 {
-				timer := time.NewTimer(cfg.RoundTimeout)
-				timeoutC = timer.C
-				defer timer.Stop()
-			}
-			var failC <-chan error
-			if cfg.Fail != nil {
-				failC = cfg.Fail
-			}
-			var f *cosmicnet.Frame
-			select {
-			case f = <-m.groupAgg:
-			case err := <-failC:
-				if err != nil {
-					dump := diag("node-failed")
-					return nil, stats, fmt.Errorf("runtime: node failed mid-round: %w (last seen: %s; flight dump: %s)",
-						err, m.lastSeenSummary(), dump)
-				}
-				return nil, stats, fmt.Errorf("runtime: node exited mid-round")
-			case <-timeoutC:
-				lastSeen := m.lastSeenSummary()
-				dump := diag("round-timeout")
-				m.logger.Error("round timed out waiting for group aggregate",
-					"round", seq, "group", g, "last_seen", lastSeen, "diagnostics", dump)
-				return nil, stats, fmt.Errorf("runtime: round %d timed out waiting for group %d (last seen: %s; flight dump: %s)",
-					seq, g, lastSeen, dump)
-			}
-			if int(f.Seq) != seq {
-				return nil, stats, fmt.Errorf("runtime: group aggregate for round %d during round %d", f.Seq, seq)
-			}
-			for i, v := range f.Payload {
-				sum[i] += v
-			}
-			weight += f.Weight
-		}
-		combine.End()
-		// The update rule of the stack (Equations 2 and 3b).
-		switch cfg.Agg {
-		case dsl.AggAverage:
-			for i := range cur {
-				cur[i] = sum[i] / weight
-			}
-		case dsl.AggSum:
-			scale := cfg.LR / float64(cfg.MiniBatch)
-			for i := range cur {
-				cur[i] -= scale * sum[i]
-			}
 		}
 		d := time.Since(start)
 		stats.RoundDurations = append(stats.RoundDurations, d)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/bits"
 	"os"
 	"path/filepath"
 	"sort"
@@ -31,6 +32,20 @@ type NodeConfig struct {
 	// Members is the number of contributions this node's aggregation stage
 	// expects per mini-batch (Sigma roles only).
 	Members int
+	// MemberIDs lists the node IDs whose contributions this node's
+	// aggregation stage folds each round, its own included (Sigma roles
+	// only; required). The sorted order of the IDs fixes the fold order,
+	// which is what makes aggregation bit-deterministic.
+	MemberIDs []uint32
+	// ChunkWords is the fixed chunk boundary in vector elements — the unit
+	// partials stream, fold, and forward at. 0 selects the default
+	// (ChunkSize); other values must be powers of two.
+	ChunkWords int
+	// Monolithic ships partials and group aggregates as single
+	// whole-vector frames (the pre-streaming wire behavior, byte-compatible
+	// with old binaries) instead of chunk-frame streams. Aggregation still
+	// folds in member order, so trained models match streaming bitwise.
+	Monolithic bool
 	// Engine computes partial updates.
 	Engine Engine
 	// ModelSize is the flat parameter-vector length.
@@ -71,6 +86,12 @@ func (c *NodeConfig) logf(format string, args ...any) {
 	}
 }
 
+// ValidChunkWords reports whether w is an acceptable ChunkWords setting:
+// zero (default) or a power of two.
+func ValidChunkWords(w int) bool {
+	return w == 0 || (w > 0 && bits.OnesCount(uint(w)) == 1)
+}
+
 // discardLogger drops records; the default when no Logger is configured.
 var discardLogger = slog.New(slog.NewTextHandler(io.Discard, nil))
 
@@ -79,6 +100,8 @@ type Node struct {
 	cfg    NodeConfig
 	obs    *nodeObs
 	logger *slog.Logger
+	// chunkWords is the resolved fixed chunk boundary.
+	chunkWords int
 	// flight is the node's bounded forensic ring of wire events; always on
 	// (it is alloc-free), dumped when a round fails.
 	flight *obs.FlightRecorder
@@ -94,6 +117,10 @@ type Node struct {
 	ln       *cosmicnet.Listener
 	upMu     sync.Mutex
 	upstream *cosmicnet.Conn
+	// sendMu serializes upstream frame writes: with fold-on-arrival
+	// forwarding, per-chunk completion callbacks send from concurrent
+	// aggregation workers.
+	sendMu sync.Mutex
 
 	// Sigma machinery.
 	ring    *CircularBuffer
@@ -103,9 +130,6 @@ type Node struct {
 	// downstream are the member connections a Sigma forwards models to.
 	downstream   []*cosmicnet.Conn
 	downstreamMu sync.Mutex
-
-	// groupAgg receives remote group aggregates at the master.
-	groupAgg chan *cosmicnet.Frame
 
 	helloMu    sync.Mutex
 	helloCond  *sync.Cond
@@ -264,7 +288,13 @@ func StartNode(cfg NodeConfig, shard []ml.Sample) (*Node, error) {
 	if cfg.FlightSize <= 0 {
 		cfg.FlightSize = 256
 	}
-	n := &Node{cfg: cfg, data: shard, stopped: make(chan struct{})}
+	if !ValidChunkWords(cfg.ChunkWords) {
+		return nil, fmt.Errorf("runtime: ChunkWords %d is not a power of two", cfg.ChunkWords)
+	}
+	if cfg.ChunkWords == 0 {
+		cfg.ChunkWords = ChunkSize
+	}
+	n := &Node{cfg: cfg, data: shard, stopped: make(chan struct{}), chunkWords: cfg.ChunkWords}
 	n.obs = newNodeObs(cfg.Obs, cfg.ID, cfg.Role)
 	n.flight = obs.NewFlightRecorder(cfg.FlightSize)
 	logger := cfg.Logger
@@ -274,17 +304,26 @@ func StartNode(cfg NodeConfig, shard []ml.Sample) (*Node, error) {
 	n.logger = logger.With("node", cfg.ID, "role", cfg.Role.String(), "group", cfg.Group)
 	n.helloCond = sync.NewCond(&n.helloMu)
 	if cfg.Role != RoleDelta {
+		if len(cfg.MemberIDs) == 0 {
+			return nil, fmt.Errorf("runtime: node %d: %v role requires MemberIDs", cfg.ID, cfg.Role)
+		}
 		ln, err := cosmicnet.Listen("127.0.0.1:0")
 		if err != nil {
 			return nil, err
 		}
 		n.ln = ln
 		n.ring = NewCircularBuffer(cfg.RingCapacity)
+		n.agg = NewAggregationBufferChunked(cfg.ModelSize, cfg.ChunkWords)
+		if err := n.agg.SetMembers(cfg.MemberIDs); err != nil {
+			ln.Close()
+			return nil, err
+		}
 		if cfg.Obs != nil {
 			n.ring.SetDepthGauge(cfg.Obs.Registry().Gauge(
 				obs.Labeled("cosmic_node_ring_depth", "node", strconv.Itoa(int(cfg.ID)))))
+			n.agg.SetPipelineGauge(cfg.Obs.Registry().Gauge(
+				obs.Labeled("cosmic_sigma_pipeline_depth", "node", strconv.Itoa(int(cfg.ID)))))
 		}
-		n.agg = NewAggregationBuffer(cfg.ModelSize)
 		n.netPool = NewPool(cfg.NetWorkers)
 		n.aggPool = NewPool(cfg.AggWorkers)
 		for i := 0; i < cfg.AggWorkers; i++ {
@@ -294,14 +333,12 @@ func StartNode(cfg NodeConfig, shard []ml.Sample) (*Node, error) {
 		n.wg.Add(1)
 		go n.acceptLoop()
 	}
-	if cfg.Role == RoleMasterSigma {
-		n.groupAgg = make(chan *cosmicnet.Frame, 16)
-	}
 	return n, nil
 }
 
 // aggWorker is one Aggregation Pool thread: it drains the circular buffer
-// into the aggregation buffer until the ring closes.
+// into the aggregation buffer until the ring closes. Pooled wire payloads
+// are recycled once folded — the Add path never retains the chunk's slice.
 func (n *Node) aggWorker() {
 	defer n.wg.Done()
 	for {
@@ -309,7 +346,11 @@ func (n *Node) aggWorker() {
 		if !ok {
 			return
 		}
-		if err := n.agg.Add(c); err != nil {
+		err := n.agg.Add(c)
+		if c.Recycle {
+			cosmicnet.PutPayload(c.Data)
+		}
+		if err != nil {
 			n.fail(err)
 			return
 		}
@@ -335,12 +376,15 @@ func (n *Node) acceptLoop() {
 	}
 }
 
-// readLoop dispatches inbound frames from one member connection.
+// readLoop dispatches inbound frames from one member connection. The frame
+// is decoded into reused storage; data-frame payloads are handed off to the
+// fold pipeline and replaced from the payload pool, so a steady-state round
+// recycles a few buffers instead of allocating per frame.
 func (n *Node) readLoop(conn *cosmicnet.Conn) {
 	defer n.wg.Done()
+	f := new(cosmicnet.Frame)
 	for {
-		f, err := conn.Recv()
-		if err != nil {
+		if err := conn.RecvInto(f); err != nil {
 			return // peer closed
 		}
 		n.flight.Record(obs.FlightEvent{
@@ -357,34 +401,45 @@ func (n *Node) readLoop(conn *cosmicnet.Conn) {
 			n.helloCount++
 			n.helloMu.Unlock()
 			n.helloCond.Broadcast()
-		case cosmicnet.MsgPartial:
+		case cosmicnet.MsgPartial, cosmicnet.MsgGroupAggregate:
 			if n.obs != nil {
-				n.obs.recvFrame(n.obs.framesPartial, len(f.Payload))
-				sp := n.obs.tracer().Begin("runtime", "recv-partial", n.obs.threadID())
+				ctr, name := n.obs.framesPartial, "recv-partial"
+				if f.Type == cosmicnet.MsgGroupAggregate {
+					ctr, name = n.obs.framesGroupAgg, "recv-group-aggregate"
+				}
+				n.obs.recvFrame(ctr, len(f.Payload))
+				sp := n.obs.tracer().Begin("runtime", name, n.obs.threadID())
 				sp.EndArgs(traceArgs(f, obs.ArgFlowIn))
 			}
-			// Networking Pool: copy the received vector into the circular
-			// buffer as chunks; the Aggregation Pool picks them up
+			if f.Chunked() {
+				// Fold on arrival: the frame already is one ring chunk, so it
+				// goes straight to the Aggregation Pool — no staging of the
+				// full vector, no re-chunking. The payload's ownership moves
+				// to the chunk; the read frame draws a recycled one.
+				c := Chunk{
+					Seq: f.Seq, From: f.From, Offset: int(f.ChunkOffset),
+					Data: f.Payload, Weight: f.Weight,
+					Last: f.ChunkIndex == f.ChunkCount-1, Recycle: true,
+				}
+				f.Payload = cosmicnet.GetPayload(0)
+				if !n.ring.Push(c) {
+					return
+				}
+				continue
+			}
+			// Monolithic frame: Networking Pool cuts the received vector into
+			// circular-buffer chunks; the Aggregation Pool picks them up
 			// concurrently (producer-consumer overlap).
-			frame := f
+			payload := f.Payload
+			f.Payload = nil
+			seq, from, weight := f.Seq, f.From, f.Weight
 			n.netPool.Submit(func() {
-				for _, c := range SplitIntoChunks(frame.Seq, frame.From, frame.Payload, frame.Weight) {
+				for _, c := range SplitIntoChunksWords(seq, from, payload, weight, n.chunkWords) {
 					if !n.ring.Push(c) {
 						return
 					}
 				}
 			})
-		case cosmicnet.MsgGroupAggregate:
-			if n.obs != nil {
-				n.obs.recvFrame(n.obs.framesGroupAgg, len(f.Payload))
-				sp := n.obs.tracer().Begin("runtime", "recv-group-aggregate", n.obs.threadID())
-				sp.EndArgs(traceArgs(f, obs.ArgFlowIn))
-			}
-			if n.groupAgg != nil {
-				n.groupAgg <- f
-			} else {
-				n.fail(fmt.Errorf("node %d: unexpected group aggregate from %d", n.cfg.ID, f.From))
-			}
 		default:
 			n.fail(fmt.Errorf("node %d: unexpected %v frame from %d", n.cfg.ID, f.Type, f.From))
 		}
@@ -412,6 +467,32 @@ func (n *Node) computePartial(model []float64) ([]float64, error) {
 		return make([]float64, n.cfg.ModelSize), nil
 	}
 	return n.cfg.Engine.PartialUpdate(model, batch)
+}
+
+// pushLocalChunks feeds the node's own partial into its aggregation
+// pipeline: fixed-boundary subslices of the vector go straight onto the
+// ring, no copy and no chunk-slice allocation (the local-contribution
+// fast path).
+func (n *Node) pushLocalChunks(seq uint32, vec []float64, weight float64) error {
+	if len(vec) == 0 {
+		if !n.ring.Push(Chunk{Seq: seq, From: n.cfg.ID, Weight: weight, Last: true}) {
+			return fmt.Errorf("node %d: ring closed mid-batch", n.cfg.ID)
+		}
+		return nil
+	}
+	for off := 0; off < len(vec); off += n.chunkWords {
+		end := off + n.chunkWords
+		if end > len(vec) {
+			end = len(vec)
+		}
+		if !n.ring.Push(Chunk{
+			Seq: seq, From: n.cfg.ID, Offset: off,
+			Data: vec[off:end], Weight: weight, Last: end == len(vec),
+		}) {
+			return fmt.Errorf("node %d: ring closed mid-batch", n.cfg.ID)
+		}
+	}
+	return nil
 }
 
 // NetworkBytes sums the frame bytes this node moved over its upstream and
@@ -507,16 +588,41 @@ func (n *Node) handleModel(f *cosmicnet.Frame) error {
 		}
 		n.obs.sent(len(partial))
 		n.noteRound(f.Seq, time.Since(roundStart))
-		return n.sendUpstream(&cosmicnet.Frame{
-			Type: cosmicnet.MsgPartial, Seq: f.Seq, From: n.cfg.ID,
-			Weight: 1, Payload: partial, TraceID: f.TraceID,
-		})
+		if n.cfg.Monolithic {
+			return n.sendUpstream(&cosmicnet.Frame{
+				Type: cosmicnet.MsgPartial, Seq: f.Seq, From: n.cfg.ID,
+				Weight: 1, Payload: partial, TraceID: f.TraceID,
+			})
+		}
+		return n.streamUpstream(cosmicnet.MsgPartial, f.Seq, 1, partial, f.TraceID)
 
 	case RoleGroupSigma:
 		round := tr.Begin("runtime", "sigma-round", n.obs.threadID())
 		// New round: clear the aggregation state before any member can
 		// respond to the forwarded model.
 		n.agg.Reset()
+		seq, traceID := f.Seq, f.TraceID
+		if n.cfg.Monolithic {
+			n.agg.SetOnComplete(nil)
+		} else {
+			// Fold-on-arrival forwarding: the moment chunk idx has every
+			// member's contribution, ship it upstream — the master starts
+			// folding this group's early chunks while later ones are still
+			// crossing the group's own links. The callback runs on
+			// aggregation workers; sendUpstream serializes the writes.
+			count := uint32(n.agg.ChunkCount())
+			n.agg.SetOnComplete(func(idx int, span []float64, weight float64) {
+				n.obs.sent(len(span))
+				if err := n.sendUpstream(&cosmicnet.Frame{
+					Type: cosmicnet.MsgGroupAggregate, Seq: seq, From: n.cfg.ID,
+					Weight: weight, Payload: span, TraceID: traceID,
+					ChunkIndex: uint32(idx), ChunkCount: count,
+					ChunkOffset: uint32(idx * n.chunkWords),
+				}); err != nil {
+					n.fail(err)
+				}
+			})
+		}
 		n.broadcastDownstream(f)
 		// The Sigma computes its own partial too; its contribution takes
 		// the same chunked path as remote ones.
@@ -526,39 +632,73 @@ func (n *Node) handleModel(f *cosmicnet.Frame) error {
 		if err != nil {
 			return err
 		}
-		for _, c := range SplitIntoChunks(f.Seq, n.cfg.ID, partial, 1) {
-			if !n.ring.Push(c) {
-				return fmt.Errorf("node %d: ring closed mid-batch", n.cfg.ID)
-			}
+		if err := n.pushLocalChunks(seq, partial, 1); err != nil {
+			return err
 		}
-		// Wait for every member's every chunk, then ship the group sum.
+		// Wait until every chunk has every member (streaming mode has then
+		// already forwarded each one).
 		sp = tr.Begin("runtime", "sigma-aggregate-wait", n.obs.threadID())
-		ok := n.agg.WaitChunksTimeout(n.cfg.Members*ChunksFor(n.cfg.ModelSize), n.cfg.RoundTimeout)
+		ok, err := n.agg.WaitComplete(n.cfg.RoundTimeout, nil)
 		sp.End()
+		if err != nil {
+			return err
+		}
 		if !ok {
 			lastSeen := n.lastSeenSummary()
 			dump := n.dumpDiagnostics("round-timeout")
 			n.logger.Error("round timed out waiting for group members",
-				"round", f.Seq, "last_seen", lastSeen, "diagnostics", dump)
+				"round", seq, "last_seen", lastSeen, "diagnostics", dump)
 			return fmt.Errorf("node %d: round %d timed out waiting for group members (last seen: %s; flight dump: %s)",
-				n.cfg.ID, f.Seq, lastSeen, dump)
+				n.cfg.ID, seq, lastSeen, dump)
+		}
+		n.noteRound(seq, time.Since(roundStart))
+		round.EndArgs(traceArgs(f, obs.ArgFlowIn))
+		if !n.cfg.Monolithic {
+			return nil // every chunk already forwarded on completion
 		}
 		sum, weight := n.agg.Sum()
 		n.obs.sent(len(sum))
-		n.noteRound(f.Seq, time.Since(roundStart))
-		round.EndArgs(traceArgs(f, obs.ArgFlowIn))
 		return n.sendUpstream(&cosmicnet.Frame{
-			Type: cosmicnet.MsgGroupAggregate, Seq: f.Seq, From: n.cfg.ID,
-			Weight: weight, Payload: sum, TraceID: f.TraceID,
+			Type: cosmicnet.MsgGroupAggregate, Seq: seq, From: n.cfg.ID,
+			Weight: weight, Payload: sum, TraceID: traceID,
 		})
 	}
 	return fmt.Errorf("node %d: role %v cannot handle model frames via Run", n.cfg.ID, n.cfg.Role)
 }
 
+// streamUpstream sends vec as a stream of fixed-boundary chunk frames. The
+// payloads alias vec — nothing is copied.
+func (n *Node) streamUpstream(typ cosmicnet.MsgType, seq uint32, weight float64, vec []float64, traceID uint64) error {
+	count := uint32(ChunksForWords(len(vec), n.chunkWords))
+	if len(vec) == 0 {
+		return n.sendUpstream(&cosmicnet.Frame{
+			Type: typ, Seq: seq, From: n.cfg.ID, Weight: weight,
+			TraceID: traceID, ChunkIndex: 0, ChunkCount: 1,
+		})
+	}
+	idx := uint32(0)
+	for off := 0; off < len(vec); off += n.chunkWords {
+		end := off + n.chunkWords
+		if end > len(vec) {
+			end = len(vec)
+		}
+		if err := n.sendUpstream(&cosmicnet.Frame{
+			Type: typ, Seq: seq, From: n.cfg.ID, Weight: weight,
+			Payload: vec[off:end], TraceID: traceID,
+			ChunkIndex: idx, ChunkCount: count, ChunkOffset: uint32(off),
+		}); err != nil {
+			return err
+		}
+		idx++
+	}
+	return nil
+}
+
 // sendUpstream stamps the frame with a fresh wire span ID when it belongs to
 // a trace, emits the matching send span (its ArgFlowOut is what the trace
 // merger joins to the receiver's ArgFlowIn), records the flight event, and
-// writes the frame upstream.
+// writes the frame upstream. Concurrent senders (per-chunk completion
+// callbacks run on aggregation workers) are serialized.
 func (n *Node) sendUpstream(f *cosmicnet.Frame) error {
 	if f.TraceID != 0 {
 		f.SpanID = n.nextSpanID()
@@ -570,6 +710,8 @@ func (n *Node) sendUpstream(f *cosmicnet.Frame) error {
 	n.flight.Record(obs.FlightEvent{
 		Dir: obs.FlightSend, Type: f.Type.String(), Seq: f.Seq, Bytes: len(f.Payload) * 8,
 	})
+	n.sendMu.Lock()
+	defer n.sendMu.Unlock()
 	return n.upstream.Send(f)
 }
 

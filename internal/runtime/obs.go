@@ -138,6 +138,12 @@ func traceArgs(f *cosmicnet.Frame, flowKey string) map[string]any {
 	if f.SpanID != 0 {
 		args[flowKey] = obs.IDString(f.SpanID)
 	}
+	if f.Chunked() {
+		// One flow arrow per streamed chunk; label which slice of the
+		// vector this arrow carried.
+		args["chunk"] = int64(f.ChunkIndex)
+		args["chunks"] = int64(f.ChunkCount)
+	}
 	return args
 }
 

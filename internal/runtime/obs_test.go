@@ -89,8 +89,10 @@ func TestClusterTelemetry(t *testing.T) {
 	if want := int64(rounds * (nodes - groups)); partials != want {
 		t.Errorf("partial frames = %d, want %d", partials, want)
 	}
-	// Every node contributes at every Sigma it belongs to, every round.
-	if want := int64(rounds * nodes); contribs != want {
+	// Every node contributes at its own Sigma, and each non-master group
+	// Sigma additionally streams one aggregate contribution into the
+	// master's fan-in, every round.
+	if want := int64(rounds * (nodes + groups - 1)); contribs != want {
 		t.Errorf("sigma contributions = %d, want %d", contribs, want)
 	}
 	if chunks < contribs {

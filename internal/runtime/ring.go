@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cosmicnet"
 	"repro/internal/obs"
 )
 
@@ -40,6 +41,9 @@ type Chunk struct {
 	Weight float64
 	// Last marks the final chunk of one contribution.
 	Last bool
+	// Recycle marks Data as a pooled wire payload: the aggregation worker
+	// returns it to cosmicnet's payload pool once folded.
+	Recycle bool
 }
 
 // CircularBuffer is a bounded, blocking MPMC ring of chunks: networking
@@ -134,41 +138,155 @@ func (cb *CircularBuffer) Len() int {
 }
 
 // AggregationBuffer accumulates partial updates. Aggregation-pool workers
-// call Add concurrently on disjoint or overlapping spans; the buffer is
-// striped with fine-grained locks so concurrent adds to different regions
-// do not serialize.
+// call Add concurrently; chunks of different regions never serialize
+// against each other.
+//
+// The buffer has two folding modes. The legacy mode (no member set) folds
+// chunks in arrival order under striped locks — fast, but the floating-
+// point result depends on arrival order. Ordered mode (after SetMembers)
+// folds each fixed-boundary chunk index in member-rank order: an in-order
+// arrival folds immediately, an out-of-order one is parked (as a pooled
+// copy) until its rank comes up. Per-element fold order is then a pure
+// function of the member set — independent of chunk size, arrival order,
+// and aggregation-worker count — which is what keeps training bit-identical
+// across those knobs. Ordered mode also knows when chunk index i has every
+// member's contribution and fires the OnComplete callback right then, which
+// is what lets a Sigma forward chunk i upstream with no whole-vector
+// barrier.
 type AggregationBuffer struct {
 	stripes []sync.Mutex
 	sum     []float64
-	weight  float64
-	wmu     sync.Mutex
-	done    *sync.Cond
+	// chunkWords is the fixed chunk boundary; states has one entry per
+	// chunk index in ordered mode.
+	chunkWords int
+	states     []chunkAgg
+	// rank maps a member's node ID to its fold position; nil selects the
+	// legacy arrival-order mode. members = len(rank).
+	rank    map[uint32]int
+	members int
+	// onComplete, when set, runs when a chunk index has every member's
+	// contribution folded, before WaitComplete can observe the completion.
+	// span aliases the buffer's accumulated sum for that chunk.
+	onComplete func(idx int, span []float64, weight float64)
+	// pipeline, when set, tracks chunk indexes started but not complete.
+	pipeline *obs.Gauge
+
+	weight float64
+	wmu    sync.Mutex
+	done   *sync.Cond
 	// contributions counts completed (Last-marked) partials; chunks counts
-	// every processed chunk. Waiting on the chunk count is what makes
-	// completion safe when several aggregation workers process one
-	// contribution's chunks out of order.
+	// every folded chunk; complete counts finished chunk indexes; inflight
+	// the started-but-incomplete ones.
 	contributions int
 	chunks        int
+	complete      int
+	inflight      int
+}
+
+// chunkAgg is the per-chunk-index fold state of ordered mode.
+type chunkAgg struct {
+	mu sync.Mutex
+	// next is the member rank whose contribution folds next.
+	next    int
+	weight  float64
+	started bool
+	// pending parks out-of-order arrivals (pooled copies) until their rank
+	// comes up.
+	pending []parkedChunk
+}
+
+type parkedChunk struct {
+	rank   int
+	weight float64
+	last   bool
+	data   []float64
 }
 
 // aggStripe is the span of values guarded by one lock stripe.
 const aggStripe = 1024
 
-// NewAggregationBuffer creates a buffer for vectors of length n.
+// NewAggregationBuffer creates a buffer for vectors of length n with the
+// default chunk boundary.
 func NewAggregationBuffer(n int) *AggregationBuffer {
+	return NewAggregationBufferChunked(n, ChunkSize)
+}
+
+// NewAggregationBufferChunked creates a buffer for vectors of length n cut
+// at fixed boundaries of words elements (words <= 0 selects the default).
+func NewAggregationBufferChunked(n, words int) *AggregationBuffer {
+	if words <= 0 {
+		words = ChunkSize
+	}
 	ab := &AggregationBuffer{
-		stripes: make([]sync.Mutex, (n+aggStripe-1)/aggStripe+1),
-		sum:     make([]float64, n),
+		stripes:    make([]sync.Mutex, (n+aggStripe-1)/aggStripe+1),
+		sum:        make([]float64, n),
+		chunkWords: words,
+		states:     make([]chunkAgg, ChunksForWords(n, words)),
 	}
 	ab.done = sync.NewCond(&ab.wmu)
 	return ab
 }
 
+// SetMembers switches the buffer to ordered folding over the given member
+// node IDs: member rank is the ID's position in the sorted ID list. Call
+// before the buffer is shared.
+func (ab *AggregationBuffer) SetMembers(ids []uint32) error {
+	rank := make(map[uint32]int, len(ids))
+	sorted := append([]uint32(nil), ids...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for i, id := range sorted {
+		if _, dup := rank[id]; dup {
+			return fmt.Errorf("runtime: duplicate member %d", id)
+		}
+		rank[id] = i
+	}
+	ab.rank = rank
+	ab.members = len(rank)
+	return nil
+}
+
+// SetOnComplete installs the per-chunk completion callback (ordered mode).
+// The callback runs on an aggregation worker with no buffer locks held;
+// span aliases the buffer's sum and must not be retained past the round.
+// Call before the buffer is shared.
+func (ab *AggregationBuffer) SetOnComplete(fn func(idx int, span []float64, weight float64)) {
+	ab.onComplete = fn
+}
+
+// SetPipelineGauge publishes the number of in-flight (started, incomplete)
+// chunk indexes — the streaming pipeline's depth. A nil gauge is a no-op.
+func (ab *AggregationBuffer) SetPipelineGauge(g *obs.Gauge) { ab.pipeline = g }
+
+// ChunkCount returns the number of fixed-boundary chunk indexes.
+func (ab *AggregationBuffer) ChunkCount() int { return len(ab.states) }
+
+// ChunkWords returns the fixed chunk boundary in elements.
+func (ab *AggregationBuffer) ChunkWords() int { return ab.chunkWords }
+
+// spanLen is chunk idx's element count (the last chunk may run short).
+func (ab *AggregationBuffer) spanLen(idx int) int {
+	if len(ab.sum) == 0 {
+		return 0
+	}
+	if idx == len(ab.states)-1 {
+		return len(ab.sum) - idx*ab.chunkWords
+	}
+	return ab.chunkWords
+}
+
 // Add folds a chunk into the running sum and, on a contribution's final
-// chunk, credits its weight toward the average.
+// chunk, credits its weight toward the average. In ordered mode the chunk
+// must sit exactly on a fixed boundary and come from a known member.
 func (ab *AggregationBuffer) Add(c Chunk) error {
 	if c.Offset < 0 || c.Offset+len(c.Data) > len(ab.sum) {
 		return fmt.Errorf("runtime: chunk [%d,%d) outside buffer of %d", c.Offset, c.Offset+len(c.Data), len(ab.sum))
+	}
+	if ab.rank != nil {
+		return ab.addOrdered(c)
 	}
 	for start := c.Offset; start < c.Offset+len(c.Data); {
 		stripe := start / aggStripe
@@ -194,12 +312,177 @@ func (ab *AggregationBuffer) Add(c Chunk) error {
 	return nil
 }
 
-// ChunksFor returns how many ring chunks a vector of length n splits into.
-func ChunksFor(n int) int {
+// addOrdered folds chunks of one index in member-rank order, parking
+// early arrivals, and fires onComplete when the index has every member.
+func (ab *AggregationBuffer) addOrdered(c Chunk) error {
+	idx := 0
+	if len(ab.sum) > 0 {
+		idx = c.Offset / ab.chunkWords
+	}
+	if idx >= len(ab.states) || c.Offset != idx*ab.chunkWords {
+		return fmt.Errorf("runtime: chunk offset %d off the %d-word boundary", c.Offset, ab.chunkWords)
+	}
+	if want := ab.spanLen(idx); len(c.Data) != want {
+		return fmt.Errorf("runtime: chunk %d spans %d words, want %d (fixed boundaries)", idx, len(c.Data), want)
+	}
+	r, ok := ab.rank[c.From]
+	if !ok {
+		return fmt.Errorf("runtime: chunk from unknown member %d", c.From)
+	}
+	st := &ab.states[idx]
+	span := ab.sum[c.Offset : c.Offset+ab.spanLen(idx)]
+
+	folded, contribs := 0, 0
+	lastWeight := 0.0
+	startedNow, completeNow := false, false
+	chunkWeight := 0.0
+
+	st.mu.Lock()
+	if !st.started {
+		st.started, startedNow = true, true
+	}
+	switch {
+	case r < st.next:
+		st.mu.Unlock()
+		return fmt.Errorf("runtime: duplicate chunk %d from member %d", idx, c.From)
+	case r > st.next:
+		// Early arrival: park a pooled copy until its rank comes up. The
+		// buffer never retains the caller's slice, so pooled wire payloads
+		// can be recycled unconditionally after Add.
+		data := cosmicnet.GetPayload(len(c.Data))
+		copy(data, c.Data)
+		st.pending = append(st.pending, parkedChunk{rank: r, weight: c.Weight, last: c.Last, data: data})
+		st.mu.Unlock()
+	default: // in order: fold, then drain every parked chunk this unblocks
+		for i, v := range c.Data {
+			span[i] += v
+		}
+		st.next++
+		st.weight += c.Weight
+		folded++
+		if c.Last {
+			contribs++
+			lastWeight += c.Weight
+		}
+		for drained := true; drained; {
+			drained = false
+			for i := range st.pending {
+				if st.pending[i].rank != st.next {
+					continue
+				}
+				p := st.pending[i]
+				for j, v := range p.data {
+					span[j] += v
+				}
+				cosmicnet.PutPayload(p.data)
+				st.next++
+				st.weight += p.weight
+				folded++
+				if p.last {
+					contribs++
+					lastWeight += p.weight
+				}
+				st.pending[i] = st.pending[len(st.pending)-1]
+				st.pending = st.pending[:len(st.pending)-1]
+				drained = true
+				break
+			}
+		}
+		if st.next == ab.members {
+			completeNow = true
+			chunkWeight = st.weight
+		}
+		st.mu.Unlock()
+	}
+
+	// The callback fires before the completion counter moves, so a
+	// WaitComplete return implies every per-chunk callback has finished.
+	if completeNow && ab.onComplete != nil {
+		ab.onComplete(idx, span, chunkWeight)
+	}
+
+	ab.wmu.Lock()
+	ab.chunks += folded
+	ab.contributions += contribs
+	ab.weight += lastWeight
+	if startedNow {
+		ab.inflight++
+	}
+	if completeNow {
+		ab.complete++
+		ab.inflight--
+	}
+	depth := ab.inflight
+	ab.wmu.Unlock()
+	ab.pipeline.Set(float64(depth))
+	ab.done.Broadcast()
+	return nil
+}
+
+// WaitComplete blocks until every chunk index has all members folded (and
+// every OnComplete callback has returned), the timeout elapses, or fail
+// delivers. It reports (true, nil) on completion, (false, nil) on timeout,
+// and (false, err) on node failure. A zero timeout waits forever.
+func (ab *AggregationBuffer) WaitComplete(timeout time.Duration, fail <-chan error) (bool, error) {
+	target := len(ab.states)
+	var timedOut, failed bool
+	var failErr error
+	stop := make(chan struct{})
+	defer close(stop)
+	if timeout > 0 || fail != nil {
+		var timeC <-chan time.Time
+		if timeout > 0 {
+			timer := time.NewTimer(timeout)
+			defer timer.Stop()
+			timeC = timer.C
+		}
+		go func() {
+			select {
+			case <-timeC:
+				ab.wmu.Lock()
+				timedOut = true
+				ab.wmu.Unlock()
+				ab.done.Broadcast()
+			case err := <-fail:
+				ab.wmu.Lock()
+				failed, failErr = true, err
+				ab.wmu.Unlock()
+				ab.done.Broadcast()
+			case <-stop:
+			}
+		}()
+	}
+	ab.wmu.Lock()
+	defer ab.wmu.Unlock()
+	for ab.complete < target {
+		if failed {
+			if failErr != nil {
+				return false, failErr
+			}
+			return false, fmt.Errorf("runtime: node exited mid-round")
+		}
+		if timedOut {
+			return false, nil
+		}
+		ab.done.Wait()
+	}
+	return true, nil
+}
+
+// ChunksFor returns how many ring chunks a vector of length n splits into
+// at the default boundary.
+func ChunksFor(n int) int { return ChunksForWords(n, ChunkSize) }
+
+// ChunksForWords returns how many chunks a vector of length n splits into
+// at a words-element boundary.
+func ChunksForWords(n, words int) int {
+	if words <= 0 {
+		words = ChunkSize
+	}
 	if n == 0 {
 		return 1
 	}
-	return (n + ChunkSize - 1) / ChunkSize
+	return (n + words - 1) / words
 }
 
 // WaitChunks blocks until at least n chunks have been folded in.
@@ -284,31 +567,55 @@ func (ab *AggregationBuffer) Sum() ([]float64, float64) {
 	return out, w
 }
 
-// Reset clears the buffer for the next mini-batch.
+// Reset clears the buffer for the next mini-batch, recycling any parked
+// chunks.
 func (ab *AggregationBuffer) Reset() {
 	ab.wmu.Lock()
 	ab.weight = 0
 	ab.contributions = 0
 	ab.chunks = 0
+	ab.complete = 0
+	ab.inflight = 0
 	ab.wmu.Unlock()
+	for i := range ab.states {
+		st := &ab.states[i]
+		st.mu.Lock()
+		st.next, st.weight, st.started = 0, 0, false
+		for _, p := range st.pending {
+			cosmicnet.PutPayload(p.data)
+		}
+		st.pending = st.pending[:0]
+		st.mu.Unlock()
+	}
 	for i := range ab.sum {
 		ab.sum[i] = 0
 	}
+	ab.pipeline.Set(0)
 }
 
-// ChunkSize is the span length networking workers cut incoming vectors
-// into: small enough that aggregation starts while later chunks are still
-// in flight, large enough to amortize ring overhead.
+// ChunkSize is the default span length vectors are cut into: small enough
+// that aggregation starts while later chunks are still in flight, large
+// enough to amortize ring and frame overhead.
 const ChunkSize = 4096
 
-// SplitIntoChunks cuts a received partial update into ring chunks.
+// SplitIntoChunks cuts a partial update into ring chunks at the default
+// boundary.
 func SplitIntoChunks(seq, from uint32, vec []float64, weight float64) []Chunk {
+	return SplitIntoChunksWords(seq, from, vec, weight, ChunkSize)
+}
+
+// SplitIntoChunksWords cuts a partial update into ring chunks of words
+// elements. The chunks alias vec (no copy).
+func SplitIntoChunksWords(seq, from uint32, vec []float64, weight float64, words int) []Chunk {
+	if words <= 0 {
+		words = ChunkSize
+	}
 	if len(vec) == 0 {
 		return []Chunk{{Seq: seq, From: from, Weight: weight, Last: true}}
 	}
-	var out []Chunk
-	for off := 0; off < len(vec); off += ChunkSize {
-		end := off + ChunkSize
+	out := make([]Chunk, 0, ChunksForWords(len(vec), words))
+	for off := 0; off < len(vec); off += words {
+		end := off + words
 		if end > len(vec) {
 			end = len(vec)
 		}

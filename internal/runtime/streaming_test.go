@@ -1,0 +1,268 @@
+package runtime
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dsl"
+	"repro/internal/ml"
+)
+
+// TestOrderedFoldArrivalOrderInvariant: in ordered mode the accumulated sum
+// is a pure function of the member set — bitwise identical no matter how
+// chunk arrivals interleave — and every chunk index completes exactly once
+// with the full member weight.
+func TestOrderedFoldArrivalOrderInvariant(t *testing.T) {
+	const n, words = 1000, 64
+	members := []uint32{2, 5, 9}
+	vecs := make(map[uint32][]float64, len(members))
+	rng := rand.New(rand.NewSource(3))
+	for _, id := range members {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		vecs[id] = v
+	}
+
+	run := func(shuffleSeed int64) []float64 {
+		ab := NewAggregationBufferChunked(n, words)
+		if err := ab.SetMembers(members); err != nil {
+			t.Fatal(err)
+		}
+		completed := make(map[int]float64)
+		ab.SetOnComplete(func(idx int, span []float64, weight float64) {
+			if _, dup := completed[idx]; dup {
+				t.Errorf("chunk %d completed twice", idx)
+			}
+			completed[idx] = weight
+		})
+		var chunks []Chunk
+		for _, id := range members {
+			chunks = append(chunks, SplitIntoChunksWords(0, id, vecs[id], 1, words)...)
+		}
+		rand.New(rand.NewSource(shuffleSeed)).Shuffle(len(chunks), func(i, j int) {
+			chunks[i], chunks[j] = chunks[j], chunks[i]
+		})
+		for _, c := range chunks {
+			if err := ab.Add(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ok, err := ab.WaitComplete(time.Second, nil)
+		if err != nil || !ok {
+			t.Fatalf("WaitComplete: %v %v", ok, err)
+		}
+		if len(completed) != ab.ChunkCount() {
+			t.Fatalf("%d chunk indexes completed, want %d", len(completed), ab.ChunkCount())
+		}
+		for idx, w := range completed {
+			if w != float64(len(members)) {
+				t.Fatalf("chunk %d completed with weight %g", idx, w)
+			}
+		}
+		sum, w := ab.Sum()
+		if w != float64(len(members)) {
+			t.Fatalf("total weight %g", w)
+		}
+		return sum
+	}
+
+	want := run(0)
+	for seed := int64(1); seed <= 8; seed++ {
+		got := run(seed)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: sum[%d] = %.17g, want bitwise %.17g", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestOrderedFoldRejectsOffBoundaryChunks: ordered mode insists on the fixed
+// boundaries the determinism argument depends on.
+func TestOrderedFoldRejectsOffBoundaryChunks(t *testing.T) {
+	ab := NewAggregationBufferChunked(256, 64)
+	if err := ab.SetMembers([]uint32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ab.Add(Chunk{From: 1, Offset: 32, Data: make([]float64, 64)}); err == nil {
+		t.Error("off-boundary offset accepted")
+	}
+	if err := ab.Add(Chunk{From: 1, Offset: 0, Data: make([]float64, 32)}); err == nil {
+		t.Error("short non-tail chunk accepted")
+	}
+	if err := ab.Add(Chunk{From: 9, Offset: 0, Data: make([]float64, 64)}); err == nil {
+		t.Error("unknown member accepted")
+	}
+	if err := ab.Add(Chunk{From: 1, Offset: 0, Data: make([]float64, 64)}); err != nil {
+		t.Errorf("well-formed chunk rejected: %v", err)
+	}
+	if err := ab.Add(Chunk{From: 1, Offset: 0, Data: make([]float64, 64)}); err == nil {
+		t.Error("duplicate chunk accepted")
+	}
+}
+
+// TestOrderedFoldAllocs: the local-contribution path — splitting a partial
+// into aliasing chunks and folding them in order — must not allocate per
+// element or per chunk (one slice header for the split is the budget).
+func TestOrderedFoldAllocs(t *testing.T) {
+	const n, words = 1 << 14, 1024
+	ab := NewAggregationBufferChunked(n, words)
+	if err := ab.SetMembers([]uint32{0}); err != nil {
+		t.Fatal(err)
+	}
+	vec := make([]float64, n)
+	for i := range vec {
+		vec[i] = float64(i)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		ab.Reset()
+		for _, c := range SplitIntoChunksWords(0, 0, vec, 1, words) {
+			if err := ab.Add(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg > 1.5 {
+		t.Errorf("local fold allocates %.1f objects per contribution, want <= 1 (the chunk-slice header)", avg)
+	}
+}
+
+// jitterEngine delays each partial by a pseudo-random amount so member
+// contributions arrive at the Sigmas in shuffled order, then defers to the
+// wrapped engine. The math stays untouched — only timing moves.
+type jitterEngine struct {
+	inner Engine
+	mu    sync.Mutex
+	rng   *rand.Rand
+}
+
+func (e *jitterEngine) Name() string { return "jitter+" + e.inner.Name() }
+
+func (e *jitterEngine) PartialUpdate(model []float64, shard []ml.Sample) ([]float64, error) {
+	e.mu.Lock()
+	d := time.Duration(e.rng.Intn(2500)) * time.Microsecond
+	e.mu.Unlock()
+	time.Sleep(d)
+	return e.inner.PartialUpdate(model, shard)
+}
+
+// TestStreamingMatchesMonolithicBitwise is the streaming pipeline's
+// differential test: across two model families, two chunk boundaries,
+// monolithic whole-vector frames, and shuffled member arrival orders, a
+// hierarchical cluster must train to the bitwise-identical model. The
+// ordered member-rank fold is what makes this hold exactly, not just to
+// floating-point tolerance.
+func TestStreamingMatchesMonolithicBitwise(t *testing.T) {
+	const nodes, groups, rounds = 6, 2, 3
+	algs := []struct {
+		name   string
+		alg    ml.Algorithm
+		labels int
+	}{
+		{"linreg", &ml.LinearRegression{M: 777}, 1},
+		{"mlp", &ml.MLP{In: 9, Hid: 7, Out: 2}, 2},
+	}
+	for _, tc := range algs {
+		t.Run(tc.name, func(t *testing.T) {
+			alg := tc.alg
+			rng := rand.New(rand.NewSource(17))
+			shards := make([][]ml.Sample, nodes)
+			for n := range shards {
+				shards[n] = make([]ml.Sample, 8)
+				for i := range shards[n] {
+					x := make([]float64, alg.FeatureSize())
+					for j := range x {
+						x[j] = rng.NormFloat64()
+					}
+					y := make([]float64, tc.labels)
+					for j := range y {
+						y[j] = rng.NormFloat64()
+					}
+					shards[n][i] = ml.Sample{X: x, Y: y}
+				}
+			}
+			model := alg.InitModel(rand.New(rand.NewSource(5)))
+
+			run := func(chunkWords int, monolithic bool, delaySeed int64) []float64 {
+				cl, err := Launch(ClusterOptions{
+					Nodes: nodes, Groups: groups,
+					Engines: func(id int) Engine {
+						return &jitterEngine{
+							inner: &RefEngine{Alg: alg, Threads: 1, LR: 0.01, Agg: dsl.AggAverage},
+							rng:   rand.New(rand.NewSource(delaySeed + int64(id))),
+						}
+					},
+					Shards:     func(id int) []ml.Sample { return shards[id] },
+					ModelSize:  alg.ModelSize(),
+					Agg:        dsl.AggAverage,
+					LR:         0.01,
+					MiniBatch:  nodes * 4,
+					ChunkWords: chunkWords,
+					Monolithic: monolithic,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer cl.Close()
+				got, _, err := cl.Train(append([]float64(nil), model...), rounds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := cl.Shutdown(); err != nil {
+					t.Fatal(err)
+				}
+				return got
+			}
+
+			want := run(64, false, 100)
+			variants := []struct {
+				label      string
+				chunkWords int
+				monolithic bool
+				delaySeed  int64
+			}{
+				{"chunk-64/reshuffled", 64, false, 900},
+				{"chunk-1024", 1024, false, 300},
+				{"monolithic", 0, true, 500},
+			}
+			for _, v := range variants {
+				got := run(v.chunkWords, v.monolithic, v.delaySeed)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s: w[%d] = %.17g, want bitwise %.17g",
+							v.label, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChunkWordsValidation pins the power-of-two rule shared by every
+// config surface.
+func TestChunkWordsValidation(t *testing.T) {
+	for _, w := range []int{0, 1, 2, 64, 4096, 1 << 20} {
+		if !ValidChunkWords(w) {
+			t.Errorf("ValidChunkWords(%d) = false", w)
+		}
+	}
+	for _, w := range []int{-1, -64, 3, 63, 100, 4095} {
+		if ValidChunkWords(w) {
+			t.Errorf("ValidChunkWords(%d) = true", w)
+		}
+	}
+	_, err := Launch(ClusterOptions{
+		Nodes: 2, Groups: 1,
+		Engines:    func(int) Engine { return &RefEngine{Alg: &ml.LinearRegression{M: 4}, Threads: 1} },
+		Shards:     func(int) []ml.Sample { return nil },
+		ModelSize:  4,
+		ChunkWords: 100,
+	})
+	if err == nil {
+		t.Fatal("non-power-of-two ChunkWords accepted")
+	}
+}

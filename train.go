@@ -50,6 +50,15 @@ type ClusterConfig struct {
 	Prog *Program
 	// Rounds is the number of mini-batch aggregation rounds to run.
 	Rounds int
+	// ChunkWords is the streaming-chunk boundary in vector elements (0 =
+	// the runtime default; must be a power of two). Partials and group
+	// aggregates travel the wire as sub-vector chunk frames cut on this
+	// boundary and fold on arrival.
+	ChunkWords int
+	// Monolithic disables streaming and ships whole-vector frames, as
+	// pre-streaming builds did. Training results are bit-identical either
+	// way.
+	Monolithic bool
 	// Obs, when non-nil, records per-node frame counters, aggregation
 	// fan-in, ring depth gauges, and per-round spans across the cluster.
 	Obs *Observer
@@ -118,15 +127,17 @@ func Train(alg Algorithm, data []Sample, model []float64, cfg ClusterConfig) (Tr
 	}
 
 	cluster, err := runtime.Launch(runtime.ClusterOptions{
-		Nodes:     cfg.Nodes,
-		Groups:    cfg.Groups,
-		Engines:   func(id int) runtime.Engine { return engines[id] },
-		Shards:    func(id int) []ml.Sample { return shards[id] },
-		ModelSize: alg.ModelSize(),
-		Agg:       agg,
-		LR:        cfg.LearningRate,
-		MiniBatch: cfg.MiniBatch,
-		Obs:       cfg.Obs,
+		Nodes:      cfg.Nodes,
+		Groups:     cfg.Groups,
+		Engines:    func(id int) runtime.Engine { return engines[id] },
+		Shards:     func(id int) []ml.Sample { return shards[id] },
+		ModelSize:  alg.ModelSize(),
+		Agg:        agg,
+		LR:         cfg.LearningRate,
+		MiniBatch:  cfg.MiniBatch,
+		ChunkWords: cfg.ChunkWords,
+		Monolithic: cfg.Monolithic,
+		Obs:        cfg.Obs,
 	})
 	if err != nil {
 		return TrainResult{}, err
