@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/check/srclint"
+)
+
+// TestGoldens runs each pass over its seeded fixture package and compares
+// against the committed golden diagnostics byte for byte — both that every
+// seeded defect is caught and that positions, ordering, and messages stay
+// stable.
+func TestGoldens(t *testing.T) {
+	for _, pass := range []string{"maprange", "poollife", "lockcheck", "wireflag"} {
+		t.Run(pass, func(t *testing.T) {
+			passes, err := srclint.SelectPasses(pass)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join("testdata", pass)
+			ds := srclint.LintDirs([]string{dir}, passes)
+			if len(ds) < 2 {
+				t.Errorf("fixture %s seeds at least two defects, pass found %d", dir, len(ds))
+			}
+			var got bytes.Buffer
+			for _, d := range ds {
+				fmt.Fprintln(&got, d)
+			}
+			goldenPath := filepath.Join(dir, "golden.txt")
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.String() != string(want) {
+				t.Errorf("diagnostics drifted from %s\n--- got ---\n%s--- want ---\n%s",
+					goldenPath, got.String(), want)
+			}
+		})
+	}
+}
+
+// TestRepoIsClean is the regression gate: all passes over the whole module
+// tree must report nothing — every true positive is fixed or annotated,
+// and the fixtures (under testdata, which pattern expansion skips) are the
+// only seeded defects.
+func TestRepoIsClean(t *testing.T) {
+	root := filepath.Join("..", "..")
+	dirs, diags := srclint.ExpandPatterns([]string{root + "/..."})
+	if len(dirs) == 0 {
+		t.Fatal("pattern expansion found no packages")
+	}
+	diags = append(diags, srclint.LintDirs(dirs, srclint.Passes())...)
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestCLIExitCodes pins the exit-code contract: 0 clean, 1 findings, 2
+// usage errors only.
+func TestCLIExitCodes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-passes", "nope"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown pass: exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogus-flag"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{filepath.Join("testdata", "maprange")}, &out, &errOut); code != 1 {
+		t.Errorf("fixture dir: exit %d, want 1 (output: %s)", code, out.String())
+	}
+	out.Reset()
+	clean := t.TempDir()
+	if err := os.WriteFile(filepath.Join(clean, "ok.go"), []byte("package ok\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{clean}, &out, &errOut); code != 0 {
+		t.Errorf("clean dir: exit %d, want 0 (output: %s)", code, out.String())
+	}
+}
+
+// TestCLIParseErrorDoesNotAbort is the bugfix regression at the CLI level:
+// a directory that fails to parse yields exit 1 with a parse diagnostic,
+// and findings from the other directories still appear.
+func TestCLIParseErrorDoesNotAbort(t *testing.T) {
+	broken := t.TempDir()
+	if err := os.WriteFile(filepath.Join(broken, "bad.go"), []byte("package b\nfunc {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", broken, filepath.Join("testdata", "maprange")}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	var ds []srclint.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &ds); err != nil {
+		t.Fatalf("-json output is not a diagnostics array: %v\n%s", err, out.String())
+	}
+	var sawParse, sawMapRange bool
+	for _, d := range ds {
+		switch d.Pass {
+		case "parse":
+			sawParse = true
+		case "maprange":
+			sawMapRange = true
+		}
+	}
+	if !sawParse || !sawMapRange {
+		t.Errorf("want both parse and maprange diagnostics, got %s", out.String())
+	}
+}
+
+// TestCLIList keeps -list in sync with the registered passes.
+func TestCLIList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list: exit %d", code)
+	}
+	for _, p := range srclint.Passes() {
+		if !strings.Contains(out.String(), p.Name) {
+			t.Errorf("-list output missing pass %s:\n%s", p.Name, out.String())
+		}
+	}
+}

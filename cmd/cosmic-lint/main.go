@@ -1,123 +1,73 @@
-// Command cosmic-lint is a determinism linter for this repository's Go
-// source. The system layer's results must be bit-reproducible across runs
-// (the static schedule, the generated Verilog, the training math), and the
-// classic way Go code silently loses that property is ranging over a map:
-// iteration order is randomized per run, so any order-sensitive work inside
-// the loop — emitting output, appending to a slice that is never sorted,
-// accumulating floating-point values (float addition is not associative) —
-// produces run-to-run drift.
+// Command cosmic-lint runs the repository's source-convention analyzers
+// (internal/check/srclint) over Go package directories:
 //
-// cosmic-lint parses and type-checks packages with the standard library
-// only (go/ast, go/parser, go/types; no external dependencies) and reports
-// three patterns inside `for ... range someMap` bodies:
+//	cosmic-lint [-json] [-passes maprange,poollife,...] [patterns...]
 //
-//   - ordered output: calls to fmt.Print/Printf/Println/Fprint/Fprintf/
-//     Fprintln or to Write/WriteString/WriteByte/WriteRune/Print* methods
-//   - appends to a slice declared outside the loop, unless the slice is
-//     passed to a sort or slices call later in the same block (the
-//     collect-then-sort idiom is deterministic and stays quiet)
-//   - compound floating-point accumulation (+=, -=, *=, /=) into a
-//     variable declared outside the loop
+// Patterns are directories or `dir/...` recursive globs (default ./...).
+// The passes and their annotation escape hatches are documented in the
+// srclint package and DESIGN.md §12.
 //
-// A site where map order genuinely does not matter is silenced by a
-// `//cosmic:ordered` comment on the range statement's line or the line
-// above it.
-//
-// Usage:
-//
-//	cosmic-lint ./...
-//	cosmic-lint ./internal/compiler ./internal/runtime
-//
-// Exit status is 1 if any finding is reported, 2 on usage or parse errors.
+// Exit codes: 0 no findings, 1 findings (including per-package parse
+// errors, which are collected as diagnostics rather than aborting the
+// run), 2 usage errors only (bad flags, unknown pass names).
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
+
+	"repro/internal/check/srclint"
 )
 
 func main() {
-	args := os.Args[1:]
-	if len(args) == 0 {
-		args = []string{"./..."}
-	}
-	var dirs []string
-	seen := map[string]bool{}
-	for _, pat := range args {
-		expanded, err := expandPattern(pat)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cosmic-lint:", err)
-			os.Exit(2)
-		}
-		for _, d := range expanded {
-			if !seen[d] {
-				seen[d] = true
-				dirs = append(dirs, d)
-			}
-		}
-	}
-	sort.Strings(dirs)
-
-	var findings []Finding
-	for _, dir := range dirs {
-		fs, err := LintDir(dir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cosmic-lint:", err)
-			os.Exit(2)
-		}
-		findings = append(findings, fs...)
-	}
-	for _, f := range findings {
-		fmt.Printf("%s: %s\n", f.Pos, f.Msg)
-	}
-	if len(findings) > 0 {
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// expandPattern resolves a package pattern to the directories holding Go
-// files: "dir/..." walks recursively, anything else names one directory.
-func expandPattern(pat string) ([]string, error) {
-	root, recursive := strings.CutSuffix(pat, "/...")
-	if root == "" || root == "." {
-		root = "."
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cosmic-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	passNames := fs.String("passes", "", "comma-separated pass names (default: all)")
+	list := fs.Bool("list", false, "list available passes and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: cosmic-lint [-json] [-passes names] [-list] [patterns...]\n")
+		fs.PrintDefaults()
 	}
-	if !recursive {
-		return []string{filepath.Clean(pat)}, nil
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	var dirs []string
-	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
+	if *list {
+		for _, p := range srclint.Passes() {
+			fmt.Fprintf(stdout, "%-10s %s\n", p.Name, p.Doc)
 		}
-		if !d.IsDir() {
-			return nil
-		}
-		name := d.Name()
-		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
-			name == "testdata" || name == "vendor") {
-			return filepath.SkipDir
-		}
-		if hasGoFiles(path) {
-			dirs = append(dirs, filepath.Clean(path))
-		}
-		return nil
-	})
-	return dirs, err
-}
-
-func hasGoFiles(dir string) bool {
-	entries, err := os.ReadDir(dir)
+		return 0
+	}
+	passes, err := srclint.SelectPasses(*passNames)
 	if err != nil {
-		return false
+		fmt.Fprintln(stderr, "cosmic-lint:", err)
+		return 2
 	}
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			return true
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, diags := srclint.ExpandPatterns(patterns)
+	diags = append(diags, srclint.LintDirs(dirs, passes)...)
+	srclint.Sort(diags)
+	if *jsonOut {
+		if err := srclint.WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "cosmic-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
 		}
 	}
-	return false
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
 }

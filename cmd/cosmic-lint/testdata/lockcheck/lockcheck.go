@@ -1,0 +1,93 @@
+// Package runtime (fixture) seeds lock-pairing and goroutine-hygiene
+// defects; the goroutine checks only fire in packages named runtime or
+// obs, which is why this fixture borrows the package name.
+package runtime
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// missingUnlock is seeded: the early return leaves the mutex held.
+func (c *counter) missingUnlock(skip bool) int {
+	c.mu.Lock()
+	if skip {
+		return -1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// doubleLock is seeded: Go mutexes are not reentrant.
+func (c *counter) doubleLock() {
+	c.mu.Lock()
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// captureLoop is seeded: the goroutine closes over the loop variable
+// instead of taking it as an argument.
+func captureLoop(items []int, out chan<- int) {
+	for _, v := range items {
+		go func() {
+			out <- v
+		}()
+	}
+}
+
+// spinForever is seeded: the goroutine loops with no shutdown edge.
+func spinForever(c *counter) {
+	go func() {
+		for {
+			c.bump()
+		}
+	}()
+}
+
+// bump is clean: lock and deferred unlock.
+func (c *counter) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// branchBalanced is clean: every branch unlocks before leaving.
+func (c *counter) branchBalanced(reset bool) {
+	c.mu.Lock()
+	if reset {
+		c.n = 0
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// worker is clean: the select gives the loop a shutdown edge.
+func worker(tasks <-chan func(), stop <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case t := <-tasks:
+				t()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// annotatedSpin is clean: termination is managed elsewhere, stated
+// explicitly at the launch.
+func annotatedSpin(c *counter) {
+	//cosmic:shutdown killed with the process; fixture daemon
+	go func() {
+		for {
+			c.bump()
+		}
+	}()
+}

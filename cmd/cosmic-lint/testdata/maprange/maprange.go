@@ -1,0 +1,55 @@
+// Package maprange is a lint fixture: seeded map-iteration-order defects
+// plus the clean idioms the pass must not flag.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+)
+
+// emit is seeded: printing inside a map range emits in randomized order.
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// sum is seeded: floating-point accumulation is not associative across the
+// randomized iteration order.
+func sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// collect is seeded: appending to an outer slice with no later sort.
+func collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectSorted is clean: the collect-then-sort idiom.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// annotated is clean: the accumulation would be flagged, but the site is
+// marked order-irrelevant.
+func annotated(m map[string]float64) float64 {
+	var total float64
+	//cosmic:ordered inputs are exact powers of two; addition is exact
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

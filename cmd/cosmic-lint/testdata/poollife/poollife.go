@@ -1,0 +1,80 @@
+// Package poollife is a lint fixture: seeded pooled-buffer lifecycle
+// defects plus the clean idioms the pass must not flag.
+package poollife
+
+import "sync"
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64)
+		return &b
+	},
+}
+
+type holder struct {
+	buf *[]byte
+}
+
+// useAfterPut is seeded: the buffer is read after going back to the pool.
+func useAfterPut() int {
+	bp := bufPool.Get().(*[]byte)
+	bufPool.Put(bp)
+	return len(*bp)
+}
+
+// doublePut is seeded: the same buffer is recycled twice.
+func doublePut() {
+	bp := bufPool.Get().(*[]byte)
+	bufPool.Put(bp)
+	bufPool.Put(bp)
+}
+
+// leakOnError is seeded: the early return path never recycles the buffer.
+func leakOnError(fail bool) error {
+	bp := bufPool.Get().(*[]byte)
+	if fail {
+		return errFixture
+	}
+	bufPool.Put(bp)
+	return nil
+}
+
+// escapes is seeded: the buffer is stored into a longer-lived struct with
+// no //cosmic:transfers marking the handoff.
+func escapes(h *holder) {
+	bp := bufPool.Get().(*[]byte)
+	h.buf = bp
+}
+
+// balanced is clean: deferred recycle covers every path.
+func balanced(fail bool) error {
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	if fail {
+		return errFixture
+	}
+	*bp = (*bp)[:0]
+	return nil
+}
+
+// handoff is clean: the escape is annotated as an ownership transfer.
+func handoff(h *holder) {
+	bp := bufPool.Get().(*[]byte)
+	//cosmic:transfers h owns the buffer until h.close
+	h.buf = bp
+}
+
+// acquire is clean: the accessor owns the buffer by declaration; its
+// callers inherit the Put obligation.
+//
+//cosmic:owns
+func acquire() *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	return bp
+}
+
+type fixtureError string
+
+func (e fixtureError) Error() string { return string(e) }
+
+var errFixture = fixtureError("fixture")

@@ -1,0 +1,40 @@
+// Package cosmicnet (fixture) seeds wire-flag registry defects: a
+// multi-bit flag, an overlapping flag, a stale aggregate mask, flags
+// unhandled on one or both sides, and a raw literal mask outside the
+// registry. The wireflag pass gates on the package name, which is why the
+// fixture borrows it.
+package cosmicnet
+
+// The registry: flagBad is seeded as two bits, flagDup overlaps flagTop,
+// and flagMask was not updated when flagBad/flagDup were added.
+//
+//cosmic:wire-registry
+const (
+	flagTop = 0x80
+	flagBad = 0x03
+	flagDup = 0x80
+
+	flagMask = flagTop
+)
+
+// writeFrame handles flagTop and flagDup but not flagBad (seeded).
+func writeFrame(b []byte, traced, dup bool) {
+	if traced {
+		b[0] |= flagTop
+	}
+	if dup {
+		b[0] |= flagDup
+	}
+}
+
+// readFrameInto handles only flagTop: flagBad and flagDup are unhandled on
+// the decode side (seeded).
+func readFrameInto(b []byte) bool {
+	return b[0]&flagTop != 0
+}
+
+// peek is seeded: a raw literal carrying a registered bit outside the
+// registry declarations.
+func peek(b byte) bool {
+	return b&0x80 != 0
+}

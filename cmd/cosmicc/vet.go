@@ -8,6 +8,7 @@ import (
 
 	cosmic "repro"
 	"repro/internal/check"
+	"repro/internal/check/srclint"
 	"repro/internal/dataset"
 	"repro/internal/ml"
 )
@@ -19,15 +20,28 @@ import (
 // evaluation tape, and encoded microcode. Any error diagnostic makes the
 // process exit non-zero.
 //
+// With -source the subcommand instead runs the srclint source-convention
+// passes (maprange, poollife, lockcheck, wireflag — see cmd/cosmic-lint
+// and DESIGN.md §12) over the given package patterns (default ./...),
+// exiting non-zero on any finding: the same gate, pointed at the Go
+// source instead of the compiled artifacts.
+//
 // Usage:
 //
 //	cosmicc vet [-chip ultrascale+] [-scale 0.05] [-v]
+//	cosmicc vet -source [patterns...]
 func runVet(args []string) {
 	fs := flag.NewFlagSet("vet", flag.ExitOnError)
 	chipName := fs.String("chip", "ultrascale+", "target chip: ultrascale+, pasic-f, pasic-g, zynq")
 	scale := fs.Float64("scale", 0, "benchmark geometry scale in (0,1]; 0 picks a per-benchmark scale that keeps graphs tractable")
 	verbose := fs.Bool("v", false, "print every target, not just failures")
+	source := fs.Bool("source", false, "vet the Go source conventions (srclint passes) instead of compiled artifacts")
 	fs.Parse(args)
+
+	if *source {
+		runSourceVet(fs.Args())
+		return
+	}
 
 	chip, ok := chips[strings.ToLower(*chipName)]
 	if !ok {
@@ -109,4 +123,24 @@ func vetScale(b dataset.Benchmark) float64 {
 		s = 1
 	}
 	return s
+}
+
+// runSourceVet runs the srclint passes over the package patterns (default
+// the whole module) and exits 1 on any finding, mirroring the cosmic-lint
+// CLI so CI can gate on either entry point.
+func runSourceVet(patterns []string) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, diags := srclint.ExpandPatterns(patterns)
+	diags = append(diags, srclint.LintDirs(dirs, srclint.Passes())...)
+	srclint.Sort(diags)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Printf("cosmicc vet -source: %d findings\n", len(diags))
+		os.Exit(1)
+	}
+	fmt.Println("cosmicc vet -source: all packages clean")
 }

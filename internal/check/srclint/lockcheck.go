@@ -1,0 +1,461 @@
+package srclint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runLockCheck audits mutex pairing and goroutine hygiene.
+//
+// Mutex pairing (every package): within one function, a Lock (or RLock)
+// must be matched by an Unlock (or RUnlock) of the same receiver expression
+// on every path — a deferred Unlock satisfies every path; a `return` while
+// a lock is held with no deferred unlock is an error, as is locking the
+// same mutex twice on one path (Go mutexes are not reentrant). The walk is
+// block-structured: branches are analyzed independently and a mutex is
+// considered held after a branch only if every surviving arm left it held.
+//
+// Goroutine hygiene (packages runtime and obs only, where the system
+// layer's long-lived workers live): a `go` launch whose body captures an
+// enclosing loop variable instead of taking it as an argument is flagged,
+// and a launch whose body spins an unbounded `for` loop with no visible
+// shutdown edge — no select, channel receive or range, WaitGroup
+// Done/Wait, or ctx/done/stop/quit reference — is flagged unless the
+// launch carries a //cosmic:shutdown annotation naming who stops it.
+func runLockCheck(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ann := annotations(p.Fset, f)
+		eachFunc(f, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+			w := &lockWalker{p: p, ann: ann, reported: map[string]bool{}}
+			env := &lockEnv{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+			terminated := w.walkStmts(body.List, env)
+			if !terminated {
+				w.pathCheck(env, token.NoPos)
+			}
+			out = append(out, w.diags...)
+		})
+	}
+	base := strings.TrimSuffix(p.Name, "_test")
+	if base == "runtime" || base == "obs" {
+		out = append(out, checkGoroutines(p)...)
+	}
+	return out
+}
+
+type lockEnv struct {
+	held     map[string]token.Pos // canonical mutex expr → Lock position
+	deferred map[string]bool      // unlocked by a registered defer
+}
+
+func (e *lockEnv) clone() *lockEnv {
+	c := &lockEnv{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+	for k, v := range e.held {
+		c.held[k] = v
+	}
+	for k := range e.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// mergeLocks keeps a mutex held only when every surviving branch holds it.
+func mergeLocks(envs []*lockEnv) *lockEnv {
+	if len(envs) == 0 {
+		return &lockEnv{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+	}
+	m := envs[0].clone()
+	for _, e := range envs[1:] {
+		for k := range m.held {
+			if _, ok := e.held[k]; !ok {
+				delete(m.held, k)
+			}
+		}
+		for k := range e.deferred {
+			m.deferred[k] = true
+		}
+	}
+	return m
+}
+
+type lockWalker struct {
+	p        *Package
+	ann      map[int]map[string]bool
+	diags    []Diagnostic
+	reported map[string]bool
+}
+
+func (w *lockWalker) report(sev Severity, pos token.Pos, format string, args ...any) {
+	d := diag(w.p.Fset, "lockcheck", sev, pos, format, args...)
+	key := d.File + ":" + itoa(d.Line) + ":" + d.Message
+	if w.reported[key] {
+		return
+	}
+	w.reported[key] = true
+	w.diags = append(w.diags, d)
+}
+
+func (w *lockWalker) walkStmts(list []ast.Stmt, env *lockEnv) bool {
+	for _, s := range list {
+		if w.walkStmt(unwrapLabels(s), env) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, env *lockEnv) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := unwrapExpr(s.X).(*ast.CallExpr); ok {
+			w.handleCall(call, env)
+		}
+	case *ast.DeferStmt:
+		w.handleDefer(s, env)
+	case *ast.ReturnStmt:
+		w.pathCheck(env, s.Pos())
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, env)
+		}
+		thenEnv := env.clone()
+		thenTerm := w.walkStmts(s.Body.List, thenEnv)
+		var surviving []*lockEnv
+		if !thenTerm {
+			surviving = append(surviving, thenEnv)
+		}
+		if s.Else != nil {
+			elseEnv := env.clone()
+			if !w.walkStmt(unwrapLabels(s.Else), elseEnv) {
+				surviving = append(surviving, elseEnv)
+			}
+		} else {
+			surviving = append(surviving, env.clone())
+		}
+		if len(surviving) == 0 {
+			return true
+		}
+		*env = *mergeLocks(surviving)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, env)
+		}
+		bodyEnv := env.clone()
+		w.walkStmts(s.Body.List, bodyEnv)
+		*env = *mergeLocks([]*lockEnv{env.clone(), bodyEnv})
+	case *ast.RangeStmt:
+		bodyEnv := env.clone()
+		w.walkStmts(s.Body.List, bodyEnv)
+		*env = *mergeLocks([]*lockEnv{env.clone(), bodyEnv})
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, env)
+		}
+		return w.walkClauses(s.Body, env, hasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, env)
+		}
+		return w.walkClauses(s.Body, env, hasDefault(s.Body))
+	case *ast.SelectStmt:
+		return w.walkClauses(s.Body, env, false)
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, env)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, env)
+	}
+	return false
+}
+
+func (w *lockWalker) walkClauses(body *ast.BlockStmt, env *lockEnv, exhaustive bool) bool {
+	var surviving []*lockEnv
+	for _, s := range body.List {
+		cEnv := env.clone()
+		if cc, ok := s.(*ast.CommClause); ok && cc.Comm != nil {
+			w.walkStmt(cc.Comm, cEnv)
+		}
+		if !w.walkStmts(stmtList(s), cEnv) {
+			surviving = append(surviving, cEnv)
+		}
+	}
+	if !exhaustive {
+		surviving = append(surviving, env.clone())
+	}
+	if len(surviving) == 0 {
+		return true
+	}
+	*env = *mergeLocks(surviving)
+	return false
+}
+
+func (w *lockWalker) handleCall(call *ast.CallExpr, env *lockEnv) {
+	key, op, ok := w.mutexOp(call)
+	if !ok {
+		return
+	}
+	switch op {
+	case "Lock", "RLock":
+		if pos, held := env.held[key]; held {
+			w.report(SeverityError, call.Pos(), "double %s of %s (already locked at line %d; Go mutexes are not reentrant)",
+				op, key, w.p.Fset.Position(pos).Line)
+			return
+		}
+		env.held[key] = call.Pos()
+	case "Unlock", "RUnlock":
+		delete(env.held, key)
+	}
+}
+
+func (w *lockWalker) handleDefer(s *ast.DeferStmt, env *lockEnv) {
+	if key, op, ok := w.mutexOp(s.Call); ok {
+		if op == "Unlock" || op == "RUnlock" {
+			env.deferred[key] = true
+		}
+		return
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, op, ok := w.mutexOp(call); ok && (op == "Unlock" || op == "RUnlock") {
+					env.deferred[key] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// pathCheck reports locks held (and not defer-unlocked) at a return point.
+func (w *lockWalker) pathCheck(env *lockEnv, pos token.Pos) {
+	for key, lockPos := range env.held {
+		if env.deferred[key] {
+			continue
+		}
+		at := pos
+		what := "return"
+		if at == token.NoPos {
+			at = lockPos
+			what = "function end"
+		}
+		w.report(SeverityError, at, "%s reached with %s held (locked at line %d, no Unlock on this path)",
+			what, key, w.p.Fset.Position(lockPos).Line)
+	}
+}
+
+// mutexOp recognizes X.Lock/Unlock/RLock/RUnlock on a mutex-typed (or
+// mutex-named, under degraded type information) receiver; key is the
+// canonical receiver spelling, with an /R suffix for the read side.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !w.mutexish(sel.X) {
+		return "", "", false
+	}
+	key = exprString(sel.X)
+	if op == "RLock" || op == "RUnlock" {
+		key += "/R"
+	}
+	return key, op, true
+}
+
+func (w *lockWalker) mutexish(e ast.Expr) bool {
+	if tv, ok := w.p.Info.Types[e]; ok && tv.Type != nil {
+		t := tv.Type
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" {
+				name := named.Obj().Name()
+				return name == "Mutex" || name == "RWMutex"
+			}
+		}
+		return false
+	}
+	// Degraded type info: fall back to the naming convention.
+	s := exprString(e)
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		s = s[i+1:]
+	}
+	if i := strings.IndexByte(s, '['); i >= 0 {
+		s = s[:i]
+	}
+	low := strings.ToLower(s)
+	return low == "mu" || low == "mtx" || low == "lk" ||
+		strings.HasSuffix(low, "mu") || strings.HasSuffix(low, "mutex") || strings.HasSuffix(low, "lock")
+}
+
+// checkGoroutines flags `go` launches that capture loop variables or have
+// no shutdown edge, in the packages whose goroutines must be long-lived
+// workers with explicit lifecycles.
+func checkGoroutines(p *Package) []Diagnostic {
+	var out []Diagnostic
+	decls := funcDecls(p.Files)
+	for _, f := range p.Files {
+		ann := annotations(p.Fset, f)
+		loopVars := map[types.Object]bool{}
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				added := addLoopVars(n, p.Info, loopVars)
+				ast.Inspect(n.Body, visit)
+				removeLoopVars(loopVars, added)
+				return false
+			case *ast.ForStmt:
+				added := addForVars(n, p.Info, loopVars)
+				ast.Inspect(n.Body, visit)
+				removeLoopVars(loopVars, added)
+				return false
+			case *ast.GoStmt:
+				out = append(out, checkGoStmt(p, ann, decls, n, loopVars)...)
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+	return out
+}
+
+func addLoopVars(n *ast.RangeStmt, info *types.Info, vars map[types.Object]bool) []types.Object {
+	var added []types.Object
+	for _, e := range []ast.Expr{n.Key, n.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil && !vars[obj] {
+				vars[obj] = true
+				added = append(added, obj)
+			}
+		}
+	}
+	return added
+}
+
+func addForVars(n *ast.ForStmt, info *types.Info, vars map[types.Object]bool) []types.Object {
+	var added []types.Object
+	if a, ok := n.Init.(*ast.AssignStmt); ok && a.Tok == token.DEFINE {
+		for _, e := range a.Lhs {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				if obj := info.Defs[id]; obj != nil && !vars[obj] {
+					vars[obj] = true
+					added = append(added, obj)
+				}
+			}
+		}
+	}
+	return added
+}
+
+func removeLoopVars(vars map[types.Object]bool, added []types.Object) {
+	for _, obj := range added {
+		delete(vars, obj)
+	}
+}
+
+func checkGoStmt(p *Package, ann map[int]map[string]bool, decls map[string]*ast.FuncDecl, g *ast.GoStmt, loopVars map[types.Object]bool) []Diagnostic {
+	var out []Diagnostic
+	var body *ast.BlockStmt
+	switch fn := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fn.Body
+		// Loop-variable capture: referencing an enclosing loop variable from
+		// the goroutine body instead of passing it as an argument.
+		seen := map[types.Object]bool{}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj != nil && loopVars[obj] && !seen[obj] {
+				seen[obj] = true
+				out = append(out, diag(p.Fset, "lockcheck", SeverityWarning, g.Pos(),
+					"goroutine captures loop variable %s; pass it as an argument to pin the iteration's value", obj.Name()))
+			}
+			return true
+		})
+	case *ast.Ident:
+		if fd, ok := decls[fn.Name]; ok {
+			body = fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd, ok := decls[fn.Sel.Name]; ok {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		return out
+	}
+	if hasUnboundedLoop(body) && !hasShutdownEdge(body, p.Info) &&
+		!annotatedAt(p.Fset, ann, g.Pos(), markShutdown) {
+		out = append(out, diag(p.Fset, "lockcheck", SeverityWarning, g.Pos(),
+			"goroutine loops forever with no shutdown edge (no select, channel receive/range, WaitGroup join, or ctx/done/stop reference); annotate //cosmic:shutdown naming who stops it"))
+	}
+	return out
+}
+
+func hasUnboundedLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if f, ok := n.(*ast.ForStmt); ok && f.Cond == nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasShutdownEdge looks for any construct that lets the goroutine observe
+// shutdown: select, channel receive, range over a channel, a WaitGroup
+// Done/Wait, or a conventionally named signal variable.
+func hasShutdownEdge(body *ast.BlockStmt, info *types.Info) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			} else {
+				// Degraded type info: a range could be draining a channel;
+				// stay silent rather than speculate.
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Done" || sel.Sel.Name == "Wait" {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			switch n.Name {
+			case "ctx", "done", "stop", "stopped", "quit", "closing":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

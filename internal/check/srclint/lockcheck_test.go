@@ -1,0 +1,193 @@
+package srclint
+
+import "testing"
+
+const lockPrelude = `package p
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+`
+
+func TestLockHeldAtReturn(t *testing.T) {
+	ds := lintSource(t, "lockcheck", lockPrelude+`func (b *box) get(skip bool) int {
+	b.mu.Lock()
+	if skip {
+		return -1
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+`)
+	wantFinding(t, ds, "return reached with b.mu held")
+}
+
+func TestDoubleLock(t *testing.T) {
+	ds := lintSource(t, "lockcheck", lockPrelude+`func (b *box) bump() {
+	b.mu.Lock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+`)
+	wantFinding(t, ds, "double Lock of b.mu")
+}
+
+func TestLockHeldAtFunctionEnd(t *testing.T) {
+	ds := lintSource(t, "lockcheck", lockPrelude+`func (b *box) bump() {
+	b.mu.Lock()
+	b.n++
+}
+`)
+	wantFinding(t, ds, "function end reached with b.mu held")
+}
+
+func TestDeferUnlockIsClean(t *testing.T) {
+	wantClean(t, lintSource(t, "lockcheck", lockPrelude+`func (b *box) bump(skip bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if skip {
+		return
+	}
+	b.n++
+}
+`))
+}
+
+func TestBranchBalancedUnlockIsClean(t *testing.T) {
+	wantClean(t, lintSource(t, "lockcheck", lockPrelude+`func (b *box) bump(reset bool) {
+	b.mu.Lock()
+	if reset {
+		b.n = 0
+		b.mu.Unlock()
+		return
+	}
+	b.n++
+	b.mu.Unlock()
+}
+`))
+}
+
+// TestRWMutexSidesAreSeparate pins the /R key split: RLock is not paired
+// by a write-side Unlock.
+func TestRWMutexSidesAreSeparate(t *testing.T) {
+	ds := lintSource(t, "lockcheck", `package p
+
+import "sync"
+
+type rbox struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (b *rbox) get() int {
+	b.mu.RLock()
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+func (b *rbox) ok() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.n
+}
+`)
+	wantFinding(t, ds, "b.mu/R held")
+	if len(ds) != 1 {
+		t.Errorf("want exactly one finding, got %d: %+v", len(ds), ds)
+	}
+}
+
+// Goroutine hygiene only fires in the runtime/obs packages.
+
+func TestGoroutineLoopCapture(t *testing.T) {
+	ds := lintSource(t, "lockcheck", `package runtime
+
+func fan(items []int, out chan<- int) {
+	for _, v := range items {
+		go func() {
+			out <- v
+		}()
+	}
+}
+`)
+	wantFinding(t, ds, "captures loop variable v")
+}
+
+func TestGoroutineNoShutdownEdge(t *testing.T) {
+	ds := lintSource(t, "lockcheck", `package runtime
+
+func spin(tick func()) {
+	go func() {
+		for {
+			tick()
+		}
+	}()
+}
+`)
+	wantFinding(t, ds, "no shutdown edge")
+}
+
+func TestGoroutineSelectLoopIsClean(t *testing.T) {
+	wantClean(t, lintSource(t, "lockcheck", `package runtime
+
+func worker(tasks <-chan func(), stop <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case t := <-tasks:
+				t()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+`))
+}
+
+func TestGoroutineShutdownAnnotationIsClean(t *testing.T) {
+	wantClean(t, lintSource(t, "lockcheck", `package runtime
+
+func spin(tick func()) {
+	//cosmic:shutdown killed with the process
+	go func() {
+		for {
+			tick()
+		}
+	}()
+}
+`))
+}
+
+func TestGoroutineChecksGatedToRuntimeObs(t *testing.T) {
+	wantClean(t, lintSource(t, "lockcheck", `package other
+
+func spin(tick func()) {
+	go func() {
+		for {
+			tick()
+		}
+	}()
+}
+`))
+}
+
+func TestGoroutineArgPassedLoopVarIsClean(t *testing.T) {
+	wantClean(t, lintSource(t, "lockcheck", `package runtime
+
+func fan(items []int, out chan<- int) {
+	for _, v := range items {
+		go func(v int) {
+			out <- v
+		}(v)
+	}
+}
+`))
+}

@@ -1,0 +1,174 @@
+package srclint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runMapRange reports order-sensitive work inside `for ... range someMap`
+// bodies: emitting output, appending to an outer slice that is never
+// sorted, and compound floating-point accumulation. Map iteration order is
+// randomized per run, so all three produce run-to-run drift — fatal for the
+// bit-reproducibility the system layer promises. `//cosmic:ordered` on the
+// range statement's line (or the line above) silences a site where order is
+// provably irrelevant.
+func runMapRange(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ann := annotations(p.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			list := stmtList(n)
+			for i, s := range list {
+				rng, ok := unwrapLabels(s).(*ast.RangeStmt)
+				if !ok || !isMapRange(rng, p.Info) {
+					continue
+				}
+				if annotatedAt(p.Fset, ann, rng.Pos(), markOrdered) {
+					continue
+				}
+				out = append(out, checkMapRange(p.Fset, rng, list[i+1:], p.Info)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkMapRange audits one map range loop's body; rest is the remainder of
+// the enclosing statement list, scanned for the collect-then-sort idiom.
+func checkMapRange(fset *token.FileSet, rng *ast.RangeStmt, rest []ast.Stmt, info *types.Info) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, diag(fset, "maprange", SeverityError, pos, format, args...))
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				lhs := n.Lhs[0]
+				if isFloat(lhs, info) && declaredOutside(lhs, rng.Body, info) {
+					report(n.Pos(), "floating-point accumulation in map iteration order: %s is not associative across the randomized order (annotate //cosmic:ordered if order is provably irrelevant)", n.Tok)
+				}
+			case token.ASSIGN:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					call, ok := n.Rhs[i].(*ast.CallExpr)
+					if !ok || !isAppendCall(call, info) {
+						continue
+					}
+					if !declaredOutside(lhs, rng.Body, info) {
+						continue
+					}
+					if obj := rootObj(lhs, info); obj != nil && sortedAfter(rest, obj, info) {
+						continue // collect-then-sort: deterministic
+					}
+					report(n.Pos(), "append to %s in map iteration order without a later sort in this block", exprString(lhs))
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := orderedOutputCall(n, info); ok {
+				report(n.Pos(), "ordered output via %s inside map range: emission order is randomized per run", name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isMapRange(rng *ast.RangeStmt, info *types.Info) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func isFloat(e ast.Expr, info *types.Info) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredOutside reports whether the expression's root variable is
+// declared outside the loop body (true also when the root cannot be
+// resolved — the pass stays conservative when type information degraded).
+func declaredOutside(e ast.Expr, body *ast.BlockStmt, info *types.Info) bool {
+	obj := rootObj(e, info)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < body.Pos() || obj.Pos() >= body.End()
+}
+
+func isAppendCall(call *ast.CallExpr, info *types.Info) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if o, ok := info.Uses[id]; ok {
+		_, isBuiltin := o.(*types.Builtin)
+		return isBuiltin
+	}
+	return true // unresolved: assume the builtin
+}
+
+// sortedAfter reports whether a later statement in the same block hands the
+// collected slice to the sort or slices package — the deterministic
+// collect-then-sort idiom.
+func sortedAfter(rest []ast.Stmt, obj types.Object, info *types.Info) bool {
+	for _, s := range rest {
+		es, ok := unwrapLabels(s).(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		if p := pkgPathOf(sel.X, info); p != "sort" && p != "slices" {
+			continue
+		}
+		for _, a := range call.Args {
+			if mentionsObj(a, obj, info) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// orderedOutputCall recognizes calls that emit in iteration order: the fmt
+// printers, and writer-shaped methods on any receiver.
+func orderedOutputCall(call *ast.CallExpr, info *types.Info) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if p := pkgPathOf(sel.X, info); p != "" {
+		if p == "fmt" {
+			switch name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return "fmt." + name, true
+			}
+		}
+		return "", false
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Print", "Printf", "Println":
+		return "(" + exprString(sel.X) + ")." + name, true
+	}
+	return "", false
+}

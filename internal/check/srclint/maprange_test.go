@@ -1,58 +1,11 @@
-package main
+package srclint
 
-import (
-	"go/ast"
-	"go/importer"
-	"go/parser"
-	"go/token"
-	"go/types"
-	"strings"
-	"testing"
-)
-
-// lintSource runs the linter over one in-memory file, type-checked against
-// the real standard library.
-func lintSource(t *testing.T, src string) []Finding {
-	t.Helper()
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "lintme.go", src, parser.ParseComments)
-	if err != nil {
-		t.Fatal(err)
-	}
-	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Defs:  map[*ast.Ident]types.Object{},
-		Uses:  map[*ast.Ident]types.Object{},
-	}
-	conf := types.Config{
-		Importer: importer.ForCompiler(fset, "source", nil),
-		Error:    func(error) {},
-	}
-	conf.Check("lintme", fset, []*ast.File{f}, info)
-	return LintPackage(fset, info, []*ast.File{f})
-}
-
-func wantFinding(t *testing.T, fs []Finding, frag string) {
-	t.Helper()
-	for _, f := range fs {
-		if strings.Contains(f.Msg, frag) {
-			return
-		}
-	}
-	t.Errorf("no finding mentioning %q; got %d findings: %+v", frag, len(fs), fs)
-}
-
-func wantClean(t *testing.T, fs []Finding) {
-	t.Helper()
-	if len(fs) != 0 {
-		t.Errorf("want no findings, got %d: %+v", len(fs), fs)
-	}
-}
+import "testing"
 
 // TestFlagsMapRangeOrderedEmission seeds the classic bug: printing while
 // ranging over a map, so the report's line order changes run to run.
 func TestFlagsMapRangeOrderedEmission(t *testing.T) {
-	fs := lintSource(t, `package p
+	ds := lintSource(t, "maprange", `package p
 
 import "fmt"
 
@@ -62,11 +15,11 @@ func report(stats map[string]int) {
 	}
 }
 `)
-	wantFinding(t, fs, "fmt.Printf")
+	wantFinding(t, ds, "fmt.Printf")
 }
 
 func TestFlagsWriterMethodInMapRange(t *testing.T) {
-	fs := lintSource(t, `package p
+	ds := lintSource(t, "maprange", `package p
 
 import "strings"
 
@@ -78,14 +31,14 @@ func render(stats map[string]int) string {
 	return b.String()
 }
 `)
-	wantFinding(t, fs, "WriteString")
+	wantFinding(t, ds, "WriteString")
 }
 
 // TestFlagsUnorderedFloatAccumulation seeds the subtle one: float addition
 // is not associative, so summing in randomized order drifts in the last
 // bits — enough to fork a distributed training run.
 func TestFlagsUnorderedFloatAccumulation(t *testing.T) {
-	fs := lintSource(t, `package p
+	ds := lintSource(t, "maprange", `package p
 
 func total(weights map[int]float64) float64 {
 	sum := 0.0
@@ -95,11 +48,11 @@ func total(weights map[int]float64) float64 {
 	return sum
 }
 `)
-	wantFinding(t, fs, "floating-point accumulation")
+	wantFinding(t, ds, "floating-point accumulation")
 }
 
 func TestIntAccumulationIsClean(t *testing.T) {
-	wantClean(t, lintSource(t, `package p
+	wantClean(t, lintSource(t, "maprange", `package p
 
 func count(stats map[string]int) int {
 	n := 0
@@ -112,7 +65,7 @@ func count(stats map[string]int) int {
 }
 
 func TestFlagsAppendWithoutSort(t *testing.T) {
-	fs := lintSource(t, `package p
+	ds := lintSource(t, "maprange", `package p
 
 func keys(m map[string]int) []string {
 	var out []string
@@ -122,13 +75,13 @@ func keys(m map[string]int) []string {
 	return out
 }
 `)
-	wantFinding(t, fs, "append to out")
+	wantFinding(t, ds, "append to out")
 }
 
 // TestAppendThenSortIsClean proves the deterministic collect-then-sort
 // idiom — how this repository iterates maps — stays quiet.
 func TestAppendThenSortIsClean(t *testing.T) {
-	wantClean(t, lintSource(t, `package p
+	wantClean(t, lintSource(t, "maprange", `package p
 
 import "sort"
 
@@ -144,11 +97,14 @@ func keys(m map[string]int) []string {
 }
 
 func TestSortSliceAfterAppendIsClean(t *testing.T) {
-	wantClean(t, lintSource(t, `package p
+	wantClean(t, lintSource(t, "maprange", `package p
 
 import "sort"
 
-type pair struct{ k string; v int }
+type pair struct {
+	k string
+	v int
+}
 
 func pairs(m map[string]int) []pair {
 	var out []pair
@@ -162,7 +118,7 @@ func pairs(m map[string]int) []pair {
 }
 
 func TestLoopLocalAppendIsClean(t *testing.T) {
-	wantClean(t, lintSource(t, `package p
+	wantClean(t, lintSource(t, "maprange", `package p
 
 func rows(m map[string][]int) int {
 	n := 0
@@ -179,7 +135,7 @@ func rows(m map[string][]int) int {
 // TestSuppressionComment proves //cosmic:ordered silences a site, on the
 // range line or the line above.
 func TestSuppressionComment(t *testing.T) {
-	wantClean(t, lintSource(t, `package p
+	wantClean(t, lintSource(t, "maprange", `package p
 
 import "fmt"
 
@@ -196,7 +152,7 @@ func debugDump(stats map[string]int) {
 }
 
 func TestRangeOverSliceIsClean(t *testing.T) {
-	wantClean(t, lintSource(t, `package p
+	wantClean(t, lintSource(t, "maprange", `package p
 
 import "fmt"
 
@@ -209,7 +165,7 @@ func list(xs []string) {
 }
 
 func TestNestedMapRangeInsideSliceRange(t *testing.T) {
-	fs := lintSource(t, `package p
+	ds := lintSource(t, "maprange", `package p
 
 import "fmt"
 
@@ -221,5 +177,5 @@ func dump(groups []map[string]int) {
 	}
 }
 `)
-	wantFinding(t, fs, "fmt.Println")
+	wantFinding(t, ds, "fmt.Println")
 }

@@ -1,0 +1,740 @@
+package srclint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runPoolLife tracks pooled buffers through one function at a time: values
+// originating from cosmicnet.GetPayload, a sync.Pool Get, or a same-package
+// function annotated //cosmic:owns. Through assignments, slicings, and
+// dereferences the buffer keeps one abstract identity; the pass reports
+//
+//   - use-after-put (error): any read or call argument mentioning a buffer
+//     after it was returned to its pool;
+//   - double-put (error): returning the same buffer twice;
+//   - escape-after-put (error): a recycled buffer stored, sent, returned,
+//     or captured — an alias outliving the recycle;
+//   - unannotated escape (warning): a live buffer stored into a struct
+//     field, container, channel, or goroutine without //cosmic:transfers —
+//     the ownership handoffs must be explicit;
+//   - leaked path (warning): a Get whose buffer is neither Put (directly or
+//     via defer) nor transferred on some return path.
+//
+// The analysis is intra-procedural and block-structured: branches are
+// walked independently and merged (a buffer whose state disagrees across
+// branches becomes untracked — the pass prefers silence to speculation).
+// Functions annotated //cosmic:owns keep the use/double-put checks but skip
+// the escape and leak obligations: they are the pool accessors themselves.
+func runPoolLife(p *Package) []Diagnostic {
+	ownsFns := map[string]bool{}
+	anns := map[*ast.File]map[int]map[string]bool{}
+	for _, f := range p.Files {
+		anns[f] = annotations(p.Fset, f)
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && funcAnnotated(p.Fset, anns[f], fd, markOwns) {
+				ownsFns[fd.Name.Name] = true
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ann := anns[f]
+		eachFunc(f, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+			w := &poolWalker{
+				p: p, ann: ann, ownsFns: ownsFns,
+				owns:     decl != nil && funcAnnotated(p.Fset, ann, decl, markOwns),
+				pkgIsNet: p.Name == "cosmicnet",
+				cells:    map[int]*pcell{},
+				reported: map[string]bool{},
+			}
+			env := newPenv()
+			terminated := w.walkStmts(body.List, env)
+			if !terminated {
+				w.leakCheck(env, token.NoPos)
+			}
+			out = append(out, w.diags...)
+		})
+	}
+	return out
+}
+
+// pcell is one tracked buffer's identity.
+type pcell struct {
+	id   int
+	name string    // the first variable bound to it, for messages
+	pos  token.Pos // where it was obtained
+	rel  token.Pos // where it was released (once released)
+}
+
+type cellState int
+
+const (
+	cellLive     cellState = iota
+	cellReleased           // returned to the pool
+	cellDone               // ownership transferred; no further obligations
+)
+
+// penv is the abstract state of one walk path.
+type penv struct {
+	vars     map[types.Object]int // variable → cell id
+	state    map[int]cellState
+	deferred map[int]bool // released by a registered defer at every return
+}
+
+func newPenv() *penv {
+	return &penv{vars: map[types.Object]int{}, state: map[int]cellState{}, deferred: map[int]bool{}}
+}
+
+func (e *penv) clone() *penv {
+	c := newPenv()
+	for k, v := range e.vars {
+		c.vars[k] = v
+	}
+	for k, v := range e.state {
+		c.state[k] = v
+	}
+	for k, v := range e.deferred {
+		c.deferred[k] = v
+	}
+	return c
+}
+
+// merge folds the surviving branch states into one: a cell or binding that
+// disagrees across branches becomes untracked (conservative silence), one
+// that exists on a single branch is carried through.
+func merge(envs []*penv) *penv {
+	if len(envs) == 0 {
+		return newPenv()
+	}
+	m := envs[0].clone()
+	for _, e := range envs[1:] {
+		for id, st := range e.state {
+			if prev, ok := m.state[id]; ok {
+				if prev != st {
+					delete(m.state, id)
+				}
+			} else {
+				m.state[id] = st
+			}
+		}
+		for obj, id := range e.vars {
+			if prev, ok := m.vars[obj]; ok && prev != id {
+				delete(m.vars, obj)
+			} else if !ok {
+				m.vars[obj] = id
+			}
+		}
+		for id := range e.deferred {
+			m.deferred[id] = true
+		}
+	}
+	return m
+}
+
+type poolWalker struct {
+	p        *Package
+	ann      map[int]map[string]bool
+	ownsFns  map[string]bool
+	owns     bool // current function is a //cosmic:owns pool accessor
+	pkgIsNet bool
+	cells    map[int]*pcell
+	nextID   int
+	diags    []Diagnostic
+	reported map[string]bool
+}
+
+func (w *poolWalker) report(sev Severity, pos token.Pos, format string, args ...any) {
+	d := diag(w.p.Fset, "poollife", sev, pos, format, args...)
+	key := d.File + ":" + d.Message + ":" + itoa(d.Line)
+	if w.reported[key] {
+		return
+	}
+	w.reported[key] = true
+	w.diags = append(w.diags, d)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func (w *poolWalker) line(pos token.Pos) int { return w.p.Fset.Position(pos).Line }
+
+func (w *poolWalker) newCell(name string, pos token.Pos) int {
+	w.nextID++
+	w.cells[w.nextID] = &pcell{id: w.nextID, name: name, pos: pos}
+	return w.nextID
+}
+
+// walkStmts walks one statement list, mutating env; it reports whether the
+// list always terminates (return/branch) before falling through.
+func (w *poolWalker) walkStmts(list []ast.Stmt, env *penv) bool {
+	for _, s := range list {
+		if w.walkStmt(unwrapLabels(s), env) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *poolWalker) walkStmt(s ast.Stmt, env *penv) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.handleAssign(s, env)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						w.bindValue(name, vs.Values[i], s.Pos(), env)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := unwrapExpr(s.X).(*ast.CallExpr); ok {
+			w.handleCall(call, env, false)
+		} else {
+			w.checkUses(s.X, env)
+		}
+	case *ast.SendStmt:
+		w.checkUses(s.Chan, env)
+		if id, ok := w.directCell(s.Value, env); ok {
+			w.escape(id, s.Pos(), env, "channel send")
+		} else {
+			w.checkUses(s.Value, env)
+		}
+	case *ast.DeferStmt:
+		w.handleDefer(s, env)
+	case *ast.GoStmt:
+		w.handleGo(s, env)
+	case *ast.ReturnStmt:
+		w.handleReturn(s, env)
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto: stop this path conservatively
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, env)
+		}
+		w.checkUses(s.Cond, env)
+		thenEnv := env.clone()
+		thenTerm := w.walkStmts(s.Body.List, thenEnv)
+		var surviving []*penv
+		if !thenTerm {
+			surviving = append(surviving, thenEnv)
+		}
+		elseTerm := false
+		if s.Else != nil {
+			elseEnv := env.clone()
+			elseTerm = w.walkStmt(unwrapLabels(s.Else), elseEnv)
+			if !elseTerm {
+				surviving = append(surviving, elseEnv)
+			}
+		} else {
+			surviving = append(surviving, env.clone())
+		}
+		if len(surviving) == 0 {
+			return true
+		}
+		*env = *merge(surviving)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, env)
+		}
+		if s.Cond != nil {
+			w.checkUses(s.Cond, env)
+		}
+		bodyEnv := env.clone()
+		w.walkStmts(s.Body.List, bodyEnv)
+		*env = *merge([]*penv{env.clone(), bodyEnv})
+	case *ast.RangeStmt:
+		w.checkUses(s.X, env)
+		bodyEnv := env.clone()
+		w.walkStmts(s.Body.List, bodyEnv)
+		*env = *merge([]*penv{env.clone(), bodyEnv})
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, env)
+		}
+		if s.Tag != nil {
+			w.checkUses(s.Tag, env)
+		}
+		return w.walkClauses(s.Body, env, hasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, env)
+		}
+		return w.walkClauses(s.Body, env, hasDefault(s.Body))
+	case *ast.SelectStmt:
+		return w.walkClauses(s.Body, env, false)
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, env)
+	case *ast.IncDecStmt:
+		w.checkUses(s.X, env)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, env)
+	}
+	return false
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		if cc, ok := s.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// walkClauses walks each switch/select clause on a cloned env and merges
+// the survivors; exhaustive reports whether some clause always runs.
+func (w *poolWalker) walkClauses(body *ast.BlockStmt, env *penv, exhaustive bool) bool {
+	var surviving []*penv
+	for _, s := range body.List {
+		clause := stmtList(s)
+		if cc, ok := s.(*ast.CommClause); ok && cc.Comm != nil {
+			cEnv := env.clone()
+			w.walkStmt(cc.Comm, cEnv)
+			if !w.walkStmts(clause, cEnv) {
+				surviving = append(surviving, cEnv)
+			}
+			continue
+		}
+		cEnv := env.clone()
+		if !w.walkStmts(clause, cEnv) {
+			surviving = append(surviving, cEnv)
+		}
+	}
+	if !exhaustive {
+		surviving = append(surviving, env.clone())
+	}
+	if len(surviving) == 0 {
+		return true
+	}
+	*env = *merge(surviving)
+	return false
+}
+
+// bindValue processes `name := value` / `var name = value`.
+func (w *poolWalker) bindValue(name *ast.Ident, value ast.Expr, pos token.Pos, env *penv) {
+	value = unwrapExpr(value)
+	obj := identObj(name, w.p.Info)
+	if call, ok := value.(*ast.CallExpr); ok && w.isSourceCall(call) {
+		if obj != nil && name.Name != "_" {
+			env.vars[obj] = w.newCell(name.Name, pos)
+			env.state[env.vars[obj]] = cellLive
+		}
+		return
+	}
+	if id, ok := w.directCell(value, env); ok {
+		if st := env.state[id]; st == cellReleased {
+			w.report(SeverityError, pos, "alias of pooled buffer %s created after it was returned to the pool (Put at line %d)",
+				w.cells[id].name, w.line(w.cells[id].rel))
+		}
+		if obj != nil && name.Name != "_" {
+			env.vars[obj] = id
+		}
+		return
+	}
+	// The buffer disappearing into a local container counts as a transfer
+	// the pass cannot follow (documented intra-procedural limit).
+	for _, id := range w.containedCells(value, env) {
+		if env.state[id] == cellLive {
+			env.state[id] = cellDone
+		}
+	}
+	w.checkUses(value, env)
+	if obj != nil {
+		delete(env.vars, obj) // rebound to something unrelated
+	}
+}
+
+func (w *poolWalker) handleAssign(a *ast.AssignStmt, env *penv) {
+	// Single-value forms bind; everything else is use-checked.
+	if len(a.Lhs) == len(a.Rhs) {
+		for i, lhs := range a.Lhs {
+			rhs := unwrapExpr(a.Rhs[i])
+			if id, ok := unwrapExpr(lhs).(*ast.Ident); ok {
+				w.bindValue(id, rhs, a.Pos(), env)
+				continue
+			}
+			// Store into a field, element, or dereference.
+			if call, ok := rhs.(*ast.CallExpr); ok && w.isSourceCall(call) {
+				cell := w.newCell(exprString(lhs), a.Pos())
+				env.state[cell] = cellLive
+				w.escape(cell, a.Pos(), env, "store to "+exprString(lhs))
+				continue
+			}
+			if _, isStar := unwrapExpr(lhs).(*ast.StarExpr); isStar {
+				// *bp = ... writes through the pointer into the buffer —
+				// a use, not an escape.
+				w.checkUses(rhs, env)
+				continue
+			}
+			if id, ok := w.directCell(rhs, env); ok {
+				w.escape(id, a.Pos(), env, "store to "+exprString(lhs))
+				continue
+			}
+			if ids := w.containedCells(rhs, env); len(ids) > 0 {
+				for _, id := range ids {
+					w.escape(id, a.Pos(), env, "store to "+exprString(lhs))
+				}
+				continue
+			}
+			w.checkUses(rhs, env)
+			w.checkUses(lhs, env)
+		}
+		return
+	}
+	for _, e := range a.Rhs {
+		if call, ok := unwrapExpr(e).(*ast.CallExpr); ok {
+			w.handleCall(call, env, false)
+		} else {
+			w.checkUses(e, env)
+		}
+	}
+	for _, e := range a.Lhs {
+		if id, ok := unwrapExpr(e).(*ast.Ident); ok {
+			if obj := identObj(id, w.p.Info); obj != nil {
+				delete(env.vars, obj) // multi-value bind: untracked
+			}
+			continue
+		}
+		w.checkUses(e, env)
+	}
+}
+
+func (w *poolWalker) handleDefer(s *ast.DeferStmt, env *penv) {
+	if w.isReleaseCall(s.Call) {
+		for _, arg := range s.Call.Args {
+			if id, ok := w.directCell(arg, env); ok {
+				if env.state[id] == cellReleased {
+					w.report(SeverityError, s.Pos(), "double Put of pooled buffer %s (already returned at line %d)",
+						w.cells[id].name, w.line(w.cells[id].rel))
+				}
+				env.deferred[id] = true
+			}
+		}
+		return
+	}
+	// defer func() { ... Put(x) ... }(): scan the closure for releases.
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !w.isReleaseCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := w.directCell(arg, env); ok {
+					env.deferred[id] = true
+				}
+			}
+			return true
+		})
+		return
+	}
+	w.checkUses(s.Call, env)
+}
+
+func (w *poolWalker) handleGo(s *ast.GoStmt, env *penv) {
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		seen := map[int]bool{}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := identObj(id, w.p.Info)
+			if obj == nil {
+				return true
+			}
+			if cid, ok := env.vars[obj]; ok && !seen[cid] {
+				seen[cid] = true
+				w.escape(cid, s.Pos(), env, "goroutine capture")
+			}
+			return true
+		})
+	}
+	for _, arg := range s.Call.Args {
+		if id, ok := w.directCell(arg, env); ok {
+			w.escape(id, s.Pos(), env, "goroutine argument")
+		} else {
+			w.checkUses(arg, env)
+		}
+	}
+}
+
+func (w *poolWalker) handleReturn(r *ast.ReturnStmt, env *penv) {
+	returned := map[int]bool{}
+	for _, res := range r.Results {
+		if id, ok := w.directCell(res, env); ok {
+			returned[id] = true
+			switch env.state[id] {
+			case cellReleased:
+				w.report(SeverityError, r.Pos(), "pooled buffer %s returned to caller after it was returned to the pool (Put at line %d)",
+					w.cells[id].name, w.line(w.cells[id].rel))
+			case cellLive:
+				if !w.owns && !annotatedAt(w.p.Fset, w.ann, r.Pos(), markTransfers) {
+					w.report(SeverityWarning, r.Pos(), "pooled buffer %s returned to caller: annotate the function //cosmic:owns or the return //cosmic:transfers to make the handoff explicit",
+						w.cells[id].name)
+				}
+				env.state[id] = cellDone
+			}
+			continue
+		}
+		for _, id := range w.containedCells(res, env) {
+			returned[id] = true
+			if env.state[id] == cellLive {
+				env.state[id] = cellDone
+			}
+		}
+		w.checkUses(res, env)
+	}
+	w.leakCheck(env, r.Pos())
+}
+
+// leakCheck flags cells still live (and not defer-released) at a return
+// point. pos == NoPos means the implicit return at the function's end.
+func (w *poolWalker) leakCheck(env *penv, pos token.Pos) {
+	if w.owns {
+		return
+	}
+	for id, st := range env.state {
+		if st != cellLive || env.deferred[id] {
+			continue
+		}
+		c := w.cells[id]
+		at := pos
+		if at == token.NoPos {
+			at = c.pos
+		}
+		w.report(SeverityWarning, at, "pooled buffer %s (obtained at line %d) has no Put or //cosmic:transfers on this return path",
+			c.name, w.line(c.pos))
+	}
+}
+
+func (w *poolWalker) handleCall(call *ast.CallExpr, env *penv, isDefer bool) {
+	if w.isReleaseCall(call) {
+		for _, arg := range call.Args {
+			id, ok := w.directCell(arg, env)
+			if !ok {
+				w.checkUses(arg, env)
+				continue
+			}
+			switch env.state[id] {
+			case cellReleased:
+				w.report(SeverityError, call.Pos(), "double Put of pooled buffer %s (already returned at line %d)",
+					w.cells[id].name, w.line(w.cells[id].rel))
+			case cellLive:
+				env.state[id] = cellReleased
+				w.cells[id].rel = call.Pos()
+			}
+		}
+		return
+	}
+	w.checkUses(call, env)
+}
+
+// checkUses reports any mention of a released buffer inside the expression.
+func (w *poolWalker) checkUses(e ast.Expr, env *penv) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		// Nested release calls are handled where they appear as statements;
+		// here every mention of a released cell is a bug.
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := identObj(id, w.p.Info)
+		if obj == nil {
+			return true
+		}
+		if cid, ok := env.vars[obj]; ok && env.state[cid] == cellReleased {
+			w.report(SeverityError, id.Pos(), "use of pooled buffer %s after it was returned to the pool (Put at line %d)",
+				w.cells[cid].name, w.line(w.cells[cid].rel))
+		}
+		return true
+	})
+}
+
+// escape handles a live or released buffer leaving the local frame.
+func (w *poolWalker) escape(id int, pos token.Pos, env *penv, how string) {
+	c := w.cells[id]
+	switch env.state[id] {
+	case cellReleased:
+		w.report(SeverityError, pos, "pooled buffer %s escapes via %s after it was returned to the pool (Put at line %d)",
+			c.name, how, w.line(c.rel))
+	case cellLive:
+		if w.owns || annotatedAt(w.p.Fset, w.ann, pos, markTransfers) {
+			env.state[id] = cellDone
+			return
+		}
+		w.report(SeverityWarning, pos, "pooled buffer %s escapes via %s without //cosmic:transfers (ownership handoffs must be explicit)",
+			c.name, how)
+		env.state[id] = cellDone // report once, then stop tracking
+	case cellDone:
+		// already handed off; nothing to enforce
+	}
+}
+
+// directCell resolves an expression that IS the buffer (possibly sliced,
+// dereferenced, or address-taken) to its cell.
+func (w *poolWalker) directCell(e ast.Expr, env *penv) (int, bool) {
+	e = unwrapExpr(e)
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			obj := identObj(v, w.p.Info)
+			if obj == nil {
+				return 0, false
+			}
+			id, ok := env.vars[obj]
+			return id, ok
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			if v.Op != token.AND {
+				return 0, false
+			}
+			e = v.X
+		default:
+			return 0, false
+		}
+	}
+}
+
+// containedCells finds buffers directly embedded in composite literals or
+// append calls (the container now carries the buffer). Plain calls and
+// conversions are borrows, not containment.
+func (w *poolWalker) containedCells(e ast.Expr, env *penv) []int {
+	var out []int
+	var visit func(e ast.Expr)
+	visit = func(e ast.Expr) {
+		e = unwrapExpr(e)
+		switch v := e.(type) {
+		case *ast.CompositeLit:
+			for _, elt := range v.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if id, ok := w.directCell(elt, env); ok {
+					out = append(out, id)
+					continue
+				}
+				visit(elt)
+			}
+		case *ast.CallExpr:
+			if fn, ok := v.Fun.(*ast.Ident); ok && fn.Name == "append" {
+				for _, arg := range v.Args {
+					if id, ok := w.directCell(arg, env); ok {
+						out = append(out, id)
+						continue
+					}
+					visit(arg)
+				}
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				visit(v.X)
+			}
+		}
+	}
+	visit(e)
+	return out
+}
+
+// isSourceCall recognizes pool accessors: cosmicnet.GetPayload (qualified,
+// or bare inside package cosmicnet), <sync.Pool>.Get(), and same-package
+// functions annotated //cosmic:owns.
+func (w *poolWalker) isSourceCall(call *ast.CallExpr) bool {
+	switch fn := unwrapExpr(call.Fun).(type) {
+	case *ast.Ident:
+		if fn.Name == "GetPayload" && w.pkgIsNet {
+			return true
+		}
+		return w.ownsFns[fn.Name]
+	case *ast.SelectorExpr:
+		if fn.Sel.Name == "GetPayload" {
+			if p := pkgPathOf(fn.X, w.p.Info); strings.HasSuffix(p, "cosmicnet") {
+				return true
+			}
+		}
+		if fn.Sel.Name == "Get" && len(call.Args) == 0 {
+			if w.isSyncPool(fn.X) {
+				return true
+			}
+		}
+		// Same-package method annotated //cosmic:owns.
+		return w.ownsFns[fn.Sel.Name]
+	}
+	return false
+}
+
+func (w *poolWalker) isSyncPool(e ast.Expr) bool {
+	if tv, ok := w.p.Info.Types[e]; ok && tv.Type != nil {
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" && named.Obj().Name() == "Pool" {
+				return true
+			}
+		}
+		return false
+	}
+	// Degraded type info: fall back to the naming convention.
+	return strings.HasSuffix(strings.ToLower(exprString(e)), "pool")
+}
+
+// isReleaseCall recognizes pool releases by the repository's naming
+// convention: Put*/Release*/Recycle*/Free* functions and <pool>.Put. A
+// release hands back exactly the buffer — one argument, at most one
+// selector deep — which keeps encoder helpers like
+// binary.LittleEndian.PutUint32(buf, v) from reading as recycles.
+func (w *poolWalker) isReleaseCall(call *ast.CallExpr) bool {
+	var name string
+	switch fn := unwrapExpr(call.Fun).(type) {
+	case *ast.Ident:
+		name = fn.Name
+	case *ast.SelectorExpr:
+		if _, nested := fn.X.(*ast.SelectorExpr); nested {
+			return false
+		}
+		name = fn.Sel.Name
+	default:
+		return false
+	}
+	if len(call.Args) != 1 {
+		return false
+	}
+	for _, prefix := range []string{"Put", "put", "Release", "release", "Recycle", "recycle", "Free", "free"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+package srclint
+
+import "testing"
+
+const poolPrelude = `package p
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+type holder struct{ buf *[]byte }
+
+`
+
+func TestPoolUseAfterPut(t *testing.T) {
+	ds := lintSource(t, "poollife", poolPrelude+`func f() int {
+	bp := pool.Get().(*[]byte)
+	pool.Put(bp)
+	return len(*bp)
+}
+`)
+	wantFinding(t, ds, "use of pooled buffer bp after")
+}
+
+func TestPoolDoublePut(t *testing.T) {
+	ds := lintSource(t, "poollife", poolPrelude+`func f() {
+	bp := pool.Get().(*[]byte)
+	pool.Put(bp)
+	pool.Put(bp)
+}
+`)
+	wantFinding(t, ds, "double Put of pooled buffer bp")
+}
+
+func TestPoolLeakOnOnePath(t *testing.T) {
+	ds := lintSource(t, "poollife", poolPrelude+`func f(fail bool) int {
+	bp := pool.Get().(*[]byte)
+	if fail {
+		return -1
+	}
+	n := len(*bp)
+	pool.Put(bp)
+	return n
+}
+`)
+	wantFinding(t, ds, "no Put or //cosmic:transfers on this return path")
+}
+
+func TestPoolEscapeWithoutTransfer(t *testing.T) {
+	ds := lintSource(t, "poollife", poolPrelude+`func f(h *holder) {
+	bp := pool.Get().(*[]byte)
+	h.buf = bp
+}
+`)
+	wantFinding(t, ds, "escapes via store to h.buf without //cosmic:transfers")
+}
+
+func TestPoolAliasUseAfterPut(t *testing.T) {
+	ds := lintSource(t, "poollife", poolPrelude+`func f() int {
+	bp := pool.Get().(*[]byte)
+	alias := bp
+	pool.Put(bp)
+	return len(*alias)
+}
+`)
+	wantFinding(t, ds, "use of pooled buffer bp after")
+}
+
+func TestPoolDeferredPutIsClean(t *testing.T) {
+	wantClean(t, lintSource(t, "poollife", poolPrelude+`func f(fail bool) int {
+	bp := pool.Get().(*[]byte)
+	defer pool.Put(bp)
+	if fail {
+		return -1
+	}
+	return len(*bp)
+}
+`))
+}
+
+func TestPoolTransferAnnotationIsClean(t *testing.T) {
+	wantClean(t, lintSource(t, "poollife", poolPrelude+`func f(h *holder) {
+	bp := pool.Get().(*[]byte)
+	//cosmic:transfers h owns the buffer from here
+	h.buf = bp
+}
+`))
+}
+
+func TestPoolOwnsFunctionIsClean(t *testing.T) {
+	wantClean(t, lintSource(t, "poollife", poolPrelude+`//cosmic:owns
+func acquire() *[]byte {
+	bp := pool.Get().(*[]byte)
+	return bp
+}
+`))
+}
+
+// TestOwnsCallerInheritsObligation proves a //cosmic:owns accessor's
+// caller is tracked like a direct pool Get.
+func TestOwnsCallerInheritsObligation(t *testing.T) {
+	ds := lintSource(t, "poollife", poolPrelude+`//cosmic:owns
+func acquire() *[]byte {
+	bp := pool.Get().(*[]byte)
+	return bp
+}
+
+func leaky(fail bool) int {
+	bp := acquire()
+	if fail {
+		return -1
+	}
+	pool.Put(bp)
+	return 0
+}
+`)
+	wantFinding(t, ds, "no Put or //cosmic:transfers on this return path")
+}
+
+// TestDegradedImportStillTracksGetPayload proves the qualified
+// cosmicnet.GetPayload spelling is tracked even when the import cannot be
+// resolved (the source importer cannot see intra-repo packages).
+func TestDegradedImportStillTracksGetPayload(t *testing.T) {
+	ds := lintSource(t, "poollife", `package p
+
+import "repro/internal/cosmicnet"
+
+func f() {
+	buf := cosmicnet.GetPayload(8)
+	cosmicnet.PutPayload(buf)
+	cosmicnet.PutPayload(buf)
+}
+`)
+	wantFinding(t, ds, "double Put of pooled buffer buf")
+}
+
+// TestEncoderPutHelpersAreNotReleases pins the isReleaseCall shape rule:
+// binary.LittleEndian.PutUint32(buf, v) writes INTO the buffer, it does
+// not recycle it.
+func TestEncoderPutHelpersAreNotReleases(t *testing.T) {
+	wantClean(t, lintSource(t, "poollife", `package p
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func f() {
+	bp := pool.Get().(*[]byte)
+	defer pool.Put(bp)
+	buf := *bp
+	binary.LittleEndian.PutUint32(buf, 7)
+	binary.LittleEndian.PutUint32(buf[4:], 9)
+}
+`))
+}

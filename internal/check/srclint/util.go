@@ -1,0 +1,234 @@
+package srclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Annotation markers recognized on the flagged line or the line above.
+const (
+	markOrdered   = "cosmic:ordered"
+	markOwns      = "cosmic:owns"
+	markTransfers = "cosmic:transfers"
+	markShutdown  = "cosmic:shutdown"
+)
+
+// annotations maps line numbers to the cosmic: markers whose comment group
+// covers them. A multi-line comment group annotates its whole span, so a
+// statement under it is annotated no matter how long the justification runs.
+func annotations(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
+	lines := map[int]map[string]bool{}
+	for _, g := range f.Comments {
+		var marks []string
+		for _, c := range g.List {
+			for _, m := range []string{markOrdered, markOwns, markTransfers, markShutdown} {
+				if strings.Contains(c.Text, m) {
+					marks = append(marks, m)
+				}
+			}
+		}
+		if len(marks) == 0 {
+			continue
+		}
+		for l := fset.Position(g.Pos()).Line; l <= fset.Position(g.End()).Line; l++ {
+			if lines[l] == nil {
+				lines[l] = map[string]bool{}
+			}
+			for _, m := range marks {
+				lines[l][m] = true
+			}
+		}
+	}
+	return lines
+}
+
+// annotatedAt reports whether the marker covers pos's line or the line
+// directly above it.
+func annotatedAt(fset *token.FileSet, ann map[int]map[string]bool, pos token.Pos, mark string) bool {
+	line := fset.Position(pos).Line
+	return ann[line][mark] || ann[line-1][mark]
+}
+
+// funcAnnotated reports whether a function declaration carries the marker in
+// its doc comment or on the lines around its func keyword.
+func funcAnnotated(fset *token.FileSet, ann map[int]map[string]bool, fd *ast.FuncDecl, mark string) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if strings.Contains(c.Text, mark) {
+				return true
+			}
+		}
+	}
+	return annotatedAt(fset, ann, fd.Pos(), mark)
+}
+
+// diag builds one diagnostic at pos.
+func diag(fset *token.FileSet, pass string, sev Severity, pos token.Pos, format string, args ...any) Diagnostic {
+	p := fset.Position(pos)
+	return Diagnostic{
+		File: p.Filename, Line: p.Line, Col: p.Column,
+		Pass: pass, Severity: sev, Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// stmtList returns a node's statement list, for every node kind that owns
+// one (blocks, switch cases, select clauses).
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func unwrapLabels(s ast.Stmt) ast.Stmt {
+	for {
+		l, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = l.Stmt
+	}
+}
+
+// unwrapExpr strips parens and type assertions.
+func unwrapExpr(e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.TypeAssertExpr:
+			e = v.X
+		default:
+			return e
+		}
+	}
+}
+
+// rootObj resolves the variable at the base of an lvalue expression:
+// x, x.f, x[i], (*x), x.f[i].g all root at x.
+func rootObj(e ast.Expr, info *types.Info) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if o := info.Uses[v]; o != nil {
+				return o
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// identObj resolves a plain identifier's object (nil for anything else).
+func identObj(e ast.Expr, info *types.Info) types.Object {
+	id, ok := unwrapExpr(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// pkgPathOf returns the import path when e names a package, "" otherwise.
+// With degraded type information it falls back to the identifier spelling
+// for the packages the passes reason about.
+func pkgPathOf(e ast.Expr, info *types.Info) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if o, resolved := info.Uses[id]; resolved {
+		if pn, isPkg := o.(*types.PkgName); isPkg {
+			return pn.Imported().Path()
+		}
+		return ""
+	}
+	switch id.Name {
+	case "fmt", "sort", "slices", "cosmicnet":
+		return id.Name
+	}
+	return ""
+}
+
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[" + exprString(v.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(v.X) + ")"
+	case *ast.BasicLit:
+		return v.Value
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	}
+	return "expr"
+}
+
+// mentionsObj reports whether the expression references obj.
+func mentionsObj(e ast.Expr, obj types.Object, info *types.Info) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// funcDecls indexes a package's function declarations by bare name
+// (methods included; this repository has no colliding method names the
+// passes care about).
+func funcDecls(files []*ast.File) map[string]*ast.FuncDecl {
+	out := map[string]*ast.FuncDecl{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				out[fd.Name.Name] = fd
+			}
+		}
+	}
+	return out
+}
+
+// eachFunc visits every function declaration and function literal in the
+// file, handing each body to fn exactly once (literals are visited as their
+// own scope, not inside their enclosing declaration's walk).
+func eachFunc(f *ast.File, fn func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n, nil, n.Body)
+			}
+		case *ast.FuncLit:
+			fn(nil, n, n.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,409 @@
+package srclint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// markRegistry tags the declarations that ARE the wire-flag registry: the
+// const block declaring the frame type-byte extension bits and the table
+// describing them. Everything else in the package must refer to the flags
+// by name.
+const markRegistry = "cosmic:wire-registry"
+
+// runWireFlag verifies the cosmicnet wire-flag registry: the frame
+// type-byte extension bits must be declared once in a
+// //cosmic:wire-registry-marked declaration, each flag a single distinct
+// bit, the aggregate flagMask exactly their union, every flag handled in
+// both the encode (writeFrame) and decode (readFrameInto) paths, and no
+// raw literal carrying a registered bit used in a bitwise expression
+// outside the registry declarations themselves. Only the cosmicnet
+// package — or any package that carries the marker — is checked; wire
+// layout tests poke raw bytes by design, so _test.go files are exempt
+// from the literal-mask check.
+func runWireFlag(p *Package) []Diagnostic {
+	var out []Diagnostic
+	reg := collectRegistry(p)
+	if len(reg.entries) == 0 {
+		if isWirePackage(p) {
+			out = append(out, diag(p.Fset, "wireflag", SeverityError, p.Files[0].Pos(),
+				"package %s declares wire frames but has no //cosmic:wire-registry flag declaration", p.Name))
+		}
+		return out
+	}
+
+	var mask uint64
+	for i, e := range reg.entries {
+		if !e.resolved {
+			out = append(out, diag(p.Fset, "wireflag", SeverityWarning, e.pos,
+				"wire flag %s: value could not be resolved to a constant", e.name))
+			continue
+		}
+		if bits.OnesCount64(e.value) != 1 {
+			out = append(out, diag(p.Fset, "wireflag", SeverityError, e.pos,
+				"wire flag %s = 0x%X is not a single bit", e.name, e.value))
+		}
+		for _, prev := range reg.entries[:i] {
+			if prev.resolved && prev.value&e.value != 0 {
+				out = append(out, diag(p.Fset, "wireflag", SeverityError, e.pos,
+					"wire flag %s = 0x%X overlaps %s = 0x%X", e.name, e.value, prev.name, prev.value))
+			}
+		}
+		if e.sized && e.size <= 0 {
+			out = append(out, diag(p.Fset, "wireflag", SeverityError, e.pos,
+				"wire flag %s declares a non-positive extension size %d", e.name, e.size))
+		}
+		mask |= e.value
+	}
+
+	if reg.maskName != "" && reg.maskResolved && reg.maskValue != mask {
+		out = append(out, diag(p.Fset, "wireflag", SeverityError, reg.maskPos,
+			"%s = 0x%X but the registered flags union to 0x%X", reg.maskName, reg.maskValue, mask))
+	}
+
+	out = append(out, checkFlagHandling(p, reg)...)
+	out = append(out, checkLiteralMasks(p, reg, mask)...)
+	return out
+}
+
+type wireEntry struct {
+	name     string // identifier of the flag constant
+	pos      token.Pos
+	value    uint64
+	resolved bool
+	size     int64
+	sized    bool
+}
+
+type wireRegistry struct {
+	entries []wireEntry
+	// declared spans of the marker-carrying declarations, exempt from the
+	// literal-mask check (the registry may state its values literally).
+	spans []span
+	// aggregate mask constant, when the package declares one.
+	maskName     string
+	maskPos      token.Pos
+	maskValue    uint64
+	maskResolved bool
+}
+
+type span struct{ lo, hi token.Pos }
+
+func (r *wireRegistry) covers(pos token.Pos) bool {
+	for _, s := range r.spans {
+		if pos >= s.lo && pos <= s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// isWirePackage reports whether the package is the wire protocol package
+// itself (non-test files in a package named cosmicnet).
+func isWirePackage(p *Package) bool {
+	if p.Name != "cosmicnet" {
+		return false
+	}
+	for _, f := range p.Files {
+		if !strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// collectRegistry finds the //cosmic:wire-registry declarations and
+// extracts the flag entries: from the registry table's composite literal
+// when present (keyed or positional WireExtension entries), else from the
+// marked const block's flag* constants.
+func collectRegistry(p *Package) *wireRegistry {
+	reg := &wireRegistry{}
+	consts := packageConsts(p)
+	var tableEntries, constEntries []wireEntry
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || !declMarked(gd) {
+				continue
+			}
+			reg.spans = append(reg.spans, span{gd.Pos(), gd.End()})
+			switch gd.Tok {
+			case token.CONST:
+				constEntries = append(constEntries, constFlagEntries(p, gd, consts, reg)...)
+			case token.VAR:
+				tableEntries = append(tableEntries, tableFlagEntries(p, gd, consts)...)
+			}
+		}
+	}
+	if len(tableEntries) > 0 {
+		reg.entries = tableEntries
+	} else {
+		reg.entries = constEntries
+	}
+	return reg
+}
+
+func declMarked(gd *ast.GenDecl) bool {
+	if gd.Doc == nil {
+		return false
+	}
+	for _, c := range gd.Doc.List {
+		if strings.Contains(c.Text, markRegistry) {
+			return true
+		}
+	}
+	return false
+}
+
+// constFlagEntries reads flag constants out of a marked const block: names
+// beginning with "flag" are flags, except an aggregate whose name contains
+// "Mask", which is recorded separately.
+func constFlagEntries(p *Package, gd *ast.GenDecl, consts map[string]uint64, reg *wireRegistry) []wireEntry {
+	var out []wireEntry
+	for _, s := range gd.Specs {
+		vs, ok := s.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if !strings.HasPrefix(name.Name, "flag") && !strings.HasPrefix(name.Name, "Flag") {
+				continue
+			}
+			var val uint64
+			var resolved bool
+			if i < len(vs.Values) {
+				val, resolved = constValue(p, vs.Values[i], consts)
+			}
+			if strings.Contains(name.Name, "Mask") || strings.Contains(name.Name, "mask") {
+				reg.maskName = name.Name
+				reg.maskPos = name.Pos()
+				reg.maskValue = val
+				reg.maskResolved = resolved
+				continue
+			}
+			out = append(out, wireEntry{name: name.Name, pos: name.Pos(), value: val, resolved: resolved})
+		}
+	}
+	return out
+}
+
+// tableFlagEntries reads the registry table's composite literal: each
+// element is a WireExtension-shaped literal, keyed (Flag/Name/Size) or
+// positional (flag, name, size).
+func tableFlagEntries(p *Package, gd *ast.GenDecl, consts map[string]uint64) []wireEntry {
+	var out []wireEntry
+	for _, s := range gd.Specs {
+		vs, ok := s.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, v := range vs.Values {
+			lit, ok := v.(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			for _, el := range lit.Elts {
+				entry, ok := parseTableEntry(p, el, consts)
+				if ok {
+					out = append(out, entry)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func parseTableEntry(p *Package, el ast.Expr, consts map[string]uint64) (wireEntry, bool) {
+	lit, ok := el.(*ast.CompositeLit)
+	if !ok {
+		return wireEntry{}, false
+	}
+	e := wireEntry{pos: lit.Pos()}
+	bind := func(field string, expr ast.Expr) {
+		switch field {
+		case "Flag":
+			e.value, e.resolved = constValue(p, expr, consts)
+			if id, ok := unwrapExpr(expr).(*ast.Ident); ok {
+				e.name = id.Name
+			} else {
+				e.name = exprString(expr)
+			}
+			e.pos = expr.Pos()
+		case "Size":
+			if v, ok := constValue(p, expr, consts); ok {
+				e.size = int64(v)
+				e.sized = true
+			}
+		}
+	}
+	for i, f := range lit.Elts {
+		if kv, ok := f.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				bind(key.Name, kv.Value)
+			}
+			continue
+		}
+		switch i {
+		case 0:
+			bind("Flag", f)
+		case 2:
+			bind("Size", f)
+		}
+	}
+	return e, e.name != ""
+}
+
+// packageConsts maps constant names to integer values for the degraded
+// type-information fallback; only direct integer literals are resolved.
+func packageConsts(p *Package) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, s := range gd.Specs {
+				vs, ok := s.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						continue
+					}
+					if bl, ok := vs.Values[i].(*ast.BasicLit); ok && bl.Kind == token.INT {
+						if v, err := strconv.ParseUint(bl.Value, 0, 64); err == nil {
+							out[name.Name] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// constValue resolves an expression to a constant integer, preferring the
+// type checker and falling back to the package's literal const table.
+func constValue(p *Package, e ast.Expr, consts map[string]uint64) (uint64, bool) {
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Uint64Val(constant.ToInt(tv.Value)); exact {
+			return v, true
+		}
+	}
+	switch e := unwrapExpr(e).(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.INT {
+			if v, err := strconv.ParseUint(e.Value, 0, 64); err == nil {
+				return v, true
+			}
+		}
+	case *ast.Ident:
+		if v, ok := consts[e.Name]; ok {
+			return v, true
+		}
+	case *ast.BinaryExpr:
+		l, lok := constValue(p, e.X, consts)
+		r, rok := constValue(p, e.Y, consts)
+		if lok && rok {
+			switch e.Op {
+			case token.OR:
+				return l | r, true
+			case token.AND:
+				return l & r, true
+			case token.XOR:
+				return l ^ r, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// checkFlagHandling verifies every registered flag is referenced by name
+// inside both the encode and the decode function bodies.
+func checkFlagHandling(p *Package, reg *wireRegistry) []Diagnostic {
+	var out []Diagnostic
+	decls := funcDecls(p.Files)
+	sides := []struct{ role, fn string }{
+		{"encode", "writeFrame"},
+		{"decode", "readFrameInto"},
+	}
+	for _, side := range sides {
+		fd, ok := decls[side.fn]
+		for _, e := range reg.entries {
+			if !ok || fd.Body == nil {
+				out = append(out, diag(p.Fset, "wireflag", SeverityError, e.pos,
+					"wire flag %s: no %s function (%s) found to handle it", e.name, side.role, side.fn))
+				continue
+			}
+			if !bodyMentions(fd.Body, e.name) {
+				out = append(out, diag(p.Fset, "wireflag", SeverityError, e.pos,
+					"wire flag %s is not handled in the %s path (%s)", e.name, side.role, side.fn))
+			}
+		}
+	}
+	return out
+}
+
+func bodyMentions(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkLiteralMasks flags integer literals that carry a registered bit and
+// appear as operands of bitwise operators outside the registry
+// declarations. Byte-level wire tests are exempt (_test.go), as values
+// above 0xFF cannot be type-byte masks.
+func checkLiteralMasks(p *Package, reg *wireRegistry, mask uint64) []Diagnostic {
+	var out []Diagnostic
+	if mask == 0 {
+		return out
+	}
+	check := func(e ast.Expr) {
+		bl, ok := unwrapExpr(e).(*ast.BasicLit)
+		if !ok || bl.Kind != token.INT || reg.covers(bl.Pos()) {
+			return
+		}
+		v, err := strconv.ParseUint(bl.Value, 0, 64)
+		if err != nil || v > 0xFF || v&mask == 0 {
+			return
+		}
+		out = append(out, diag(p.Fset, "wireflag", SeverityError, bl.Pos(),
+			"raw literal %s carries registered wire-flag bits (mask 0x%X); use the named flag constants from the registry", bl.Value, v&mask))
+	}
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.AND, token.OR, token.XOR, token.AND_NOT:
+					check(n.X)
+					check(n.Y)
+				}
+			case *ast.AssignStmt:
+				switch n.Tok {
+				case token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+					for _, r := range n.Rhs {
+						check(r)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

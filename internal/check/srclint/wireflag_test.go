@@ -1,0 +1,150 @@
+package srclint
+
+import "testing"
+
+// A consistent mini-registry: distinct bits, mask is the union, both
+// paths handle both flags, no raw literals.
+const wireClean = `package cosmicnet
+
+//cosmic:wire-registry
+const (
+	flagTrace = 0x80
+	flagChunk = 0x40
+
+	flagMask = flagTrace | flagChunk
+)
+
+func writeFrame(b []byte, traced, chunked bool) {
+	if traced {
+		b[0] |= flagTrace
+	}
+	if chunked {
+		b[0] |= flagChunk
+	}
+}
+
+func readFrameInto(b []byte) (bool, bool) {
+	return b[0]&flagTrace != 0, b[0]&flagChunk != 0
+}
+`
+
+func TestWireRegistryCleanPackage(t *testing.T) {
+	wantClean(t, lintSource(t, "wireflag", wireClean))
+}
+
+func TestWireRegistryMissing(t *testing.T) {
+	ds := lintSource(t, "wireflag", `package cosmicnet
+
+const flagTrace = 0x80
+
+func writeFrame(b []byte)    { b[0] |= flagTrace }
+func readFrameInto(b []byte) { _ = b[0] & flagTrace }
+`)
+	wantFinding(t, ds, "no //cosmic:wire-registry flag declaration")
+}
+
+func TestWireFlagOverlapAndMultiBit(t *testing.T) {
+	ds := lintSource(t, "wireflag", `package cosmicnet
+
+//cosmic:wire-registry
+const (
+	flagA = 0x80
+	flagB = 0x81
+	flagC = 0x03
+
+	flagMask = flagA | flagB | flagC
+)
+
+func writeFrame(b []byte) { b[0] |= flagA | flagB | flagC }
+
+func readFrameInto(b []byte) byte { return b[0] & (flagA | flagB | flagC) }
+`)
+	wantFinding(t, ds, "flagB = 0x81 overlaps flagA")
+	wantFinding(t, ds, "flagB = 0x81 is not a single bit")
+	wantFinding(t, ds, "flagC = 0x3 is not a single bit")
+}
+
+func TestWireFlagMaskMismatch(t *testing.T) {
+	ds := lintSource(t, "wireflag", `package cosmicnet
+
+//cosmic:wire-registry
+const (
+	flagA = 0x80
+	flagB = 0x40
+
+	flagMask = flagA
+)
+
+func writeFrame(b []byte) { b[0] |= flagA | flagB }
+
+func readFrameInto(b []byte) byte { return b[0] & (flagA | flagB) }
+`)
+	wantFinding(t, ds, "flagMask = 0x80 but the registered flags union to 0xC0")
+}
+
+func TestWireFlagUnhandledSides(t *testing.T) {
+	ds := lintSource(t, "wireflag", `package cosmicnet
+
+//cosmic:wire-registry
+const (
+	flagA = 0x80
+	flagB = 0x40
+
+	flagMask = flagA | flagB
+)
+
+func writeFrame(b []byte) { b[0] |= flagA }
+
+func readFrameInto(b []byte) byte { return b[0] & flagA }
+`)
+	wantFinding(t, ds, "flagB is not handled in the encode path (writeFrame)")
+	wantFinding(t, ds, "flagB is not handled in the decode path (readFrameInto)")
+}
+
+func TestWireFlagRawLiteral(t *testing.T) {
+	ds := lintSource(t, "wireflag", wireClean+`
+func peek(b byte) bool { return b&0x80 != 0 }
+`)
+	wantFinding(t, ds, "raw literal 0x80 carries registered wire-flag bits")
+}
+
+// TestWireFlagRegistryTable proves the WireExtension table form is parsed
+// (keyed fields) and drives the same checks.
+func TestWireFlagRegistryTable(t *testing.T) {
+	ds := lintSource(t, "wireflag", `package cosmicnet
+
+const (
+	flagA = 0x80
+	flagB = 0x80
+)
+
+type ext struct {
+	Flag byte
+	Name string
+	Size int
+}
+
+//cosmic:wire-registry
+var registry = [...]ext{
+	{Flag: flagA, Name: "a", Size: 16},
+	{Flag: flagB, Name: "b", Size: 0},
+}
+
+func writeFrame(b []byte) { b[0] |= flagA | flagB }
+
+func readFrameInto(b []byte) byte { return b[0] & (flagA | flagB) }
+`)
+	wantFinding(t, ds, "flagB = 0x80 overlaps flagA")
+	wantFinding(t, ds, "non-positive extension size 0")
+}
+
+// TestWireFlagOtherPackagesSilent: packages without the marker and not
+// named cosmicnet are out of scope even if they use flag-like constants.
+func TestWireFlagOtherPackagesSilent(t *testing.T) {
+	wantClean(t, lintSource(t, "wireflag", `package other
+
+const flagX = 0x80
+
+func f(b byte) bool { return b&0x80 != 0 }
+`))
+}

@@ -1,0 +1,47 @@
+package cosmicnet
+
+// This file is the single source of truth for the frame type-byte
+// extension flags. Every flag is declared exactly once here, described in
+// the WireExtensions table, and referenced everywhere else by name — the
+// wireflag lint pass (cmd/cosmic-lint, cosmicc vet -source) enforces that
+// the bits are distinct, that flagMask is exactly their union, that both
+// the encode (writeFrame) and decode (readFrameInto) paths handle every
+// flag, and that no raw flag-mask literal appears outside this file's
+// marked declarations.
+
+// Extension flags on the type byte. Each flag marks a fixed-size extension
+// inserted between the fixed header and the text, in flag order: trace
+// first, chunk second. Frames that use no extension never set a flag, so a
+// pre-extension reader parses a new writer's plain frames unchanged — and
+// rejects extended frames via its length-consistency check.
+//
+//cosmic:wire-registry
+const (
+	// flagTrace marks the trace extension: traceID(8) + spanID(8).
+	flagTrace     = 0x80
+	traceExtBytes = 16
+	// flagChunk marks the chunk extension: chunkIndex(4) + chunkCount(4) +
+	// chunkOffset(4).
+	flagChunk     = 0x40
+	chunkExtBytes = 12
+
+	flagMask = flagTrace | flagChunk
+)
+
+// WireExtension describes one registered type-byte extension: the flag
+// bit, a stable name for diagnostics, and the extension's on-wire size in
+// bytes.
+type WireExtension struct {
+	Flag byte
+	Name string
+	Size int
+}
+
+// WireExtensions is the registry table, in flag order (extensions appear
+// on the wire in this order when multiple flags are set).
+//
+//cosmic:wire-registry
+var WireExtensions = [...]WireExtension{
+	{Flag: flagTrace, Name: "trace", Size: traceExtBytes},
+	{Flag: flagChunk, Name: "chunk", Size: chunkExtBytes},
+}

@@ -1,0 +1,46 @@
+package cosmicnet
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestWireExtensionRegistry checks the runtime half of what the wireflag
+// lint pass checks statically: single-bit flags, no overlap, sizes
+// consistent with the extension byte counts, and flagMask exactly the
+// union of the registered bits.
+func TestWireExtensionRegistry(t *testing.T) {
+	var union byte
+	for i, e := range WireExtensions {
+		if bits.OnesCount8(e.Flag) != 1 {
+			t.Errorf("extension %q: flag 0x%X is not a single bit", e.Name, e.Flag)
+		}
+		if union&e.Flag != 0 {
+			t.Errorf("extension %q: flag 0x%X overlaps an earlier entry", e.Name, e.Flag)
+		}
+		if e.Size <= 0 {
+			t.Errorf("extension %q: non-positive size %d", e.Name, e.Size)
+		}
+		if e.Name == "" {
+			t.Errorf("extension %d: empty name", i)
+		}
+		union |= e.Flag
+	}
+	if union != flagMask {
+		t.Errorf("flagMask = 0x%X, registered flags union to 0x%X", flagMask, union)
+	}
+}
+
+func TestWireExtensionSizes(t *testing.T) {
+	want := map[string]int{"trace": traceExtBytes, "chunk": chunkExtBytes}
+	for _, e := range WireExtensions {
+		if w, ok := want[e.Name]; !ok {
+			t.Errorf("unexpected extension %q in registry", e.Name)
+		} else if e.Size != w {
+			t.Errorf("extension %q: size %d, want %d", e.Name, e.Size, w)
+		}
+	}
+	if len(WireExtensions) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(WireExtensions), len(want))
+	}
+}

@@ -125,23 +125,6 @@ func FrameCap() int { return int(frameCap.Load()) }
 // header: type(1) seq(4) from(4) weight(8) textLen(4) payloadLen(4)
 const headerBytes = 25
 
-// Extension flags on the type byte. Each flag marks a fixed-size extension
-// inserted between the fixed header and the text, in flag order: trace
-// first, chunk second. Frames that use no extension never set a flag, so a
-// pre-extension reader parses a new writer's plain frames unchanged — and
-// rejects extended frames via its length-consistency check.
-const (
-	// flagTrace marks the trace extension: traceID(8) + spanID(8).
-	flagTrace     = 0x80
-	traceExtBytes = 16
-	// flagChunk marks the chunk extension: chunkIndex(4) + chunkCount(4) +
-	// chunkOffset(4).
-	flagChunk     = 0x40
-	chunkExtBytes = 12
-
-	flagMask = flagTrace | flagChunk
-)
-
 // bufPool recycles encode/decode scratch buffers so steady-state frame I/O
 // is allocation-free.
 var bufPool = sync.Pool{
@@ -151,7 +134,10 @@ var bufPool = sync.Pool{
 	},
 }
 
-// getBuf returns a pooled byte slice of length n.
+// getBuf returns a pooled byte slice of length n. The caller owns the
+// buffer and must return it with putBuf.
+//
+//cosmic:owns
 func getBuf(n int) *[]byte {
 	bp := bufPool.Get().(*[]byte)
 	if cap(*bp) < n {
@@ -175,6 +161,10 @@ var payloadPool = sync.Pool{
 }
 
 // GetPayload returns a pooled []float64 of length n (contents undefined).
+// The caller owns the buffer and must hand it back with PutPayload once it
+// is folded or forwarded.
+//
+//cosmic:owns
 func GetPayload(n int) []float64 {
 	pp := payloadPool.Get().(*[]float64)
 	p := *pp

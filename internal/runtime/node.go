@@ -415,12 +415,15 @@ func (n *Node) readLoop(conn *cosmicnet.Conn) {
 				// Fold on arrival: the frame already is one ring chunk, so it
 				// goes straight to the Aggregation Pool — no staging of the
 				// full vector, no re-chunking. The payload's ownership moves
-				// to the chunk; the read frame draws a recycled one.
+				// to the chunk (Recycle: true makes aggWorker Put it after
+				// folding); the read frame draws a recycled one.
+				//cosmic:transfers f.Payload moves into the ring chunk
 				c := Chunk{
 					Seq: f.Seq, From: f.From, Offset: int(f.ChunkOffset),
 					Data: f.Payload, Weight: f.Weight,
 					Last: f.ChunkIndex == f.ChunkCount-1, Recycle: true,
 				}
+				//cosmic:transfers replacement buffer owned by the frame reader
 				f.Payload = cosmicnet.GetPayload(0)
 				if !n.ring.Push(c) {
 					return

@@ -348,9 +348,12 @@ func (ab *AggregationBuffer) addOrdered(c Chunk) error {
 	case r > st.next:
 		// Early arrival: park a pooled copy until its rank comes up. The
 		// buffer never retains the caller's slice, so pooled wire payloads
-		// can be recycled unconditionally after Add.
+		// can be recycled unconditionally after Add. Ownership of the copy
+		// moves into st.pending; the drain paths Put it after folding
+		// (in-order drain below, or Reset on teardown).
 		data := cosmicnet.GetPayload(len(c.Data))
 		copy(data, c.Data)
+		//cosmic:transfers parked copy owned by st.pending until drained
 		st.pending = append(st.pending, parkedChunk{rank: r, weight: c.Weight, last: c.Last, data: data})
 		st.mu.Unlock()
 	default: // in order: fold, then drain every parked chunk this unblocks
