@@ -11,8 +11,13 @@
 // -http serves live telemetry while the node trains: /metrics is the
 // Prometheus text exposition of the node's counters (frames received,
 // aggregation fan-in, ring depth), /healthz reports the node's identity and
-// round progress (503 until the Director has configured it), and
-// /debug/pprof/ exposes the standard Go profiling endpoints.
+// round progress (503 until the Director has configured it), /debug/pprof/
+// exposes the standard Go profiling endpoints, and /debug/cosmic/cycles
+// serves the node's simulated-cycle pprof profile when the cluster spec
+// routes gradients through the accelerator simulator (cosmic-run -simulate;
+// 503 otherwise). The address is advertised to the Director so
+// `cosmic-prof -cluster <director-http>` can discover and scrape every
+// worker in one command.
 //
 // -trace writes the node's Chrome trace-event JSON on exit; merge the
 // per-node files with cosmic-trace into one cluster timeline.
@@ -46,21 +51,30 @@ func main() {
 	if *httpAddr != "" || *tracePath != "" {
 		o = obs.New()
 	}
+	var cycles *obs.ProfileSource
 	if *httpAddr != "" {
 		health = obs.NewHealth()
-		srv := &http.Server{Addr: *httpAddr, Handler: obs.NewNodeMux(o.Registry(), health)}
+		cycles = obs.NewProfileSource()
+		mux := obs.NewNodeMux(o.Registry(), health)
+		mux.Handle(obs.CycleProfilePath, cycles.Handler())
+		srv := &http.Server{Addr: *httpAddr, Handler: mux}
 		go func() {
 			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "cosmic-node: http: %v\n", err)
 			}
 		}()
-		fmt.Printf("cosmic-node: serving /metrics, /healthz, and /debug/pprof/ on %s\n", *httpAddr)
+		fmt.Printf("cosmic-node: serving /metrics, /healthz, /debug/pprof/, and %s on %s\n",
+			obs.CycleProfilePath, *httpAddr)
 	}
 	err := deploy.RunWorkerOpts(*join, deploy.WorkerOptions{
 		Obs:        o,
 		Logger:     logger,
 		ChunkWords: *chunkWords,
+		HTTPAddr:   *httpAddr,
 		OnNode: func(n *runtime.Node) {
+			if ae, ok := n.Engine().(*runtime.AccelEngine); ok {
+				cycles.Set(ae.CycleProfile)
+			}
 			if health == nil {
 				return
 			}

@@ -40,6 +40,8 @@ func main() {
 	listen := flag.String("listen", "", "multi-process mode: listen here as the master and wait for cosmic-node workers to join")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run here (view at ui.perfetto.dev)")
 	metricsPath := flag.String("metrics", "", "write a Prometheus text exposition here")
+	cycleProfPath := flag.String("cycleprofile", "", "with -simulate: write the cluster's merged per-node cycle pprof profile here (.pb.gz)")
+	profilePath := flag.String("profile", "", "write a wall-time pprof profile of the run's trace spans here (.pb.gz)")
 	httpAddr := flag.String("http", "", "multi-process mode: serve the Director's federated /metrics and /cluster roster on this address")
 	stragglerK := flag.Float64("straggler-k", 2, "flag a node straggling when its round latency exceeds k×cluster-p50")
 	stragglerM := flag.Int("straggler-m", 3, "consecutive slow scrapes before a node is flagged")
@@ -55,7 +57,8 @@ func main() {
 			MiniBatch: *batch, Rounds: *rounds, Threads: *threads,
 			Average:    true,
 			ChunkWords: *chunkWords, Monolithic: *monolithic,
-		}, *httpAddr, *tracePath, *stragglerK, *stragglerM)
+			Simulate: *useSim,
+		}, *httpAddr, *tracePath, *profilePath, *stragglerK, *stragglerM)
 		return
 	}
 
@@ -88,8 +91,11 @@ func main() {
 	model := alg.InitModel(rand.New(rand.NewSource(*seed)))
 
 	var o *cosmic.Observer
-	if *tracePath != "" || *metricsPath != "" {
+	if *tracePath != "" || *metricsPath != "" || *profilePath != "" {
 		o = cosmic.NewObserver()
+	}
+	if *cycleProfPath != "" && !*useSim {
+		fatal(fmt.Errorf("-cycleprofile needs -simulate (cycles only exist on the accelerator simulator)"))
 	}
 	cfg := cosmic.ClusterConfig{
 		Nodes: *nodes, Groups: *groups, Threads: *threads,
@@ -129,6 +135,23 @@ func main() {
 	if res.AccelCycles > 0 {
 		fmt.Printf("simulated: %d total accelerator cycles across the cluster\n", res.AccelCycles)
 	}
+	if *cycleProfPath != "" {
+		if res.CycleProfile == nil {
+			fatal(fmt.Errorf("no cycle profile was collected"))
+		}
+		if err := res.CycleProfile.WriteFile(*cycleProfPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profile:   %s (go tool pprof -top %s; per-node `node` labels)\n",
+			*cycleProfPath, *cycleProfPath)
+	}
+	if *profilePath != "" {
+		if err := obs.TraceToProfile(o.Tracer().Events()).WriteFile(*profilePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profile:   %s (wall-time spans; go tool pprof -top %s)\n",
+			*profilePath, *profilePath)
+	}
 	if err := o.WriteTraceFile(*tracePath); err != nil {
 		fatal(err)
 	}
@@ -147,7 +170,7 @@ func main() {
 // for external cosmic-node worker processes to join. With httpAddr set the
 // Director scrapes every worker's metrics over the control plane, serves
 // the federated /metrics and the /cluster roster, and flags stragglers.
-func runDistributed(addr string, spec deploy.Spec, httpAddr, tracePath string, stragglerK float64, stragglerM int) {
+func runDistributed(addr string, spec deploy.Spec, httpAddr, tracePath, profilePath string, stragglerK float64, stragglerM int) {
 	fmt.Printf("master:    listening on %s; waiting for %d cosmic-node workers to join\n",
 		addr, spec.Nodes-1)
 	opts := deploy.MasterOptions{
@@ -155,7 +178,7 @@ func runDistributed(addr string, spec deploy.Spec, httpAddr, tracePath string, s
 		StragglerM: stragglerM,
 		Logger:     slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}
-	if httpAddr != "" || tracePath != "" {
+	if httpAddr != "" || tracePath != "" || profilePath != "" {
 		opts.Obs = obs.New()
 	}
 	if tracePath != "" {
@@ -180,6 +203,13 @@ func runDistributed(addr string, spec deploy.Spec, httpAddr, tracePath string, s
 	fmt.Printf("rounds:    p50 %v, p95 %v, max %v; network %.2f MB sent\n",
 		res.Stats.RoundP50, res.Stats.RoundP95, res.Stats.RoundMax,
 		float64(res.Stats.NetworkSentBytes)/1e6)
+	if profilePath != "" {
+		if err := obs.TraceToProfile(opts.Obs.Tracer().Events()).WriteFile(profilePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profile:   %s (master wall-time spans; scrape workers with cosmic-prof)\n",
+			profilePath)
+	}
 	if err := opts.Obs.WriteTraceFile(tracePath); err != nil {
 		fatal(err)
 	}

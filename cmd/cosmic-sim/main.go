@@ -11,7 +11,9 @@
 // -trace writes a Chrome trace-event JSON (load at ui.perfetto.dev) with
 // per-phase compile spans in the wall-clock process and per-PE / per-thread
 // activity in the simulated-cycle process; -metrics writes a Prometheus
-// text exposition of every counter the run touched.
+// text exposition of every counter the run touched; -cycleprofile writes a
+// pprof .pb.gz attributing every simulated cycle to the DFG op that spent
+// it (inspect with `go tool pprof -top` or cosmic-prof).
 package main
 
 import (
@@ -43,6 +45,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset seed")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON here (view at ui.perfetto.dev)")
 	metricsPath := flag.String("metrics", "", "write a Prometheus text exposition here")
+	cycleProfPath := flag.String("cycleprofile", "", "write the run's simulated-cycle pprof profile here (.pb.gz; inspect with `go tool pprof -top` or cosmic-prof)")
 	flag.Parse()
 
 	chip, ok := chips[strings.ToLower(*chipName)]
@@ -109,6 +112,16 @@ func main() {
 		fmt.Println("  [OK]")
 	} else {
 		fmt.Println("  [MISMATCH]")
+	}
+	if *cycleProfPath != "" {
+		raw, err := sim.CycleProfile()
+		if err != nil {
+			fatal(err)
+		}
+		if err := raw.WriteFile(*cycleProfPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profile:   %s (go tool pprof -top %s)\n", *cycleProfPath, *cycleProfPath)
 	}
 	if err := o.WriteTraceFile(*tracePath); err != nil {
 		fatal(err)

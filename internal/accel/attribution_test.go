@@ -1,0 +1,110 @@
+package accel_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/dataset"
+	"repro/internal/dfg"
+	"repro/internal/dsl"
+	"repro/internal/obs/profile"
+	"repro/internal/planner"
+)
+
+// profScale shrinks a benchmark's geometry so the full Table 1 sweep stays
+// tractable in unit-test time (same policy as `cosmicc vet`).
+func profScale(b dataset.Benchmark) float64 {
+	maxDim := 0
+	for _, d := range b.Topology {
+		if d > maxDim {
+			maxDim = d
+		}
+	}
+	s := 48.0 / float64(maxDim)
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// TestCycleProfileExactAttribution is the attribution invariant over every
+// Table 1 benchmark: the cycle values in the profile — per tape
+// instruction, per gradient accumulation, plus the broadcast and reduce
+// phases — must sum exactly to the Σ of every BatchResult.Cycles the
+// simulator reported. The profile also has to survive the full .pb.gz
+// encode → decode round trip. (External test package: the planner reaches
+// accel again through perf, so this cannot live in package accel.)
+func TestCycleProfileExactAttribution(t *testing.T) {
+	for _, b := range dataset.Benchmarks {
+		t.Run(b.Name, func(t *testing.T) {
+			alg := b.Algorithm(profScale(b))
+			unit, err := dsl.ParseAndAnalyze(alg.DSLSource(), alg.DSLParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := dfg.Translate(unit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			point, err := planner.Plan(g, arch.UltraScalePlus, planner.Options{
+				MiniBatch: 8, Style: compiler.StyleCoSMIC,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := compiler.Compile(g, point.Plan, compiler.StyleCoSMIC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim := accel.New(prog)
+
+			threads := prog.Plan.Threads
+			samples := b.Generate(alg, 2*threads, 7)
+			parts := make([][]map[string][]float64, threads)
+			for i, s := range samples {
+				parts[i%threads] = append(parts[i%threads], alg.PackSample(s))
+			}
+			model := alg.PackModel(alg.InitModel(rand.New(rand.NewSource(1))))
+
+			var want int64
+			for batch := 0; batch < 2; batch++ {
+				res, err := sim.RunBatch(model, parts, 0.05, dsl.AggSum)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want += res.Cycles
+			}
+
+			raw, err := sim.CycleProfile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := raw.Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			dec, err := profile.Decode(buf.Bytes())
+			if err != nil {
+				t.Fatalf("decoding emitted profile: %v", err)
+			}
+			ci := profile.SampleTypeIndex(dec, "cycles")
+			if ci < 0 {
+				t.Fatal("no cycles sample type")
+			}
+			var got int64
+			for _, s := range dec.Sample {
+				if s.Value[ci] < 0 {
+					t.Errorf("negative cycle share %d", s.Value[ci])
+				}
+				got += s.Value[ci]
+			}
+			if got != want {
+				t.Errorf("attributed cycles = %d, want exactly %d (Σ Result.Cycles)", got, want)
+			}
+		})
+	}
+}

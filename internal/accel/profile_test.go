@@ -1,0 +1,79 @@
+package accel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/obs/profile"
+)
+
+// The Table 1 exact-attribution sweep lives in attribution_test.go (package
+// accel_test): it needs the planner, which reaches accel again via perf.
+
+// TestCycleProfileStacks checks the frame structure on a small program:
+// per-node leaves under op/pe/compute, plus the broadcast and reduce phase
+// roots, and a working flat report.
+func TestCycleProfileStacks(t *testing.T) {
+	sim, model, parts := obsTestSim(t)
+	if _, err := sim.CycleProfile(); err == nil {
+		t.Fatal("CycleProfile before any batch should fail")
+	}
+	res, err := sim.RunBatch(model, parts, 0.05, dsl.AggAverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := sim.CycleProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, f := range raw.Function {
+		names[raw.StringTable[f.Name]] = true
+	}
+	for _, want := range []string{"compute", "model-broadcast", "tree-reduce"} {
+		if !names[want] {
+			t.Errorf("profile missing %q frame", want)
+		}
+	}
+	foundOp, foundPE := false, false
+	for n := range names {
+		if strings.HasPrefix(n, "op ") {
+			foundOp = true
+		}
+		if strings.HasPrefix(n, "pe ") {
+			foundPE = true
+		}
+	}
+	if !foundOp || !foundPE {
+		t.Errorf("profile missing op/pe frames: %v %v", foundOp, foundPE)
+	}
+
+	var rep bytes.Buffer
+	if err := profile.Top(&rep, raw, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "flat%") {
+		t.Errorf("Top report malformed:\n%s", rep.String())
+	}
+
+	// One more batch doubles the attributed total.
+	if _, err := sim.RunBatch(model, parts, 0.05, dsl.AggAverage); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := sim.CycleProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(r *profile.Raw) int64 {
+		var v int64
+		for _, s := range r.Sample {
+			v += s.Value[0]
+		}
+		return v
+	}
+	if got, want := sum(raw2), 2*res.Cycles; got != want {
+		t.Errorf("after 2 batches attributed %d cycles, want %d", got, want)
+	}
+}

@@ -108,6 +108,19 @@ type Sim struct {
 	// out end to end on the trace timeline.
 	mx        *simObs
 	cycleBase int64
+
+	// Cycle-attribution accounting for CycleProfile. RunBatch folds each
+	// batch's exact cycle total into three phase buckets (model broadcast,
+	// compute window, tree reduce/write-back) under profMu; attribution down
+	// to tape instructions happens lazily at snapshot time, so the RunBatch
+	// cost is five integer adds and an uncontended mutex — no allocation.
+	// Invariant: profBroadcast+profWindow+profReduce == Σ BatchResult.Cycles.
+	profMu        sync.Mutex
+	profBatches   int64
+	profVectors   int64 // Σ ThreadVectors across batches
+	profBroadcast int64
+	profWindow    int64
+	profReduce    int64
 }
 
 // New creates a simulator for the compiled program. The thread count comes
@@ -650,6 +663,14 @@ func (s *Sim) RunBatch(model map[string][]float64, parts [][]map[string][]float6
 	res.Cycles = s.CyclesForRounds(maxVecs) + s.AggWritebackCycles()
 	res.StreamCycles = s.ModelBroadcastCycles() + int64(s.streamPerVec)*sumInts(res.ThreadVectors)
 	res.ComputeCycles = s.MaxPELoad() * int64(maxVecs)
+	broadcast, reduce := s.ModelBroadcastCycles(), s.AggWritebackCycles()
+	s.profMu.Lock()
+	s.profBatches++
+	s.profVectors += sumInts(res.ThreadVectors)
+	s.profBroadcast += broadcast
+	s.profReduce += reduce
+	s.profWindow += res.Cycles - broadcast - reduce
+	s.profMu.Unlock()
 	if s.mx != nil {
 		s.recordBatch(res, maxVecs)
 	}

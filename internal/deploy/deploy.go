@@ -32,6 +32,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/core"
 	"repro/internal/cosmicnet"
 	"repro/internal/dataset"
 	"repro/internal/dsl"
@@ -68,6 +71,14 @@ type Spec struct {
 	// Monolithic disables streaming: whole-vector partial/aggregate frames,
 	// as pre-streaming binaries sent them.
 	Monolithic bool `json:"monolithic,omitempty"`
+
+	// Simulate routes every node's gradient computation through the
+	// cycle-level accelerator simulator (each worker compiles the
+	// benchmark's program locally) instead of the reference engine. Nodes
+	// then attribute simulated cycles per DFG op and serve the profile on
+	// /debug/cosmic/cycles for cosmic-prof. Keep Scale small: the simulator
+	// is orders of magnitude slower than the reference engine.
+	Simulate bool `json:"simulate,omitempty"`
 }
 
 // Validate fills defaults and rejects nonsense.
@@ -141,17 +152,22 @@ type NodeStats struct {
 	RingDepth        int     `json:"ring_depth"`
 	FlightDepth      int     `json:"flight_depth"`
 	LastRoundSeconds float64 `json:"last_round_seconds"`
-	Exposition       string  `json:"exposition,omitempty"`
+	// HTTPAddr is the node's debug HTTP listener (empty when none):
+	// cosmic-prof reads it from the Director's /cluster roster to discover
+	// where to scrape /debug/pprof/profile and /debug/cosmic/cycles.
+	HTTPAddr   string `json:"http_addr,omitempty"`
+	Exposition string `json:"exposition,omitempty"`
 }
 
 // statsFor snapshots a node's stats, attaching the observer's exposition
-// when one is wired.
-func statsFor(node *runtime.Node, o *obs.Observer) NodeStats {
+// when one is wired and the node's debug HTTP address when it serves one.
+func statsFor(node *runtime.Node, o *obs.Observer, httpAddr string) NodeStats {
 	h := node.Health()
 	st := NodeStats{
 		ID: h.ID, Role: h.Role, Group: h.Group, LastSeq: h.LastSeq,
 		RingDepth: h.RingDepth, FlightDepth: h.FlightDepth,
 		LastRoundSeconds: h.LastRoundSeconds,
+		HTTPAddr:         httpAddr,
 	}
 	if o != nil {
 		var buf bytes.Buffer
@@ -165,7 +181,7 @@ func statsFor(node *runtime.Node, o *obs.Observer) NodeStats {
 // serveStats answers MsgStats scrapes on the worker's control connection,
 // which is otherwise idle between configuration and shutdown (the Director
 // is its only other user). Returns when the connection closes.
-func serveStats(conn *cosmicnet.Conn, node *runtime.Node, o *obs.Observer) {
+func serveStats(conn *cosmicnet.Conn, node *runtime.Node, o *obs.Observer, httpAddr string) {
 	for {
 		f, err := conn.Recv()
 		if err != nil {
@@ -174,7 +190,7 @@ func serveStats(conn *cosmicnet.Conn, node *runtime.Node, o *obs.Observer) {
 		if f.Type != cosmicnet.MsgStats {
 			continue
 		}
-		st := statsFor(node, o)
+		st := statsFor(node, o, httpAddr)
 		blob, err := json.Marshal(st)
 		if err != nil {
 			continue
@@ -274,10 +290,21 @@ func buildNode(cfg workerConfig, o *obs.Observer, logger *slog.Logger) (*runtime
 		lr = bench.DefaultLR(alg)
 	}
 	shard := bench.Generate(alg, cfg.Spec.Samples, cfg.Spec.Seed+int64(cfg.NodeID))
-	engine := &runtime.RefEngine{Alg: alg, Threads: cfg.Spec.Threads, LR: lr, Agg: cfg.Spec.agg()}
 	perNode := cfg.Spec.MiniBatch / cfg.Spec.Nodes
 	if perNode < 1 {
 		perNode = 1
+	}
+	var engine runtime.Engine
+	if cfg.Spec.Simulate {
+		build, err := core.BuildProgram(alg.DSLSource(), alg.DSLParams(), arch.UltraScalePlus, core.BuildOptions{
+			MiniBatch: perNode, Style: compiler.StyleCoSMIC, Obs: o,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("deploy: compiling simulator program: %w", err)
+		}
+		engine = &runtime.AccelEngine{Alg: alg, Prog: build.Program, LR: lr, Agg: cfg.Spec.agg()}
+	} else {
+		engine = &runtime.RefEngine{Alg: alg, Threads: cfg.Spec.Threads, LR: lr, Agg: cfg.Spec.agg()}
 	}
 	return runtime.StartNode(runtime.NodeConfig{
 		ID:           cfg.NodeID,
@@ -389,6 +416,13 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", fed.Handler())
 		mux.HandleFunc("/cluster", view.handler())
+		// The master node advertises the Director's address in the roster,
+		// so cosmic-prof expects its cycle profile here like any worker's.
+		cycles := obs.NewProfileSource()
+		if ae, ok := master.Engine().(*runtime.AccelEngine); ok {
+			cycles.Set(ae.CycleProfile)
+		}
+		mux.Handle(obs.CycleProfilePath, cycles.Handler())
 		httpLn, err := net.Listen("tcp", opts.HTTPAddr)
 		if err != nil {
 			return nil, err
@@ -498,7 +532,7 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 				}
 				seq++
 				lat := make(map[string]float64)
-				mst := statsFor(master, opts.Obs)
+				mst := statsFor(master, opts.Obs, opts.HTTPAddr)
 				view.update(mst)
 				if mst.LastRoundSeconds > 0 {
 					lat[strconv.Itoa(int(mst.ID))] = mst.LastRoundSeconds
@@ -573,6 +607,28 @@ type WorkerOptions struct {
 	// resolves to a different value is rejected instead of silently
 	// diverging.
 	ChunkWords int
+	// HTTPAddr is the worker's debug HTTP listener address, advertised in
+	// MsgStats replies so the Director's /cluster roster (and cosmic-prof)
+	// can find this node's profiling endpoints.
+	HTTPAddr string
+}
+
+// dialControl dials the Director's control address, retrying with backoff
+// for a few seconds: a worker is routinely launched a beat before the
+// master's listener is up, and a refused first dial should not strand the
+// whole cluster in the join phase.
+func dialControl(addr string) (*cosmicnet.Conn, error) {
+	deadline := time.Now().Add(3 * time.Second)
+	for wait := 10 * time.Millisecond; ; wait *= 2 {
+		conn, err := cosmicnet.Dial(addr)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(wait)
+	}
 }
 
 // RunWorker joins the master at controlAddr, receives its assignment, and
@@ -591,7 +647,7 @@ func RunWorkerObs(controlAddr string, o *obs.Observer) error {
 // configuration the worker answers the Director's MsgStats scrapes on the
 // control connection while the node loop runs on the data plane.
 func RunWorkerOpts(controlAddr string, opts WorkerOptions) error {
-	conn, err := cosmicnet.Dial(controlAddr)
+	conn, err := dialControl(controlAddr)
 	if err != nil {
 		return err
 	}
@@ -641,6 +697,6 @@ func RunWorkerOpts(controlAddr string, opts WorkerOptions) error {
 	}
 	// The control connection is now idle on this side; serve the Director's
 	// stats scrapes until it closes.
-	go serveStats(conn, node, opts.Obs)
+	go serveStats(conn, node, opts.Obs, opts.HTTPAddr)
 	return node.Run()
 }

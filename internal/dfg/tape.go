@@ -178,6 +178,14 @@ func sortedBindings(syms map[string]*symBinding) []symBinding {
 // NumInstrs returns the number of compute instructions on the tape.
 func (t *Tape) NumInstrs() int { return len(t.instrs) }
 
+// Instr returns instruction i's operation and destination node ID (arena
+// slots are node IDs). Profilers use this to attribute simulated cycles to
+// the DFG nodes a batch executed; i must be in [0, NumInstrs()).
+func (t *Tape) Instr(i int) (op Op, node int) {
+	in := t.instrs[i]
+	return in.op, int(in.dst)
+}
+
 // Arena is one evaluator's private scratch state: the value slots, the
 // reusable gradient output map, and the currently bound symbol vectors. An
 // Arena is not safe for concurrent use; create one per goroutine with

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"sync"
+
+	"repro/internal/obs/profile"
 )
 
 // Handler serves the registry in Prometheus text exposition format — the
@@ -38,6 +41,57 @@ func NewNodeMux(r *Registry, h *Health) *http.ServeMux {
 	return mux
 }
 
+// CycleProfilePath is the endpoint cosmic-prof scrapes for simulated-cycle
+// profiles, next to Go's own /debug/pprof/profile for wall-clock CPU.
+const CycleProfilePath = "/debug/cosmic/cycles"
+
+// ProfileSource serves cycle profiles over HTTP. The provider is installed
+// once the simulator exists (a node builds its engine lazily on first
+// configuration), so the handler answers 503 until then. All methods are
+// nil-safe.
+type ProfileSource struct {
+	mu sync.Mutex
+	fn func() (*profile.Raw, error)
+}
+
+// NewProfileSource creates an empty (503-serving) source.
+func NewProfileSource() *ProfileSource { return &ProfileSource{} }
+
+// Set installs the profile provider.
+func (s *ProfileSource) Set(fn func() (*profile.Raw, error)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.fn = fn
+	s.mu.Unlock()
+}
+
+// Handler serves the provider's current profile as .pb.gz: 503 before Set,
+// 500 when the provider fails (e.g. no batches simulated yet).
+func (s *ProfileSource) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var fn func() (*profile.Raw, error)
+		if s != nil {
+			s.mu.Lock()
+			fn = s.fn
+			s.mu.Unlock()
+		}
+		if fn == nil {
+			http.Error(w, "cycle profiling not configured", http.StatusServiceUnavailable)
+			return
+		}
+		raw, err := fn()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="cycles.pb.gz"`)
+		raw.Write(w) //nolint:errcheck // best-effort over a dying socket
+	})
+}
+
 // Health is a node's /healthz state: 503 with {"status":"starting"} until
 // the Director configures the node, then 200 with the node's static
 // identity (role, group) merged with a live probe (last-round seq, ring
@@ -65,7 +119,8 @@ func (h *Health) SetReady(static map[string]any, probe func() map[string]any) {
 	h.mu.Unlock()
 }
 
-// Snapshot returns readiness and the merged health document.
+// Snapshot returns readiness and the merged health document, which always
+// carries the binary's build identity under "build".
 func (h *Health) Snapshot() (bool, map[string]any) {
 	if h == nil {
 		return false, nil
@@ -80,12 +135,49 @@ func (h *Health) Snapshot() (bool, map[string]any) {
 	if !ready {
 		return false, nil
 	}
+	doc["build"] = BuildInfo()
 	if probe != nil {
 		for k, v := range probe() {
 			doc[k] = v
 		}
 	}
 	return true, doc
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfoDoc  map[string]string
+)
+
+// BuildInfo returns the binary's build identity from the embedded
+// runtime/debug build information: Go toolchain version, main module path
+// and version, and — when built from a checkout — the VCS revision, commit
+// time, and dirty flag. Computed once; the returned map must not be
+// mutated.
+func BuildInfo() map[string]string {
+	buildInfoOnce.Do(func() {
+		buildInfoDoc = map[string]string{}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfoDoc["go"] = bi.GoVersion
+		buildInfoDoc["module"] = bi.Main.Path
+		if bi.Main.Version != "" {
+			buildInfoDoc["version"] = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfoDoc["revision"] = s.Value
+			case "vcs.time":
+				buildInfoDoc["vcs_time"] = s.Value
+			case "vcs.modified":
+				buildInfoDoc["dirty"] = s.Value
+			}
+		}
+	})
+	return buildInfoDoc
 }
 
 // Handler serves /healthz: 503 until SetReady, then the JSON document.

@@ -155,6 +155,11 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// collect, when set, runs at the start of every Snapshot — outside mu,
+	// so it may resolve instruments. EnableProcessMetrics uses it to refresh
+	// runtime gauges per scrape instead of per update.
+	collect atomic.Pointer[func()]
 }
 
 // NewRegistry creates an empty registry.
@@ -239,6 +244,9 @@ func (r *Registry) Snapshot() []Sample {
 	if r == nil {
 		return nil
 	}
+	if fn := r.collect.Load(); fn != nil {
+		(*fn)()
+	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
 	for name := range r.counters {
@@ -319,6 +327,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// SetCollector registers fn to run at the start of every Snapshot (and so
+// every /metrics scrape), before the registry lock is taken — fn may
+// resolve instruments. One collector per registry; nil clears it.
+func (r *Registry) SetCollector(fn func()) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.collect.Store(nil)
+		return
+	}
+	r.collect.Store(&fn)
 }
 
 // Labeled builds a labeled series name from alternating key, value pairs:

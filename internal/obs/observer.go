@@ -10,9 +10,13 @@ type Observer struct {
 	Trace   *Tracer
 }
 
-// New creates an observer with a fresh registry and tracer.
+// New creates an observer with a fresh registry and tracer. The registry
+// carries the default process metrics (goroutines, heap, GC pause, uptime),
+// refreshed on every scrape.
 func New() *Observer {
-	return &Observer{Metrics: NewRegistry(), Trace: NewTracer()}
+	reg := NewRegistry()
+	EnableProcessMetrics(reg)
+	return &Observer{Metrics: reg, Trace: NewTracer()}
 }
 
 // Registry returns the metrics registry, nil when disabled.

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// EnableProcessMetrics adds the default process-health series to the
+// registry, refreshed on every scrape via the Snapshot collector hook:
+//
+//	cosmic_go_goroutines               live goroutine count
+//	cosmic_go_heap_bytes               heap in use (MemStats.HeapAlloc)
+//	cosmic_go_gc_pause_seconds_total   cumulative stop-the-world pause time
+//	cosmic_uptime_seconds              seconds since this call
+//
+// Observers created with New enable these by default; bare registries
+// (tests, embedding) stay empty unless opted in. runtime.ReadMemStats
+// costs a brief stop-the-world, which is why collection happens per scrape
+// rather than continuously.
+func EnableProcessMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	start := time.Now()
+	goroutines := r.Gauge("cosmic_go_goroutines")
+	heap := r.Gauge("cosmic_go_heap_bytes")
+	gcPause := r.Gauge("cosmic_go_gc_pause_seconds_total")
+	uptime := r.Gauge("cosmic_uptime_seconds")
+	r.SetCollector(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heap.Set(float64(ms.HeapAlloc))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		uptime.Set(time.Since(start).Seconds())
+	})
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/profile"
+)
+
+// TestProcessMetricsOnScrape: an observer's registry refreshes the process
+// gauges on every snapshot; a bare registry stays clean (pinning the golden
+// tests' assumption that NewRegistry adds nothing).
+func TestProcessMetricsOnScrape(t *testing.T) {
+	o := New()
+	got := map[string]float64{}
+	for _, s := range o.Registry().Snapshot() {
+		got[s.Name] = s.Value
+	}
+	for _, name := range []string{
+		"cosmic_go_goroutines", "cosmic_go_heap_bytes",
+		"cosmic_go_gc_pause_seconds_total", "cosmic_uptime_seconds",
+	} {
+		if _, ok := got[name]; !ok {
+			t.Errorf("observer registry missing %s", name)
+		}
+	}
+	if got["cosmic_go_goroutines"] < 1 {
+		t.Errorf("cosmic_go_goroutines = %v, want ≥ 1", got["cosmic_go_goroutines"])
+	}
+	if got["cosmic_go_heap_bytes"] <= 0 {
+		t.Errorf("cosmic_go_heap_bytes = %v, want > 0", got["cosmic_go_heap_bytes"])
+	}
+
+	if n := len(NewRegistry().Snapshot()); n != 0 {
+		t.Errorf("bare NewRegistry has %d series, want 0", n)
+	}
+}
+
+// TestHealthBuildInfo: a ready /healthz document carries the build block.
+func TestHealthBuildInfo(t *testing.T) {
+	h := NewHealth()
+	h.SetReady(map[string]any{"role": "delta"}, nil)
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	build, ok := doc["build"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz has no build block: %v", doc)
+	}
+	goVer, _ := build["go"].(string)
+	if !strings.HasPrefix(goVer, "go1.") {
+		t.Errorf("build.go = %q, want a go1.x version", goVer)
+	}
+	if mod, _ := build["module"].(string); mod != "repro" {
+		t.Errorf("build.module = %q, want repro", mod)
+	}
+}
+
+// TestProfileSourceHandler: 503 before Set, .pb.gz after.
+func TestProfileSourceHandler(t *testing.T) {
+	src := NewProfileSource()
+	srv := httptest.NewServer(src.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unset source served %d, want 503", resp.StatusCode)
+	}
+
+	src.Set(func() (*profile.Raw, error) {
+		p := profile.New(profile.ValueType{Type: "cycles", Unit: "cycles"})
+		p.Add([]int64{42}, []string{"compute"})
+		return p.Raw(), nil
+	})
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("set source served %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := profile.Decode(body)
+	if err != nil {
+		t.Fatalf("served profile does not decode: %v", err)
+	}
+	if len(raw.Sample) != 1 || raw.Sample[0].Value[0] != 42 {
+		t.Errorf("served profile content wrong: %+v", raw.Sample)
+	}
+}

@@ -1,0 +1,219 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ValueType names one dimension of a sample's value vector, e.g.
+// {"cycles", "cycles"} or {"wall", "nanoseconds"}.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Label annotates a sample. Str and Num are mutually exclusive: a label with
+// a non-empty Str is a string label; otherwise it is a numeric label with
+// optional NumUnit.
+type Label struct {
+	Key     string
+	Str     string
+	Num     int64
+	NumUnit string
+}
+
+// Profile builds a pprof profile from synthesized measurements. It interns
+// strings, functions, and locations, and coalesces samples that share a
+// stack and label set, so callers can Add the same stack millions of times
+// without growing the profile. Not safe for concurrent use.
+type Profile struct {
+	raw Raw
+
+	strings map[string]int64  // string -> StringTable index
+	funcs   map[string]uint64 // function name -> Function.ID
+	locs    map[uint64]uint64 // Function.ID -> Location.ID (synthesized 1:1)
+	samples map[string]int    // stack+label key -> Sample index
+}
+
+// New creates an empty profile with the given sample types. At least one
+// sample type is required; every Add must supply exactly one value per type.
+func New(sampleTypes ...ValueType) *Profile {
+	if len(sampleTypes) == 0 {
+		panic("profile: New requires at least one sample type")
+	}
+	p := &Profile{
+		strings: map[string]int64{"": 0},
+		funcs:   map[string]uint64{},
+		locs:    map[uint64]uint64{},
+		samples: map[string]int{},
+	}
+	p.raw.StringTable = []string{""}
+	for _, st := range sampleTypes {
+		p.raw.SampleType = append(p.raw.SampleType, RawValueType{
+			Type: p.str(st.Type),
+			Unit: p.str(st.Unit),
+		})
+	}
+	return p
+}
+
+// str interns s into the string table.
+func (p *Profile) str(s string) int64 {
+	if i, ok := p.strings[s]; ok {
+		return i
+	}
+	i := int64(len(p.raw.StringTable))
+	p.raw.StringTable = append(p.raw.StringTable, s)
+	p.strings[s] = i
+	return i
+}
+
+// function interns a function by name, returning its ID.
+func (p *Profile) function(name string) uint64 {
+	if id, ok := p.funcs[name]; ok {
+		return id
+	}
+	id := uint64(len(p.raw.Function) + 1)
+	p.raw.Function = append(p.raw.Function, RawFunction{
+		ID:         id,
+		Name:       p.str(name),
+		SystemName: p.str(name),
+	})
+	p.funcs[name] = id
+	return id
+}
+
+// location interns a synthesized (address-less) location for a frame name.
+func (p *Profile) location(name string) uint64 {
+	fid := p.function(name)
+	if id, ok := p.locs[fid]; ok {
+		return id
+	}
+	id := uint64(len(p.raw.Location) + 1)
+	p.raw.Location = append(p.raw.Location, RawLocation{
+		ID:   id,
+		Line: []RawLine{{FunctionID: fid}},
+	})
+	p.locs[fid] = id
+	return id
+}
+
+// Add records one sample: values (one per sample type), a stack of frame
+// names ordered leaf first (as pprof expects), and optional labels. Samples
+// with identical stacks and labels are coalesced by summing their values.
+func (p *Profile) Add(values []int64, stack []string, labels ...Label) {
+	if len(values) != len(p.raw.SampleType) {
+		panic(fmt.Sprintf("profile: Add got %d values for %d sample types", len(values), len(p.raw.SampleType)))
+	}
+	locIDs := make([]uint64, len(stack))
+	for i, frame := range stack {
+		locIDs[i] = p.location(frame)
+	}
+	var rls []RawLabel
+	for _, l := range labels {
+		rl := RawLabel{Key: p.str(l.Key)}
+		if l.Str != "" {
+			rl.Str = p.str(l.Str)
+		} else {
+			rl.Num = l.Num
+			if l.NumUnit != "" {
+				rl.NumUnit = p.str(l.NumUnit)
+			}
+		}
+		rls = append(rls, rl)
+	}
+	key := sampleKey(locIDs, rls)
+	if i, ok := p.samples[key]; ok {
+		for j, v := range values {
+			p.raw.Sample[i].Value[j] += v
+		}
+		return
+	}
+	p.samples[key] = len(p.raw.Sample)
+	p.raw.Sample = append(p.raw.Sample, RawSample{
+		LocationID: locIDs,
+		Value:      append([]int64(nil), values...),
+		Label:      rls,
+	})
+}
+
+// sampleKey builds the coalescing key for a stack + label set.
+func sampleKey(locIDs []uint64, labels []RawLabel) string {
+	var b strings.Builder
+	for _, id := range locIDs {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	b.WriteByte('|')
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%d:%d:%d:%d,", l.Key, l.Str, l.Num, l.NumUnit)
+	}
+	return b.String()
+}
+
+// SetPeriod records the sampling period and its type (e.g. 1 "cycles" for
+// an exact, non-sampled profile).
+func (p *Profile) SetPeriod(period int64, vt ValueType) {
+	p.raw.Period = period
+	p.raw.PeriodType = RawValueType{Type: p.str(vt.Type), Unit: p.str(vt.Unit)}
+}
+
+// SetTime records the profile's wall-clock start and duration in
+// nanoseconds. Leave unset (zero) for deterministic output.
+func (p *Profile) SetTime(timeNanos, durationNanos int64) {
+	p.raw.TimeNanos = timeNanos
+	p.raw.DurationNanos = durationNanos
+}
+
+// AddComment attaches a free-form comment string (shown by pprof's
+// `-comments` flag).
+func (p *Profile) AddComment(c string) {
+	p.raw.Comment = append(p.raw.Comment, p.str(c))
+}
+
+// SetDefaultSampleType selects which sample type tools display by default.
+// name must match one of the types passed to New.
+func (p *Profile) SetDefaultSampleType(name string) {
+	p.raw.DefaultSampleType = p.str(name)
+}
+
+// Raw returns the built profile. The returned value shares state with the
+// builder; callers should finish Adding first. Samples are emitted in a
+// deterministic order (sorted by stack then labels) so identical inputs
+// yield byte-identical profiles.
+func (p *Profile) Raw() *Raw {
+	sort.SliceStable(p.raw.Sample, func(i, j int) bool {
+		return compareSamples(&p.raw.Sample[i], &p.raw.Sample[j]) < 0
+	})
+	// The sort invalidated the coalescing index; rebuild lazily if the
+	// caller keeps Adding.
+	for i := range p.raw.Sample {
+		s := &p.raw.Sample[i]
+		p.samples[sampleKey(s.LocationID, s.Label)] = i
+	}
+	return &p.raw
+}
+
+func compareSamples(a, b *RawSample) int {
+	for i := 0; i < len(a.LocationID) && i < len(b.LocationID); i++ {
+		if a.LocationID[i] != b.LocationID[i] {
+			if a.LocationID[i] < b.LocationID[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	if len(a.LocationID) != len(b.LocationID) {
+		if len(a.LocationID) < len(b.LocationID) {
+			return -1
+		}
+		return 1
+	}
+	ka, kb := sampleKey(nil, a.Label), sampleKey(nil, b.Label)
+	return strings.Compare(ka, kb)
+}
+
+// WriteFile writes the built profile to path as .pb.gz.
+func (p *Profile) WriteFile(path string) error {
+	return p.Raw().WriteFile(path)
+}

@@ -1,0 +1,228 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Input is one profile to merge, tagged with the node it came from. An empty
+// NodeLabel merges the profile without adding a label.
+type Input struct {
+	Raw       *Raw
+	NodeLabel string
+}
+
+// Merge combines profiles into one, attaching a "node" string label to every
+// sample from a labeled input so per-node breakdowns survive the merge
+// (pprof: `-tagfocus node=worker-2`). All inputs must agree on sample types
+// (same type/unit sequence). Strings, functions, locations, and mappings are
+// re-interned by content, so profiles from different processes — with
+// different table numbering, including real Go runtime CPU profiles — merge
+// correctly. Samples with equal stacks and labels are coalesced by summing.
+func Merge(inputs []Input) (*Raw, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("profile: nothing to merge")
+	}
+	first := inputs[0].Raw
+	out := &Raw{
+		StringTable:   []string{""},
+		TimeNanos:     first.TimeNanos,
+		DurationNanos: first.DurationNanos,
+		Period:        first.Period,
+	}
+	m := &merger{
+		out:      out,
+		strings:  map[string]int64{"": 0},
+		funcs:    map[string]uint64{},
+		locs:     map[string]uint64{},
+		mappings: map[string]uint64{},
+		samples:  map[string]int{},
+	}
+	for _, st := range first.SampleType {
+		out.SampleType = append(out.SampleType, RawValueType{
+			Type: m.str(first.str(st.Type)),
+			Unit: m.str(first.str(st.Unit)),
+		})
+	}
+	out.PeriodType = RawValueType{
+		Type: m.str(first.str(first.PeriodType.Type)),
+		Unit: m.str(first.str(first.PeriodType.Unit)),
+	}
+	out.DefaultSampleType = m.str(first.str(first.DefaultSampleType))
+	for i, in := range inputs {
+		if err := sameSampleTypes(first, in.Raw); err != nil {
+			return nil, fmt.Errorf("profile: input %d: %w", i, err)
+		}
+		m.add(in.Raw, in.NodeLabel)
+		for _, c := range in.Raw.Comment {
+			if s := in.Raw.str(c); s != "" {
+				out.Comment = append(out.Comment, m.str(s))
+			}
+		}
+	}
+	return out, nil
+}
+
+func sameSampleTypes(a, b *Raw) error {
+	if len(a.SampleType) != len(b.SampleType) {
+		return fmt.Errorf("sample type count mismatch: %d vs %d", len(a.SampleType), len(b.SampleType))
+	}
+	for i := range a.SampleType {
+		at, au := a.str(a.SampleType[i].Type), a.str(a.SampleType[i].Unit)
+		bt, bu := b.str(b.SampleType[i].Type), b.str(b.SampleType[i].Unit)
+		if at != bt || au != bu {
+			return fmt.Errorf("sample type %d mismatch: %s/%s vs %s/%s", i, at, au, bt, bu)
+		}
+	}
+	return nil
+}
+
+type merger struct {
+	out      *Raw
+	strings  map[string]int64
+	funcs    map[string]uint64 // content key -> merged Function.ID
+	locs     map[string]uint64 // content key -> merged Location.ID
+	mappings map[string]uint64 // content key -> merged Mapping.ID
+	samples  map[string]int    // stack+label key -> merged Sample index
+}
+
+func (m *merger) str(s string) int64 {
+	if i, ok := m.strings[s]; ok {
+		return i
+	}
+	i := int64(len(m.out.StringTable))
+	m.out.StringTable = append(m.out.StringTable, s)
+	m.strings[s] = i
+	return i
+}
+
+// add folds one input profile into the merged output, remapping every table
+// reference through content keys.
+func (m *merger) add(in *Raw, nodeLabel string) {
+	funcByID := make(map[uint64]RawFunction, len(in.Function))
+	for _, f := range in.Function {
+		funcByID[f.ID] = f
+	}
+	mapByID := make(map[uint64]RawMapping, len(in.Mapping))
+	for _, mp := range in.Mapping {
+		mapByID[mp.ID] = mp
+	}
+
+	funcRemap := make(map[uint64]uint64, len(in.Function))
+	for _, f := range in.Function {
+		key := fmt.Sprintf("%s\x00%s\x00%s\x00%d",
+			in.str(f.Name), in.str(f.SystemName), in.str(f.Filename), f.StartLine)
+		id, ok := m.funcs[key]
+		if !ok {
+			id = uint64(len(m.out.Function) + 1)
+			m.out.Function = append(m.out.Function, RawFunction{
+				ID:         id,
+				Name:       m.str(in.str(f.Name)),
+				SystemName: m.str(in.str(f.SystemName)),
+				Filename:   m.str(in.str(f.Filename)),
+				StartLine:  f.StartLine,
+			})
+			m.funcs[key] = id
+		}
+		funcRemap[f.ID] = id
+	}
+
+	mapRemap := make(map[uint64]uint64, len(in.Mapping))
+	for _, mp := range in.Mapping {
+		key := fmt.Sprintf("%d\x00%d\x00%d\x00%s\x00%s",
+			mp.MemoryStart, mp.MemoryLimit, mp.FileOffset, in.str(mp.Filename), in.str(mp.BuildID))
+		id, ok := m.mappings[key]
+		if !ok {
+			id = uint64(len(m.out.Mapping) + 1)
+			nm := mp
+			nm.ID = id
+			nm.Filename = m.str(in.str(mp.Filename))
+			nm.BuildID = m.str(in.str(mp.BuildID))
+			m.out.Mapping = append(m.out.Mapping, nm)
+			m.mappings[key] = id
+		}
+		mapRemap[mp.ID] = id
+	}
+
+	locRemap := make(map[uint64]uint64, len(in.Location))
+	for _, l := range in.Location {
+		var kb strings.Builder
+		fmt.Fprintf(&kb, "%d\x00%d\x00%d\x00", mapRemap[l.MappingID], l.Address, boolInt(l.IsFolded))
+		lines := make([]RawLine, len(l.Line))
+		for i, ln := range l.Line {
+			lines[i] = RawLine{FunctionID: funcRemap[ln.FunctionID], Line: ln.Line, Column: ln.Column}
+			fmt.Fprintf(&kb, "%d:%d:%d,", lines[i].FunctionID, ln.Line, ln.Column)
+		}
+		key := kb.String()
+		id, ok := m.locs[key]
+		if !ok {
+			id = uint64(len(m.out.Location) + 1)
+			m.out.Location = append(m.out.Location, RawLocation{
+				ID:        id,
+				MappingID: mapRemap[l.MappingID],
+				Address:   l.Address,
+				Line:      lines,
+				IsFolded:  l.IsFolded,
+			})
+			m.locs[key] = id
+		}
+		locRemap[l.ID] = id
+	}
+
+	nodeKey := int64(0)
+	nodeVal := int64(0)
+	if nodeLabel != "" {
+		nodeKey = m.str("node")
+		nodeVal = m.str(nodeLabel)
+	}
+	for _, s := range in.Sample {
+		locIDs := make([]uint64, len(s.LocationID))
+		for i, id := range s.LocationID {
+			locIDs[i] = locRemap[id]
+		}
+		var labels []RawLabel
+		for _, l := range s.Label {
+			nl := RawLabel{Key: m.str(in.str(l.Key))}
+			if l.Str != 0 {
+				nl.Str = m.str(in.str(l.Str))
+			} else {
+				nl.Num = l.Num
+				nl.NumUnit = m.str(in.str(l.NumUnit))
+			}
+			// Drop an input's own node label in favor of the merge-level one.
+			if nodeKey != 0 && m.out.str(nl.Key) == "node" {
+				continue
+			}
+			labels = append(labels, nl)
+		}
+		if nodeKey != 0 {
+			labels = append(labels, RawLabel{Key: nodeKey, Str: nodeVal})
+		}
+		key := sampleKey(locIDs, labels)
+		if i, ok := m.samples[key]; ok {
+			for j, v := range s.Value {
+				m.out.Sample[i].Value[j] += v
+			}
+			continue
+		}
+		m.samples[key] = len(m.out.Sample)
+		m.out.Sample = append(m.out.Sample, RawSample{
+			LocationID: locIDs,
+			Value:      append([]int64(nil), s.Value...),
+			Label:      labels,
+		})
+	}
+	if in.DurationNanos > m.out.DurationNanos {
+		m.out.DurationNanos = in.DurationNanos
+	}
+	if in.TimeNanos != 0 && (m.out.TimeNanos == 0 || in.TimeNanos < m.out.TimeNanos) {
+		m.out.TimeNanos = in.TimeNanos
+	}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

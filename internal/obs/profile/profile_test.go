@@ -1,0 +1,265 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/hex"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// buildTestProfile synthesizes a small two-type profile with labels,
+// exercising interning, coalescing, and every table.
+func buildTestProfile() *Profile {
+	p := New(ValueType{"cycles", "cycles"}, ValueType{"samples", "count"})
+	p.SetPeriod(1, ValueType{"cycles", "cycles"})
+	p.SetDefaultSampleType("cycles")
+	p.AddComment("repro test profile")
+	p.Add([]int64{100, 1}, []string{"n3 *", "op *", "pe 0", "compute"}, Label{Key: "node", Str: "w1"})
+	p.Add([]int64{50, 1}, []string{"n4 +", "op +", "pe 1", "compute"}, Label{Key: "node", Str: "w1"})
+	p.Add([]int64{25, 1}, []string{"model-broadcast"}, Label{Key: "node", Str: "w1"})
+	// Same stack+labels — must coalesce into the first sample.
+	p.Add([]int64{11, 1}, []string{"n3 *", "op *", "pe 0", "compute"}, Label{Key: "node", Str: "w1"})
+	// Same stack, different label — must stay distinct.
+	p.Add([]int64{7, 1}, []string{"n3 *", "op *", "pe 0", "compute"}, Label{Key: "node", Str: "w2"})
+	return p
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := buildTestProfile()
+	var buf bytes.Buffer
+	if err := p.Raw().Write(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if buf.Len() < 2 || buf.Bytes()[0] != 0x1f || buf.Bytes()[1] != 0x8b {
+		t.Fatalf("output is not gzip-framed: % x", buf.Bytes()[:2])
+	}
+	got, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	want := p.Raw()
+	if len(got.Sample) != len(want.Sample) {
+		t.Fatalf("sample count: got %d want %d", len(got.Sample), len(want.Sample))
+	}
+	if len(got.Sample) != 4 {
+		t.Errorf("coalescing: got %d samples, want 4", len(got.Sample))
+	}
+	for i := range want.Sample {
+		w, g := want.Sample[i], got.Sample[i]
+		if len(w.Value) != len(g.Value) {
+			t.Fatalf("sample %d value arity: got %d want %d", i, len(g.Value), len(w.Value))
+		}
+		for j := range w.Value {
+			if w.Value[j] != g.Value[j] {
+				t.Errorf("sample %d value %d: got %d want %d", i, j, g.Value[j], w.Value[j])
+			}
+		}
+		if len(w.LocationID) != len(g.LocationID) {
+			t.Fatalf("sample %d stack depth: got %d want %d", i, len(g.LocationID), len(w.LocationID))
+		}
+	}
+	// The coalesced sample must carry 100+11 cycles.
+	found := false
+	for _, s := range got.Sample {
+		if s.Value[0] == 111 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("coalesced sample with value 111 not found")
+	}
+	if got.str(got.PeriodType.Type) != "cycles" || got.Period != 1 {
+		t.Errorf("period round trip: got %q/%d", got.str(got.PeriodType.Type), got.Period)
+	}
+	if got.str(got.DefaultSampleType) != "cycles" {
+		t.Errorf("default sample type: got %q", got.str(got.DefaultSampleType))
+	}
+	if len(got.Comment) != 1 || got.str(got.Comment[0]) != "repro test profile" {
+		t.Errorf("comment round trip failed: %v", got.Comment)
+	}
+	// Re-encoding the decoded profile must be byte-identical (canonical form).
+	if !bytes.Equal(got.Encode(), want.Encode()) {
+		t.Errorf("re-encode not byte-identical")
+	}
+}
+
+// TestEncodeGolden pins the exact wire bytes of a tiny profile so encoder
+// regressions (field numbers, ordering, varint widths) are caught even if
+// encode and decode drift together.
+func TestEncodeGolden(t *testing.T) {
+	p := New(ValueType{"cycles", "cycles"})
+	p.Add([]int64{42}, []string{"leaf", "root"})
+	got := hex.EncodeToString(p.Raw().Encode())
+	// Pin the sample_type message bytes (field 1, ValueType{type=1,unit=1})
+	// plus determinism and decode/re-encode identity; a full hex dump would
+	// break on every intentional schema addition without catching more.
+	if !strings.HasPrefix(got, "0a0408011001") {
+		t.Fatalf("sample_type encoding changed: prefix %s", got[:24])
+	}
+	again := hex.EncodeToString(p.Raw().Encode())
+	if got != again {
+		t.Fatalf("encoding is not deterministic")
+	}
+	dec, err := Decode(p.Raw().Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if hex.EncodeToString(dec.Encode()) != got {
+		t.Fatalf("decode/re-encode changed bytes")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated varint": {0x08, 0x80},
+		"bad length":       {0x0a, 0x7f, 0x01},
+		"field zero":       {0x00, 0x01},
+		"empty (no types)": {},
+		"bad gzip":         {0x1f, 0x8b, 0x00, 0x00},
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: Decode accepted malformed input", name)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	mk := func(node string, v int64) *Raw {
+		p := New(ValueType{"cycles", "cycles"}, ValueType{"samples", "count"})
+		p.Add([]int64{v, 1}, []string{"op +", "compute"})
+		p.Add([]int64{v * 2, 1}, []string{"tree-reduce"})
+		return p.Raw()
+	}
+	a, b := mk("w1", 10), mk("w2", 100)
+	merged, err := Merge([]Input{{Raw: a, NodeLabel: "w1"}, {Raw: b, NodeLabel: "w2"}})
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if err := merged.Check(); err != nil {
+		t.Fatalf("merged profile invalid: %v", err)
+	}
+	// Same stacks but different node labels: 4 distinct samples.
+	if len(merged.Sample) != 4 {
+		t.Fatalf("got %d samples, want 4", len(merged.Sample))
+	}
+	var total int64
+	nodes := map[string]int64{}
+	for _, s := range merged.Sample {
+		total += s.Value[0]
+		for _, l := range s.Label {
+			if merged.str(l.Key) == "node" {
+				nodes[merged.str(l.Str)] += s.Value[0]
+			}
+		}
+	}
+	if total != 10+20+100+200 {
+		t.Errorf("total cycles: got %d want 330", total)
+	}
+	if nodes["w1"] != 30 || nodes["w2"] != 300 {
+		t.Errorf("per-node totals: %v", nodes)
+	}
+	// Functions and locations must be deduplicated across inputs.
+	if len(merged.Function) != 3 {
+		t.Errorf("got %d functions, want 3 (deduped)", len(merged.Function))
+	}
+	if len(merged.Location) != 3 {
+		t.Errorf("got %d locations, want 3 (deduped)", len(merged.Location))
+	}
+
+	// Merging again with equal node labels must coalesce equal stacks.
+	m2, err := Merge([]Input{{Raw: a, NodeLabel: "x"}, {Raw: a, NodeLabel: "x"}})
+	if err != nil {
+		t.Fatalf("Merge same: %v", err)
+	}
+	if len(m2.Sample) != 2 {
+		t.Errorf("same-label merge: got %d samples, want 2", len(m2.Sample))
+	}
+}
+
+func TestMergeRejectsMismatchedTypes(t *testing.T) {
+	a := New(ValueType{"cycles", "cycles"}).Raw()
+	b := New(ValueType{"wall", "nanoseconds"}).Raw()
+	if _, err := Merge([]Input{{Raw: a}, {Raw: b}}); err == nil {
+		t.Fatal("Merge accepted mismatched sample types")
+	}
+}
+
+func TestTop(t *testing.T) {
+	p := New(ValueType{"cycles", "cycles"})
+	p.Add([]int64{70}, []string{"mul", "compute"})
+	p.Add([]int64{20}, []string{"add", "compute"})
+	p.Add([]int64{10}, []string{"reduce"})
+	var buf bytes.Buffer
+	if err := Top(&buf, p.Raw(), 0, 0); err != nil {
+		t.Fatalf("Top: %v", err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2+4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// mul has the largest flat value and must come first; compute has cum 90.
+	if !strings.Contains(lines[2], "mul") {
+		t.Errorf("first row is not mul:\n%s", out)
+	}
+	if !strings.Contains(out, "70.00%") || !strings.Contains(out, "90.00%") {
+		t.Errorf("percentages missing:\n%s", out)
+	}
+	var cumCompute string
+	for _, l := range lines {
+		if strings.Contains(l, "compute") {
+			cumCompute = l
+		}
+	}
+	if !strings.Contains(cumCompute, "90") {
+		t.Errorf("compute cum should be 90: %s", cumCompute)
+	}
+	if err := Top(&buf, p.Raw(), 5, 0); err == nil {
+		t.Error("Top accepted out-of-range sample index")
+	}
+	if i := SampleTypeIndex(p.Raw(), "cycles"); i != 0 {
+		t.Errorf("SampleTypeIndex: got %d", i)
+	}
+	if i := SampleTypeIndex(p.Raw(), "absent"); i != -1 {
+		t.Errorf("SampleTypeIndex absent: got %d", i)
+	}
+}
+
+// TestDecodeGoRuntimeProfile feeds the decoder a real CPU profile produced
+// by the Go runtime — the same shape cosmic-prof scrapes from
+// /debug/pprof/profile — proving the wire layer handles profiles we did not
+// write ourselves (mappings, addresses, packed and unpacked encodings).
+func TestDecodeGoRuntimeProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cannot start CPU profile: %v", err)
+	}
+	// Burn a little CPU so the profile likely has samples; the decode below
+	// does not depend on it.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	pprof.StopCPUProfile()
+	r, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decoding Go runtime CPU profile: %v", err)
+	}
+	if len(r.SampleType) != 2 {
+		t.Fatalf("CPU profile sample types: got %d want 2", len(r.SampleType))
+	}
+	if r.str(r.SampleType[1].Type) != "cpu" {
+		t.Errorf("sample type 1: got %q want cpu", r.str(r.SampleType[1].Type))
+	}
+	// Merging a runtime profile with itself must hold Check invariants.
+	m, err := Merge([]Input{{Raw: r, NodeLabel: "a"}, {Raw: r, NodeLabel: "b"}})
+	if err != nil {
+		t.Fatalf("merging runtime profile: %v", err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("merged runtime profile invalid: %v", err)
+	}
+}

@@ -1,0 +1,213 @@
+package profile
+
+import "fmt"
+
+// This file is the hand-rolled protobuf wire layer under the pprof
+// encoder/decoder: varints, field tags, and length-delimited records — the
+// three primitives profile.proto needs. Keeping it by hand (rather than
+// depending on a protobuf runtime) preserves the repo's zero-dependency
+// rule; pprof's schema is small and frozen enough that the ~150 lines here
+// are cheaper than the dependency.
+//
+// Wire types used: 0 (varint) and 2 (length-delimited). pprof's schema has
+// no fixed32/fixed64 fields, but the decoder still skips them correctly in
+// case a future writer adds some.
+
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+// encoder builds a protobuf message. Fields must be appended in ascending
+// field order for deterministic output (protobuf itself does not care).
+type encoder struct {
+	buf []byte
+}
+
+// uvarint appends a base-128 varint.
+func (e *encoder) uvarint(v uint64) {
+	for v >= 0x80 {
+		e.buf = append(e.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	e.buf = append(e.buf, byte(v))
+}
+
+// tag appends a field tag.
+func (e *encoder) tag(field int, wire int) {
+	e.uvarint(uint64(field)<<3 | uint64(wire))
+}
+
+// int64Field appends a varint field; zero values are omitted, matching
+// proto3 semantics (and keeping output canonical for golden tests).
+func (e *encoder) int64Field(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	e.tag(field, wireVarint)
+	e.uvarint(uint64(v))
+}
+
+// uint64Field appends a varint field for an unsigned value.
+func (e *encoder) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	e.tag(field, wireVarint)
+	e.uvarint(v)
+}
+
+// boolField appends a bool field (omitted when false).
+func (e *encoder) boolField(field int, v bool) {
+	if !v {
+		return
+	}
+	e.tag(field, wireVarint)
+	e.uvarint(1)
+}
+
+// bytesField appends a length-delimited field. Empty strings are still
+// emitted when emitEmpty is set — the string table's mandatory "" at index 0
+// must survive the round trip.
+func (e *encoder) bytesField(field int, b []byte, emitEmpty bool) {
+	if len(b) == 0 && !emitEmpty {
+		return
+	}
+	e.tag(field, wireBytes)
+	e.uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// packedUint64 appends a packed repeated varint field.
+func (e *encoder) packedUint64(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var body encoder
+	for _, v := range vs {
+		body.uvarint(v)
+	}
+	e.bytesField(field, body.buf, false)
+}
+
+// packedInt64 appends a packed repeated varint field of signed values.
+func (e *encoder) packedInt64(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	var body encoder
+	for _, v := range vs {
+		body.uvarint(uint64(v))
+	}
+	e.bytesField(field, body.buf, false)
+}
+
+// message appends an embedded message field.
+func (e *encoder) message(field int, body []byte) {
+	e.bytesField(field, body, true)
+}
+
+// decoder walks a protobuf message, dispatching each field to a callback.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+// uvarint reads one varint.
+func (d *decoder) uvarint() (uint64, error) {
+	var v uint64
+	for shift := 0; shift < 64; shift += 7 {
+		if d.pos >= len(d.buf) {
+			return 0, fmt.Errorf("profile: truncated varint")
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("profile: varint over 64 bits")
+}
+
+// bytes reads one length-delimited record.
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, fmt.Errorf("profile: length %d exceeds remaining %d bytes", n, len(d.buf)-d.pos)
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+// walk dispatches every field in the message to fn. fn receives the field
+// number, the wire type, the varint value (wire type 0) and the record bytes
+// (wire type 2); unknown fields may simply be ignored by fn. walk itself
+// skips fixed32/fixed64 records.
+func (d *decoder) walk(fn func(field int, wire int, v uint64, b []byte) error) error {
+	for d.pos < len(d.buf) {
+		tag, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		field, wire := int(tag>>3), int(tag&7)
+		if field == 0 {
+			return fmt.Errorf("profile: field number 0")
+		}
+		switch wire {
+		case wireVarint:
+			v, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case wireBytes:
+			b, err := d.bytes()
+			if err != nil {
+				return err
+			}
+			if err := fn(field, wire, 0, b); err != nil {
+				return err
+			}
+		case wireFixed64:
+			if len(d.buf)-d.pos < 8 {
+				return fmt.Errorf("profile: truncated fixed64")
+			}
+			d.pos += 8
+		case wireFixed32:
+			if len(d.buf)-d.pos < 4 {
+				return fmt.Errorf("profile: truncated fixed32")
+			}
+			d.pos += 4
+		default:
+			return fmt.Errorf("profile: unsupported wire type %d", wire)
+		}
+	}
+	return nil
+}
+
+// varints parses a record that a writer may have encoded packed (one
+// length-delimited blob of varints) or unpacked (one varint per occurrence),
+// appending the values to dst. Decoders must accept both forms.
+func varints(dst []uint64, wire int, v uint64, b []byte) ([]uint64, error) {
+	if wire == wireVarint {
+		return append(dst, v), nil
+	}
+	d := &decoder{buf: b}
+	for d.pos < len(d.buf) {
+		u, err := d.uvarint()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, u)
+	}
+	return dst, nil
+}

@@ -1,0 +1,508 @@
+// Package profile is a zero-dependency implementation of the pprof profile
+// format (profile.proto, gzip-compressed protobuf) — the interchange format
+// `go tool pprof`, Perfetto, and every continuous-profiling backend consume.
+//
+// It has three layers:
+//
+//   - Raw mirrors profile.proto field for field, with a hand-rolled wire
+//     encoder/decoder (proto.go). The decoder handles arbitrary conforming
+//     profiles — including the Go runtime's own CPU/heap profiles — so
+//     cluster merges work on real pprof data, not just our own output.
+//   - Profile is a builder over Raw for synthesizing profiles from
+//     measurements: it interns strings, functions, and locations, and
+//     coalesces samples with identical stacks and labels.
+//   - Merge and Top combine profiles across nodes and render the flat
+//     report `go tool pprof -top` would, so a cluster can be profiled with
+//     no external tooling.
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Raw is the decoded profile.proto message. Field names and numbers follow
+// github.com/google/pprof/proto/profile.proto; all string-valued fields are
+// indices into StringTable (index 0 is always "").
+type Raw struct {
+	SampleType        []RawValueType // 1
+	Sample            []RawSample    // 2
+	Mapping           []RawMapping   // 3
+	Location          []RawLocation  // 4
+	Function          []RawFunction  // 5
+	StringTable       []string       // 6
+	DropFrames        int64          // 7
+	KeepFrames        int64          // 8
+	TimeNanos         int64          // 9
+	DurationNanos     int64          // 10
+	PeriodType        RawValueType   // 11
+	Period            int64          // 12
+	Comment           []int64        // 13
+	DefaultSampleType int64          // 14
+}
+
+// RawValueType describes one dimension of a sample's value vector.
+type RawValueType struct {
+	Type int64 // 1
+	Unit int64 // 2
+}
+
+// RawSample is one measurement: a stack (leaf first, location IDs), a value
+// per sample type, and optional labels.
+type RawSample struct {
+	LocationID []uint64   // 1
+	Value      []int64    // 2
+	Label      []RawLabel // 3
+}
+
+// RawLabel is one sample annotation; Str or Num/NumUnit is set, not both.
+type RawLabel struct {
+	Key     int64 // 1
+	Str     int64 // 2
+	Num     int64 // 3
+	NumUnit int64 // 4
+}
+
+// RawMapping is one mapped binary region (native-code profiles only;
+// synthesized profiles carry none).
+type RawMapping struct {
+	ID              uint64 // 1
+	MemoryStart     uint64 // 2
+	MemoryLimit     uint64 // 3
+	FileOffset      uint64 // 4
+	Filename        int64  // 5
+	BuildID         int64  // 6
+	HasFunctions    bool   // 7
+	HasFilenames    bool   // 8
+	HasLineNumbers  bool   // 9
+	HasInlineFrames bool   // 10
+}
+
+// RawLocation is one stack frame site; Line[0] is the leaf-most inline
+// frame.
+type RawLocation struct {
+	ID        uint64    // 1
+	MappingID uint64    // 2
+	Address   uint64    // 3
+	Line      []RawLine // 4
+	IsFolded  bool      // 5
+}
+
+// RawLine resolves a location to a function and source line.
+type RawLine struct {
+	FunctionID uint64 // 1
+	Line       int64  // 2
+	Column     int64  // 3
+}
+
+// RawFunction names a function.
+type RawFunction struct {
+	ID         uint64 // 1
+	Name       int64  // 2
+	SystemName int64  // 3
+	Filename   int64  // 4
+	StartLine  int64  // 5
+}
+
+// str resolves a string-table index, tolerating out-of-range indices from
+// malformed inputs (they resolve to "").
+func (r *Raw) str(i int64) string {
+	if i < 0 || i >= int64(len(r.StringTable)) {
+		return ""
+	}
+	return r.StringTable[i]
+}
+
+// Check validates the cross-table invariants a conforming profile must hold;
+// Decode calls it, so a decoded profile is safe to index into.
+func (r *Raw) Check() error {
+	if len(r.StringTable) == 0 || r.StringTable[0] != "" {
+		return fmt.Errorf("profile: string table must start with \"\"")
+	}
+	if len(r.SampleType) == 0 {
+		return fmt.Errorf("profile: no sample types")
+	}
+	locs := make(map[uint64]bool, len(r.Location))
+	for _, l := range r.Location {
+		if l.ID == 0 {
+			return fmt.Errorf("profile: location with ID 0")
+		}
+		locs[l.ID] = true
+	}
+	funcs := make(map[uint64]bool, len(r.Function))
+	for _, f := range r.Function {
+		if f.ID == 0 {
+			return fmt.Errorf("profile: function with ID 0")
+		}
+		funcs[f.ID] = true
+	}
+	for _, l := range r.Location {
+		for _, ln := range l.Line {
+			if ln.FunctionID != 0 && !funcs[ln.FunctionID] {
+				return fmt.Errorf("profile: location %d references unknown function %d", l.ID, ln.FunctionID)
+			}
+		}
+	}
+	for i, s := range r.Sample {
+		if len(s.Value) != len(r.SampleType) {
+			return fmt.Errorf("profile: sample %d has %d values for %d sample types", i, len(s.Value), len(r.SampleType))
+		}
+		for _, id := range s.LocationID {
+			if !locs[id] {
+				return fmt.Errorf("profile: sample %d references unknown location %d", i, id)
+			}
+		}
+	}
+	return nil
+}
+
+// Encode serializes the profile as uncompressed protobuf bytes, fields in
+// ascending order — the output is deterministic for a given Raw.
+func (r *Raw) Encode() []byte {
+	var e encoder
+	for _, vt := range r.SampleType {
+		e.message(1, encodeValueType(vt))
+	}
+	for _, s := range r.Sample {
+		var se encoder
+		se.packedUint64(1, s.LocationID)
+		se.packedInt64(2, s.Value)
+		for _, l := range s.Label {
+			var le encoder
+			le.int64Field(1, l.Key)
+			le.int64Field(2, l.Str)
+			le.int64Field(3, l.Num)
+			le.int64Field(4, l.NumUnit)
+			se.message(3, le.buf)
+		}
+		e.message(2, se.buf)
+	}
+	for _, m := range r.Mapping {
+		var me encoder
+		me.uint64Field(1, m.ID)
+		me.uint64Field(2, m.MemoryStart)
+		me.uint64Field(3, m.MemoryLimit)
+		me.uint64Field(4, m.FileOffset)
+		me.int64Field(5, m.Filename)
+		me.int64Field(6, m.BuildID)
+		me.boolField(7, m.HasFunctions)
+		me.boolField(8, m.HasFilenames)
+		me.boolField(9, m.HasLineNumbers)
+		me.boolField(10, m.HasInlineFrames)
+		e.message(3, me.buf)
+	}
+	for _, l := range r.Location {
+		var le encoder
+		le.uint64Field(1, l.ID)
+		le.uint64Field(2, l.MappingID)
+		le.uint64Field(3, l.Address)
+		for _, ln := range l.Line {
+			var lne encoder
+			lne.uint64Field(1, ln.FunctionID)
+			lne.int64Field(2, ln.Line)
+			lne.int64Field(3, ln.Column)
+			le.message(4, lne.buf)
+		}
+		le.boolField(5, l.IsFolded)
+		e.message(4, le.buf)
+	}
+	for _, f := range r.Function {
+		var fe encoder
+		fe.uint64Field(1, f.ID)
+		fe.int64Field(2, f.Name)
+		fe.int64Field(3, f.SystemName)
+		fe.int64Field(4, f.Filename)
+		fe.int64Field(5, f.StartLine)
+		e.message(5, fe.buf)
+	}
+	for _, s := range r.StringTable {
+		e.bytesField(6, []byte(s), true)
+	}
+	e.int64Field(7, r.DropFrames)
+	e.int64Field(8, r.KeepFrames)
+	e.int64Field(9, r.TimeNanos)
+	e.int64Field(10, r.DurationNanos)
+	if r.PeriodType != (RawValueType{}) {
+		e.message(11, encodeValueType(r.PeriodType))
+	}
+	e.int64Field(12, r.Period)
+	e.packedInt64(13, r.Comment)
+	e.int64Field(14, r.DefaultSampleType)
+	return e.buf
+}
+
+func encodeValueType(vt RawValueType) []byte {
+	var e encoder
+	e.int64Field(1, vt.Type)
+	e.int64Field(2, vt.Unit)
+	return e.buf
+}
+
+// WriteTo writes the profile in the on-disk pprof format: gzip-compressed
+// protobuf (the framing every pprof consumer expects of a .pb.gz file).
+func (r *Raw) Write(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(r.Encode()); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// WriteFile writes the profile to path in .pb.gz framing.
+func (r *Raw) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Decode parses a pprof profile from data, accepting both gzip-compressed
+// (the on-disk framing) and raw protobuf bytes, and validates it with Check.
+func Decode(data []byte) (*Raw, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("profile: gunzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("profile: gunzip: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("profile: gunzip: %w", err)
+		}
+		data = raw
+	}
+	r := &Raw{}
+	d := &decoder{buf: data}
+	err := d.walk(func(field, wire int, v uint64, b []byte) error {
+		switch field {
+		case 1, 11:
+			vt, err := decodeValueType(b)
+			if err != nil {
+				return err
+			}
+			if field == 1 {
+				r.SampleType = append(r.SampleType, vt)
+			} else {
+				r.PeriodType = vt
+			}
+		case 2:
+			s, err := decodeSample(b)
+			if err != nil {
+				return err
+			}
+			r.Sample = append(r.Sample, s)
+		case 3:
+			m, err := decodeMapping(b)
+			if err != nil {
+				return err
+			}
+			r.Mapping = append(r.Mapping, m)
+		case 4:
+			l, err := decodeLocation(b)
+			if err != nil {
+				return err
+			}
+			r.Location = append(r.Location, l)
+		case 5:
+			f, err := decodeFunction(b)
+			if err != nil {
+				return err
+			}
+			r.Function = append(r.Function, f)
+		case 6:
+			r.StringTable = append(r.StringTable, string(b))
+		case 7:
+			r.DropFrames = int64(v)
+		case 8:
+			r.KeepFrames = int64(v)
+		case 9:
+			r.TimeNanos = int64(v)
+		case 10:
+			r.DurationNanos = int64(v)
+		case 12:
+			r.Period = int64(v)
+		case 13:
+			us, err := varints(nil, wire, v, b)
+			if err != nil {
+				return err
+			}
+			for _, u := range us {
+				r.Comment = append(r.Comment, int64(u))
+			}
+		case 14:
+			r.DefaultSampleType = int64(v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Check(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ReadFile decodes a .pb.gz (or raw protobuf) profile from path.
+func ReadFile(path string) (*Raw, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+func decodeValueType(b []byte) (RawValueType, error) {
+	var vt RawValueType
+	d := &decoder{buf: b}
+	err := d.walk(func(field, wire int, v uint64, _ []byte) error {
+		switch field {
+		case 1:
+			vt.Type = int64(v)
+		case 2:
+			vt.Unit = int64(v)
+		}
+		return nil
+	})
+	return vt, err
+}
+
+func decodeSample(b []byte) (RawSample, error) {
+	var s RawSample
+	d := &decoder{buf: b}
+	err := d.walk(func(field, wire int, v uint64, b []byte) error {
+		switch field {
+		case 1:
+			var err error
+			s.LocationID, err = varints(s.LocationID, wire, v, b)
+			return err
+		case 2:
+			us, err := varints(nil, wire, v, b)
+			if err != nil {
+				return err
+			}
+			for _, u := range us {
+				s.Value = append(s.Value, int64(u))
+			}
+		case 3:
+			var l RawLabel
+			ld := &decoder{buf: b}
+			if err := ld.walk(func(field, wire int, v uint64, _ []byte) error {
+				switch field {
+				case 1:
+					l.Key = int64(v)
+				case 2:
+					l.Str = int64(v)
+				case 3:
+					l.Num = int64(v)
+				case 4:
+					l.NumUnit = int64(v)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			s.Label = append(s.Label, l)
+		}
+		return nil
+	})
+	return s, err
+}
+
+func decodeMapping(b []byte) (RawMapping, error) {
+	var m RawMapping
+	d := &decoder{buf: b}
+	err := d.walk(func(field, wire int, v uint64, _ []byte) error {
+		switch field {
+		case 1:
+			m.ID = v
+		case 2:
+			m.MemoryStart = v
+		case 3:
+			m.MemoryLimit = v
+		case 4:
+			m.FileOffset = v
+		case 5:
+			m.Filename = int64(v)
+		case 6:
+			m.BuildID = int64(v)
+		case 7:
+			m.HasFunctions = v != 0
+		case 8:
+			m.HasFilenames = v != 0
+		case 9:
+			m.HasLineNumbers = v != 0
+		case 10:
+			m.HasInlineFrames = v != 0
+		}
+		return nil
+	})
+	return m, err
+}
+
+func decodeLocation(b []byte) (RawLocation, error) {
+	var l RawLocation
+	d := &decoder{buf: b}
+	err := d.walk(func(field, wire int, v uint64, b []byte) error {
+		switch field {
+		case 1:
+			l.ID = v
+		case 2:
+			l.MappingID = v
+		case 3:
+			l.Address = v
+		case 4:
+			var ln RawLine
+			ld := &decoder{buf: b}
+			if err := ld.walk(func(field, wire int, v uint64, _ []byte) error {
+				switch field {
+				case 1:
+					ln.FunctionID = v
+				case 2:
+					ln.Line = int64(v)
+				case 3:
+					ln.Column = int64(v)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			l.Line = append(l.Line, ln)
+		case 5:
+			l.IsFolded = v != 0
+		}
+		return nil
+	})
+	return l, err
+}
+
+func decodeFunction(b []byte) (RawFunction, error) {
+	var f RawFunction
+	d := &decoder{buf: b}
+	err := d.walk(func(field, wire int, v uint64, _ []byte) error {
+		switch field {
+		case 1:
+			f.ID = v
+		case 2:
+			f.Name = int64(v)
+		case 3:
+			f.SystemName = int64(v)
+		case 4:
+			f.Filename = int64(v)
+		case 5:
+			f.StartLine = int64(v)
+		}
+		return nil
+	})
+	return f, err
+}

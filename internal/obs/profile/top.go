@@ -1,0 +1,112 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// topRow is one function's aggregate in a flat report.
+type topRow struct {
+	name string
+	flat int64
+	cum  int64
+}
+
+// Top writes a pprof-style flat report for one sample type (by index into
+// SampleType) to w, limited to the top maxRows functions (0 = all). Flat is
+// the value attributed to a function as the leaf frame; cum counts every
+// sample the function appears anywhere in (each function at most once per
+// sample, so recursive stacks don't double-count).
+func Top(w io.Writer, r *Raw, sampleIndex, maxRows int) error {
+	if sampleIndex < 0 || sampleIndex >= len(r.SampleType) {
+		return fmt.Errorf("profile: sample index %d out of range (%d types)", sampleIndex, len(r.SampleType))
+	}
+	funcName := make(map[uint64]string, len(r.Function))
+	for _, f := range r.Function {
+		funcName[f.ID] = r.str(f.Name)
+	}
+	// A location's display name: its leaf-most line's function, or a hex
+	// address for unsymbolized native frames.
+	locName := make(map[uint64]string, len(r.Location))
+	for _, l := range r.Location {
+		name := ""
+		if len(l.Line) > 0 {
+			name = funcName[l.Line[0].FunctionID]
+		}
+		if name == "" {
+			name = fmt.Sprintf("0x%x", l.Address)
+		}
+		locName[l.ID] = name
+	}
+
+	flat := map[string]int64{}
+	cum := map[string]int64{}
+	var total int64
+	seen := map[string]bool{}
+	for _, s := range r.Sample {
+		v := s.Value[sampleIndex]
+		total += v
+		if len(s.LocationID) == 0 {
+			flat["<unknown>"] += v
+			cum["<unknown>"] += v
+			continue
+		}
+		flat[locName[s.LocationID[0]]] += v
+		clear(seen)
+		for _, id := range s.LocationID {
+			name := locName[id]
+			if !seen[name] {
+				seen[name] = true
+				cum[name] += v
+			}
+		}
+	}
+
+	rows := make([]topRow, 0, len(cum))
+	for name, c := range cum {
+		rows = append(rows, topRow{name: name, flat: flat[name], cum: c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].flat != rows[j].flat {
+			return rows[i].flat > rows[j].flat
+		}
+		if rows[i].cum != rows[j].cum {
+			return rows[i].cum > rows[j].cum
+		}
+		return rows[i].name < rows[j].name
+	})
+	shown := len(rows)
+	if maxRows > 0 && shown > maxRows {
+		shown = maxRows
+	}
+
+	typ := r.str(r.SampleType[sampleIndex].Type)
+	unit := r.str(r.SampleType[sampleIndex].Unit)
+	fmt.Fprintf(w, "Showing nodes accounting for top %d of %d functions, %s (%s), total %d\n",
+		shown, len(rows), typ, unit, total)
+	fmt.Fprintf(w, "      flat  flat%%   sum%%        cum   cum%%   name\n")
+	pct := func(v int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(v) / float64(total)
+	}
+	var sum int64
+	for _, row := range rows[:shown] {
+		sum += row.flat
+		fmt.Fprintf(w, "%10d %5.2f%% %5.2f%% %10d %5.2f%%   %s\n",
+			row.flat, pct(row.flat), pct(sum), row.cum, pct(row.cum), row.name)
+	}
+	return nil
+}
+
+// SampleTypeIndex returns the index of the named sample type, or -1.
+func SampleTypeIndex(r *Raw, name string) int {
+	for i, st := range r.SampleType {
+		if r.str(st.Type) == name {
+			return i
+		}
+	}
+	return -1
+}

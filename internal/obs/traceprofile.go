@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/obs/profile"
+)
+
+// TraceToProfile converts recorded trace spans into a pprof profile with
+// two sample types: "wall" (nanoseconds, host-domain spans) and "cycles"
+// (simulated cycles, accelerator-domain spans). Each complete span becomes
+// a sample whose stack is its enclosing-span chain (leaf first, category as
+// the root frame) and whose value is its *self* time — its duration minus
+// the duration of the spans it directly encloses — so stacking round →
+// broadcast → send spans does not double-count. Spans are nested per trace
+// row (pid, tid) by interval containment; a span partially overlapping its
+// predecessor is treated as a sibling. Named threads contribute a "node"
+// label, and every sample carries a "domain" label ("host" or "accel"),
+// so merged cluster profiles stay separable with pprof's -tagfocus.
+func TraceToProfile(events []Event) *profile.Raw {
+	p := profile.New(
+		profile.ValueType{Type: "wall", Unit: "nanoseconds"},
+		profile.ValueType{Type: "cycles", Unit: "cycles"},
+	)
+	p.SetDefaultSampleType("wall")
+	p.SetPeriod(1, profile.ValueType{Type: "cycles", Unit: "cycles"})
+
+	type row struct{ pid, tid int }
+	names := map[row]string{}
+	groups := map[row][]Event{}
+	for _, e := range events {
+		r := row{e.PID, e.TID}
+		if e.Phase == "M" && e.Name == "thread_name" {
+			if n, ok := e.Args["name"].(string); ok {
+				names[r] = n
+			}
+			continue
+		}
+		if e.Phase != "X" {
+			continue
+		}
+		groups[r] = append(groups[r], e)
+	}
+	rows := make([]row, 0, len(groups))
+	for r := range groups {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].pid != rows[j].pid {
+			return rows[i].pid < rows[j].pid
+		}
+		return rows[i].tid < rows[j].tid
+	})
+
+	for _, r := range rows {
+		spans := groups[r]
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].TS != spans[j].TS {
+				return spans[i].TS < spans[j].TS
+			}
+			return spans[i].Dur > spans[j].Dur // widest first: parents open before children
+		})
+
+		var labels []profile.Label
+		if r.pid == PIDAccel {
+			labels = append(labels, profile.Label{Key: "domain", Str: "accel"})
+		} else {
+			labels = append(labels, profile.Label{Key: "domain", Str: "host"})
+		}
+		if n := names[r]; n != "" {
+			labels = append(labels, profile.Label{Key: "node", Str: n})
+		}
+
+		type open struct {
+			e        Event
+			end      int64
+			childDur int64
+		}
+		var stack []open
+		emit := func() {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			self := top.e.Dur - top.childDur
+			if self < 0 {
+				self = 0
+			}
+			frames := make([]string, 0, len(stack)+2)
+			frames = append(frames, top.e.Name)
+			for i := len(stack) - 1; i >= 0; i-- {
+				frames = append(frames, stack[i].e.Name)
+			}
+			if top.e.Cat != "" {
+				frames = append(frames, top.e.Cat)
+			}
+			if r.pid == PIDAccel {
+				p.Add([]int64{0, self}, frames, labels...)
+			} else {
+				p.Add([]int64{self * 1000, 0}, frames, labels...)
+			}
+			if len(stack) > 0 {
+				stack[len(stack)-1].childDur += top.e.Dur
+			}
+		}
+		for _, e := range spans {
+			for len(stack) > 0 && e.TS+e.Dur > stack[len(stack)-1].end {
+				emit()
+			}
+			stack = append(stack, open{e: e, end: e.TS + e.Dur})
+		}
+		for len(stack) > 0 {
+			emit()
+		}
+	}
+	return p.Raw()
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/obs/profile"
+)
+
+// TestTraceToProfileSelfTime pins the interval-nesting math: a 100µs round
+// enclosing a 30µs broadcast and a 20µs delta-compute must contribute 50µs
+// of self wall time, with the children stacked under it.
+func TestTraceToProfileSelfTime(t *testing.T) {
+	events := []Event{
+		{Phase: "M", Name: "thread_name", PID: PIDHost, TID: 1, Args: map[string]any{"name": "node 1 (master)"}},
+		{Phase: "X", Cat: "round", Name: "round", TS: 0, Dur: 100, PID: PIDHost, TID: 1},
+		{Phase: "X", Cat: "round", Name: "broadcast", TS: 5, Dur: 30, PID: PIDHost, TID: 1},
+		{Phase: "X", Cat: "round", Name: "delta-compute", TS: 40, Dur: 20, PID: PIDHost, TID: 1},
+		// A second row in the accelerator domain, cycles not wall time.
+		{Phase: "X", Cat: "sim", Name: "thread-compute", TS: 0, Dur: 400, PID: PIDAccel, TID: 0},
+	}
+	r := TraceToProfile(events)
+	if err := r.Check(); err != nil {
+		t.Fatalf("invalid profile: %v", err)
+	}
+	wi := profile.SampleTypeIndex(r, "wall")
+	ci := profile.SampleTypeIndex(r, "cycles")
+	if wi < 0 || ci < 0 {
+		t.Fatalf("missing sample types: wall=%d cycles=%d", wi, ci)
+	}
+
+	// Resolve each sample to its leaf-first frame names.
+	funcName := map[uint64]string{}
+	for _, f := range r.Function {
+		funcName[f.ID] = r.StringTable[f.Name]
+	}
+	locName := map[uint64]string{}
+	for _, l := range r.Location {
+		locName[l.ID] = funcName[l.Line[0].FunctionID]
+	}
+	byLeaf := map[string]RawSampleView{}
+	for _, s := range r.Sample {
+		frames := make([]string, len(s.LocationID))
+		for i, id := range s.LocationID {
+			frames[i] = locName[id]
+		}
+		labels := map[string]string{}
+		for _, l := range s.Label {
+			labels[r.StringTable[l.Key]] = r.StringTable[l.Str]
+		}
+		byLeaf[frames[0]] = RawSampleView{Frames: frames, Wall: s.Value[wi], Cycles: s.Value[ci], Labels: labels}
+	}
+
+	round := byLeaf["round"]
+	if round.Wall != 50*1000 {
+		t.Errorf("round self wall = %d ns, want 50000 (100µs − 30µs − 20µs children)", round.Wall)
+	}
+	if len(round.Frames) != 2 || round.Frames[1] != "round" {
+		// leaf "round" + category root "round"
+		t.Errorf("round frames = %v", round.Frames)
+	}
+	bc := byLeaf["broadcast"]
+	if bc.Wall != 30*1000 {
+		t.Errorf("broadcast self wall = %d ns, want 30000", bc.Wall)
+	}
+	if len(bc.Frames) != 3 || bc.Frames[1] != "round" {
+		t.Errorf("broadcast must stack under round: %v", bc.Frames)
+	}
+	if bc.Labels["node"] != "node 1 (master)" || bc.Labels["domain"] != "host" {
+		t.Errorf("broadcast labels = %v", bc.Labels)
+	}
+	tc := byLeaf["thread-compute"]
+	if tc.Cycles != 400 || tc.Wall != 0 {
+		t.Errorf("accel span: wall=%d cycles=%d, want 0/400", tc.Wall, tc.Cycles)
+	}
+	if tc.Labels["domain"] != "accel" {
+		t.Errorf("accel labels = %v", tc.Labels)
+	}
+
+	// Total wall time must equal the root span's full duration.
+	var totalWall int64
+	for _, s := range r.Sample {
+		totalWall += s.Value[wi]
+	}
+	if totalWall != 100*1000 {
+		t.Errorf("total wall = %d ns, want 100000 (no double counting)", totalWall)
+	}
+}
+
+// RawSampleView is a resolved sample used by trace-profile tests.
+type RawSampleView struct {
+	Frames []string
+	Wall   int64
+	Cycles int64
+	Labels map[string]string
+}
+
+// TestTraceToProfileSiblingOverlap: a span that starts inside but ends
+// after its predecessor is a sibling, not a child — both keep full self
+// time.
+func TestTraceToProfileSiblingOverlap(t *testing.T) {
+	events := []Event{
+		{Phase: "X", Name: "a", TS: 0, Dur: 50, PID: PIDHost, TID: 0},
+		{Phase: "X", Name: "b", TS: 40, Dur: 50, PID: PIDHost, TID: 0},
+	}
+	r := TraceToProfile(events)
+	wi := profile.SampleTypeIndex(r, "wall")
+	var total int64
+	for _, s := range r.Sample {
+		if len(s.LocationID) != 1 {
+			t.Errorf("overlapping spans must be siblings (stack depth 1), got depth %d", len(s.LocationID))
+		}
+		total += s.Value[wi]
+	}
+	if total != 100*1000 {
+		t.Errorf("total wall = %d, want 100000", total)
+	}
+}
+
+// TestTraceToProfileFromTracer runs the converter over a real tracer's
+// output end to end.
+func TestTraceToProfileFromTracer(t *testing.T) {
+	tr := NewTracer()
+	tr.NameThread(PIDHost, 3, "node 3 (delta)")
+	sp := tr.Begin("round", "round", 3)
+	inner := tr.Begin("round", "delta-compute", 3)
+	inner.End()
+	sp.End()
+	tr.Cycles("sim", "pe-busy", 0, 0, 123, nil)
+	r := TraceToProfile(tr.Events())
+	if err := r.Check(); err != nil {
+		t.Fatalf("invalid profile: %v", err)
+	}
+	ci := profile.SampleTypeIndex(r, "cycles")
+	var cyc int64
+	for _, s := range r.Sample {
+		cyc += s.Value[ci]
+	}
+	if cyc != 123 {
+		t.Errorf("cycles total = %d, want 123", cyc)
+	}
+}

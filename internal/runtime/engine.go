@@ -9,6 +9,7 @@ import (
 	"repro/internal/dfg"
 	"repro/internal/dsl"
 	"repro/internal/ml"
+	"repro/internal/obs/profile"
 )
 
 // Engine computes a node's locally aggregated partial update for one
@@ -101,6 +102,10 @@ type AccelEngine struct {
 	LR   float64
 	Agg  dsl.AggregatorKind
 
+	// simMu guards the lazily built simulator: PartialUpdate runs on the
+	// node's drive goroutine while CycleProfile is served from HTTP scrape
+	// goroutines.
+	simMu  sync.Mutex
 	sim    *accel.Sim
 	cycles int64
 }
@@ -109,14 +114,34 @@ type AccelEngine struct {
 func (e *AccelEngine) Name() string { return "accelerator-sim" }
 
 // Cycles returns the accumulated simulated cycle count.
-func (e *AccelEngine) Cycles() int64 { return e.cycles }
+func (e *AccelEngine) Cycles() int64 {
+	e.simMu.Lock()
+	defer e.simMu.Unlock()
+	return e.cycles
+}
+
+// CycleProfile snapshots the simulator's per-op cycle attribution as a
+// pprof profile (see accel.Sim.CycleProfile). It errors until the engine
+// has simulated at least one batch.
+func (e *AccelEngine) CycleProfile() (*profile.Raw, error) {
+	e.simMu.Lock()
+	sim := e.sim
+	e.simMu.Unlock()
+	if sim == nil {
+		return nil, fmt.Errorf("runtime: accelerator engine has not run yet")
+	}
+	return sim.CycleProfile()
+}
 
 // PartialUpdate runs the shard through the simulated accelerator's MIMD
 // threads and returns the flattened partial.
 func (e *AccelEngine) PartialUpdate(model []float64, shard []ml.Sample) ([]float64, error) {
+	e.simMu.Lock()
 	if e.sim == nil {
 		e.sim = accel.New(e.Prog)
 	}
+	sim := e.sim
+	e.simMu.Unlock()
 	threads := e.Prog.Plan.Threads
 	parts := make([][]map[string][]float64, threads)
 	for t, part := range ml.Partition(shard, threads) {
@@ -124,11 +149,13 @@ func (e *AccelEngine) PartialUpdate(model []float64, shard []ml.Sample) ([]float
 			parts[t] = append(parts[t], e.Alg.PackSample(s))
 		}
 	}
-	res, err := e.sim.RunBatch(e.Alg.PackModel(model), parts, e.LR, e.Agg)
+	res, err := sim.RunBatch(e.Alg.PackModel(model), parts, e.LR, e.Agg)
 	if err != nil {
 		return nil, err
 	}
+	e.simMu.Lock()
 	e.cycles += res.Cycles
+	e.simMu.Unlock()
 	switch e.Agg {
 	case dsl.AggAverage:
 		return FlattenModel(e.Alg, res.Partial), nil

@@ -152,6 +152,10 @@ func (n *Node) Addr() string {
 // Err returns the first fatal error the node hit.
 func (n *Node) Err() error { return n.err }
 
+// Engine returns the node's compute engine (set at configuration, read-only
+// after). HTTP handlers use it to reach an AccelEngine's cycle profile.
+func (n *Node) Engine() Engine { return n.cfg.Engine }
+
 func (n *Node) fail(err error) {
 	if err == nil {
 		return

@@ -7,8 +7,14 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dsl"
 	"repro/internal/ml"
+	"repro/internal/obs/profile"
 	"repro/internal/runtime"
 )
+
+// CycleProfileData is a decoded pprof profile (re-exported so callers can
+// write or merge cycle profiles without importing internal packages). Its
+// WriteFile method emits the standard .pb.gz framing.
+type CycleProfileData = profile.Raw
 
 // Algorithm re-exports the trainable-algorithm interface.
 type Algorithm = ml.Algorithm
@@ -82,6 +88,11 @@ type TrainResult struct {
 	// NetworkSentBytes/NetworkReceivedBytes sum the frame bytes every node
 	// moved during the run.
 	NetworkSentBytes, NetworkReceivedBytes int64
+	// CycleProfile is the merged per-node cycle attribution (simulator
+	// engine only, nil otherwise): a pprof profile whose samples attribute
+	// every simulated cycle to DFG ops, labeled per node. Write it with
+	// WriteProfileFile and inspect with `go tool pprof -top`.
+	CycleProfile *CycleProfileData
 }
 
 // Train runs distributed training of alg over data on an in-process
@@ -157,9 +168,20 @@ func Train(alg Algorithm, data []Sample, model []float64, cfg ClusterConfig) (Tr
 	res.RoundP50, res.RoundP95, res.RoundMax = stats.RoundP50, stats.RoundP95, stats.RoundMax
 	res.NetworkSentBytes, res.NetworkReceivedBytes = stats.NetworkSentBytes, stats.NetworkReceivedBytes
 	res.FinalLoss = ml.MeanLoss(alg, trained, data)
-	for _, e := range engines {
+	var profInputs []profile.Input
+	for i, e := range engines {
 		if ae, ok := e.(*runtime.AccelEngine); ok {
 			res.AccelCycles += ae.Cycles()
+			if raw, err := ae.CycleProfile(); err == nil {
+				profInputs = append(profInputs, profile.Input{
+					Raw: raw, NodeLabel: fmt.Sprintf("node-%d", i),
+				})
+			}
+		}
+	}
+	if len(profInputs) > 0 {
+		if merged, err := profile.Merge(profInputs); err == nil {
+			res.CycleProfile = merged
 		}
 	}
 	return res, nil
