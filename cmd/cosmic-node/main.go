@@ -29,17 +29,22 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/deploy"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/runtime"
 )
 
 func main() {
 	join := flag.String("join", "", "master control address to join")
-	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and /debug/pprof/ on this address while training")
+	httpAddr := flag.String("http", "", "serve /metrics, /healthz, /query, /dash, /alerts, and /debug/pprof/ on this address while training")
 	tracePath := flag.String("trace", "", "write this node's Chrome trace-event JSON here on exit (merge with cosmic-trace)")
 	chunkWords := flag.Int("chunk-words", 0, "assert the cluster's streaming-chunk boundary (0 = accept the Director's; a mismatch is an error)")
+	scrapeInterval := flag.Duration("scrape-interval", 250*time.Millisecond, "how often the node samples its own registry into the local TSDB")
+	retention := flag.Duration("retention", 15*time.Minute, "how long the node's local TSDB keeps raw samples")
+	alertsFile := flag.String("alerts", "", "JSON file of alert rules evaluated against the node's local TSDB every sample tick")
 	flag.Parse()
 	if *join == "" {
 		fmt.Fprintln(os.Stderr, "cosmic-node: -join <addr> is required")
@@ -51,19 +56,56 @@ func main() {
 	if *httpAddr != "" || *tracePath != "" {
 		o = obs.New()
 	}
+	var rules []tsdb.Rule
+	if *alertsFile != "" {
+		var err error
+		if rules, err = tsdb.LoadRulesFile(*alertsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "cosmic-node: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	var cycles *obs.ProfileSource
+	var eval *tsdb.Evaluator
+	var stopSampler chan struct{}
 	if *httpAddr != "" {
 		health = obs.NewHealth()
 		cycles = obs.NewProfileSource()
+		// The node's own TSDB: a self-sampler goroutine folds the local
+		// registry into it, so /query and /dash work against a single
+		// worker exactly as against the Director's federated view.
+		store := tsdb.NewStore(tsdb.Options{Retention: *retention})
+		var err error
+		if eval, err = tsdb.NewEvaluator(rules, o.Registry(), logger, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "cosmic-node: %v\n", err)
+			os.Exit(1)
+		}
+		stopSampler = make(chan struct{})
+		go func() {
+			ticker := time.NewTicker(*scrapeInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopSampler:
+					return
+				case <-ticker.C:
+				}
+				now := time.Now().UnixMilli()
+				store.AppendSet(now, o.Registry().Snapshot())
+				eval.Eval(store, now)
+			}
+		}()
 		mux := obs.NewNodeMux(o.Registry(), health)
 		mux.Handle(obs.CycleProfilePath, cycles.Handler())
+		mux.Handle("/query", store.QueryHandler())
+		mux.Handle("/dash", tsdb.DashHandler())
+		mux.Handle("/alerts", eval.Handler())
 		srv := &http.Server{Addr: *httpAddr, Handler: mux}
 		go func() {
 			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "cosmic-node: http: %v\n", err)
 			}
 		}()
-		fmt.Printf("cosmic-node: serving /metrics, /healthz, /debug/pprof/, and %s on %s\n",
+		fmt.Printf("cosmic-node: serving /metrics, /healthz, /query, /dash, /alerts, /debug/pprof/, and %s on %s\n",
 			obs.CycleProfilePath, *httpAddr)
 	}
 	err := deploy.RunWorkerOpts(*join, deploy.WorkerOptions{
@@ -75,6 +117,9 @@ func main() {
 			if ae, ok := n.Engine().(*runtime.AccelEngine); ok {
 				cycles.Set(ae.CycleProfile)
 			}
+			// Alert transitions land in the node's flight recorder next to
+			// its wire events, so a diag bundle carries alert context.
+			eval.SetFlight(n.Flight())
 			if health == nil {
 				return
 			}
@@ -92,6 +137,9 @@ func main() {
 				})
 		},
 	})
+	if stopSampler != nil {
+		close(stopSampler)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cosmic-node: %v\n", err)
 		os.Exit(1)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/deploy"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 )
 
 func main() {
@@ -42,14 +43,37 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a Prometheus text exposition here")
 	cycleProfPath := flag.String("cycleprofile", "", "with -simulate: write the cluster's merged per-node cycle pprof profile here (.pb.gz)")
 	profilePath := flag.String("profile", "", "write a wall-time pprof profile of the run's trace spans here (.pb.gz)")
-	httpAddr := flag.String("http", "", "multi-process mode: serve the Director's federated /metrics and /cluster roster on this address")
+	httpAddr := flag.String("http", "", "multi-process mode: serve the Director's federated /metrics, /cluster roster, /query, /dash, and /alerts on this address")
 	stragglerK := flag.Float64("straggler-k", 2, "flag a node straggling when its round latency exceeds k×cluster-p50")
 	stragglerM := flag.Int("straggler-m", 3, "consecutive slow scrapes before a node is flagged")
+	scrapeInterval := flag.Duration("scrape-interval", 250*time.Millisecond, "multi-process mode: how often the Director scrapes worker stats and folds them into the TSDB")
+	retention := flag.Duration("retention", 15*time.Minute, "multi-process mode: how long the Director's TSDB keeps raw samples")
+	alertsFile := flag.String("alerts", "", "multi-process mode: JSON file of alert rules evaluated every scrape tick (see README)")
 	chunkWords := flag.Int("chunk-words", 0, "streaming-chunk boundary in vector elements (0 = default 4096; must be a power of two)")
 	monolithic := flag.Bool("monolithic", false, "ship whole-vector frames instead of streaming chunks (pre-streaming wire behavior)")
 	flag.Parse()
 
 	if *listen != "" {
+		opts := deploy.MasterOptions{
+			StragglerK: *stragglerK,
+			StragglerM: *stragglerM,
+			Retention:  *retention,
+			Logger:     slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		}
+		if *alertsFile != "" {
+			rules, err := tsdb.LoadRulesFile(*alertsFile)
+			if err != nil {
+				fatal(err)
+			}
+			opts.AlertRules = rules
+		}
+		if *httpAddr != "" {
+			opts.HTTPAddr = *httpAddr
+			opts.ScrapeInterval = *scrapeInterval
+			opts.OnHTTP = func(a string) {
+				fmt.Printf("director:  serving /metrics, /cluster, /query, /dash, and /alerts on %s\n", a)
+			}
+		}
 		runDistributed(*listen, deploy.Spec{
 			Nodes: *nodes, Groups: *groups,
 			Benchmark: *benchName, Scale: *scale,
@@ -58,7 +82,7 @@ func main() {
 			Average:    true,
 			ChunkWords: *chunkWords, Monolithic: *monolithic,
 			Simulate: *useSim,
-		}, *httpAddr, *tracePath, *profilePath, *stragglerK, *stragglerM)
+		}, opts, *tracePath, *profilePath)
 		return
 	}
 
@@ -167,31 +191,20 @@ func main() {
 }
 
 // runDistributed hosts the System Director and the master Sigma, waiting
-// for external cosmic-node worker processes to join. With httpAddr set the
-// Director scrapes every worker's metrics over the control plane, serves
-// the federated /metrics and the /cluster roster, and flags stragglers.
-func runDistributed(addr string, spec deploy.Spec, httpAddr, tracePath, profilePath string, stragglerK float64, stragglerM int) {
+// for external cosmic-node worker processes to join. With opts.HTTPAddr set
+// the Director scrapes every worker's metrics over the control plane, folds
+// them into its TSDB, serves /metrics, /cluster, /query, /dash, and
+// /alerts, and flags stragglers.
+func runDistributed(addr string, spec deploy.Spec, opts deploy.MasterOptions, tracePath, profilePath string) {
 	fmt.Printf("master:    listening on %s; waiting for %d cosmic-node workers to join\n",
 		addr, spec.Nodes-1)
-	opts := deploy.MasterOptions{
-		StragglerK: stragglerK,
-		StragglerM: stragglerM,
-		Logger:     slog.New(slog.NewTextHandler(os.Stderr, nil)),
-	}
-	if httpAddr != "" || tracePath != "" || profilePath != "" {
+	if opts.HTTPAddr != "" || tracePath != "" || profilePath != "" {
 		opts.Obs = obs.New()
 	}
 	if tracePath != "" {
 		// Trace propagation rides the wire frames; workers started with
 		// -trace record the same trace IDs for cosmic-trace to merge.
 		opts.TraceIDBase = 1 << 32
-	}
-	if httpAddr != "" {
-		opts.HTTPAddr = httpAddr
-		opts.ScrapeInterval = 250 * time.Millisecond
-		opts.OnHTTP = func(a string) {
-			fmt.Printf("director:  serving federated /metrics and /cluster on %s\n", a)
-		}
 	}
 	res, err := deploy.RunMasterOpts(addr, spec, opts)
 	if err != nil {

@@ -40,6 +40,7 @@ import (
 	"repro/internal/dsl"
 	"repro/internal/ml"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/runtime"
 )
 
@@ -227,20 +228,35 @@ func scrapeWorker(conn *cosmicnet.Conn, seq uint32) (NodeStats, error) {
 }
 
 // clusterView is the Director's live roster — the last stats scraped from
-// every node plus the current straggler flags — served as /cluster.
+// every node, when each last answered, how many scrapes of it have failed,
+// and the current straggler flags — served as /cluster.
 type clusterView struct {
 	mu         sync.Mutex
 	nodes      map[uint32]NodeStats
+	seen       map[uint32]time.Time
+	scrapeErrs map[uint32]int64
 	stragglers []string
 }
 
 func newClusterView() *clusterView {
-	return &clusterView{nodes: make(map[uint32]NodeStats)}
+	return &clusterView{
+		nodes:      make(map[uint32]NodeStats),
+		seen:       make(map[uint32]time.Time),
+		scrapeErrs: make(map[uint32]int64),
+	}
 }
 
 func (cv *clusterView) update(st NodeStats) {
 	cv.mu.Lock()
 	cv.nodes[st.ID] = st
+	cv.seen[st.ID] = time.Now()
+	cv.mu.Unlock()
+}
+
+// scrapeError counts one failed scrape of a node.
+func (cv *clusterView) scrapeError(id uint32) {
+	cv.mu.Lock()
+	cv.scrapeErrs[id]++
 	cv.mu.Unlock()
 }
 
@@ -250,21 +266,35 @@ func (cv *clusterView) setStragglers(s []string) {
 	cv.mu.Unlock()
 }
 
+// rosterNode is one /cluster entry: the node's last stats plus how stale
+// they are and how many scrapes of the node have failed.
+type rosterNode struct {
+	NodeStats
+	// StalenessSeconds is how long ago the node last answered a scrape.
+	StalenessSeconds float64 `json:"staleness_seconds"`
+	ScrapeErrors     int64   `json:"scrape_errors,omitempty"`
+}
+
 // handler serves the roster as JSON, node IDs ascending. The per-node
 // exposition is stripped — raw metrics are /metrics' job.
 func (cv *clusterView) handler() http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
 		cv.mu.Lock()
 		ids := make([]int, 0, len(cv.nodes))
 		for id := range cv.nodes {
 			ids = append(ids, int(id))
 		}
 		sort.Ints(ids)
-		nodes := make([]NodeStats, 0, len(ids))
+		nodes := make([]rosterNode, 0, len(ids))
 		for _, id := range ids {
 			st := cv.nodes[uint32(id)]
 			st.Exposition = ""
-			nodes = append(nodes, st)
+			nodes = append(nodes, rosterNode{
+				NodeStats:        st,
+				StalenessSeconds: now.Sub(cv.seen[uint32(id)]).Seconds(),
+				ScrapeErrors:     cv.scrapeErrs[uint32(id)],
+			})
 		}
 		doc := map[string]any{
 			"nodes":      nodes,
@@ -359,6 +389,15 @@ type MasterOptions struct {
 	Logger      *slog.Logger
 	// DiagDir is where the master's round-failure flight dumps land.
 	DiagDir string
+	// Retention bounds the Director's in-memory TSDB: every scrape tick
+	// folds the federated snapshot into compressed chunks, and chunks older
+	// than Retention are evicted (0 = the tsdb default of 15m). The store
+	// answers /query and feeds /dash.
+	Retention time.Duration
+	// AlertRules are evaluated against the TSDB every scrape tick, on top
+	// of tsdb.DefaultClusterRules. Firing alerts surface on /alerts, the
+	// cosmic_alert_firing gauge, the log, and the master's flight recorder.
+	AlertRules []tsdb.Rule
 }
 
 // RunMaster listens on controlAddr, admits spec.Nodes-1 workers, assigns
@@ -412,10 +451,23 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 	fed := obs.NewFederation(localReg)
 	mon := runtime.NewMonitor(localReg, opts.StragglerK, opts.StragglerM, opts.Logger)
 	view := newClusterView()
+	// The Director's TSDB: every scrape tick folds the federated snapshot
+	// into compressed chunks (raw samples for Retention, minute-averaged
+	// tier beyond that), and the alert rules run against it.
+	store := tsdb.NewStore(tsdb.Options{Retention: opts.Retention, Downsample: time.Minute})
+	eval, err := tsdb.NewEvaluator(
+		append(tsdb.DefaultClusterRules(), opts.AlertRules...),
+		localReg, opts.Logger, master.Flight())
+	if err != nil {
+		return nil, err
+	}
 	if opts.HTTPAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", fed.Handler())
 		mux.HandleFunc("/cluster", view.handler())
+		mux.Handle("/query", store.QueryHandler())
+		mux.Handle("/dash", tsdb.DashHandler())
+		mux.Handle("/alerts", eval.Handler())
 		// The master node advertises the Director's address in the roster,
 		// so cosmic-prof expects its cycle profile here like any worker's.
 		cycles := obs.NewProfileSource()
@@ -519,6 +571,13 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 	if opts.ScrapeInterval > 0 {
 		stopScrape = make(chan struct{})
 		scrapeWG.Add(1)
+		// Pre-resolve one scrape-error counter per worker (worker i holds
+		// node ID i+1) so the loop never touches the registry lock.
+		scrapeErrs := make([]*obs.Counter, len(workers))
+		for wi := range workers {
+			scrapeErrs[wi] = localReg.Counter(obs.Labeled(
+				"cosmic_cluster_scrape_errors_total", "node", strconv.Itoa(wi+1)))
+		}
 		go func() {
 			defer scrapeWG.Done()
 			ticker := time.NewTicker(opts.ScrapeInterval)
@@ -537,9 +596,11 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 				if mst.LastRoundSeconds > 0 {
 					lat[strconv.Itoa(int(mst.ID))] = mst.LastRoundSeconds
 				}
-				for _, w := range workers {
+				for wi, w := range workers {
 					st, err := scrapeWorker(w.conn, seq)
 					if err != nil {
+						view.scrapeError(uint32(wi + 1))
+						scrapeErrs[wi].Inc()
 						continue
 					}
 					view.update(st)
@@ -553,6 +614,11 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 					}
 				}
 				view.setStragglers(mon.Observe(lat))
+				// Fold the whole federated snapshot into the TSDB at this
+				// tick's timestamp, then run the alert rules against it.
+				nowMS := time.Now().UnixMilli()
+				store.AppendSet(nowMS, fed.Snapshot())
+				eval.Eval(store, nowMS)
 			}
 		}()
 	}

@@ -202,12 +202,13 @@ func (d *StragglerDetector) Observe(latency map[string]float64) []string {
 // Streak returns the node's current consecutive-over-bar count.
 func (d *StragglerDetector) Streak(node string) int { return d.streak[node] }
 
-// medianOf returns the nearest-rank p50 of the map's values.
+// medianOf returns the nearest-rank p50 of the map's values via the shared
+// Quantile helper.
 func medianOf(m map[string]float64) float64 {
 	vals := make([]float64, 0, len(m))
 	for _, v := range m {
 		vals = append(vals, v)
 	}
 	sort.Float64s(vals)
-	return vals[(len(vals)-1)/2]
+	return QuantileOf(vals, 0.5)
 }

@@ -124,27 +124,23 @@ func (h *Histogram) Sum() float64 {
 
 // Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) from the
 // bucket counts: the lowest bucket bound with at least q of the mass at or
-// below it, +Inf if the mass lies beyond the last bound.
+// below it, +Inf if the mass lies beyond the last bound. It answers through
+// the shared Quantile helper, like every other quantile in the stack.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	need := int64(math.Ceil(q * float64(total)))
+	buckets := make([]Bucket, len(h.counts))
 	var cum int64
 	for i := range h.counts {
 		cum += h.counts[i].Load()
-		if cum >= need {
-			if i < len(h.bounds) {
-				return h.bounds[i]
-			}
-			return math.Inf(1)
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
 		}
+		buckets[i] = Bucket{Le: le, Count: float64(cum)}
 	}
-	return math.Inf(1)
+	return Quantile(buckets, q)
 }
 
 // Registry holds named instruments. Registration takes a lock; the returned

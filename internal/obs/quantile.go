@@ -1,0 +1,58 @@
+package obs
+
+import "math"
+
+// Bucket is one cumulative histogram bucket: Count observations with value
+// at or below Le. A bucket list is ascending in Le with non-decreasing
+// Count; the last bucket's Count is the total observation count (Prometheus
+// exposes it as le="+Inf").
+type Bucket struct {
+	Le    float64
+	Count float64
+}
+
+// Quantile returns the nearest-rank q-quantile upper bound from cumulative
+// buckets: the lowest Le with at least q of the total mass at or below it.
+// It is the one quantile estimator the stack uses — Histogram.Quantile, the
+// straggler detector's cluster median, and the /query range API's pNN
+// aggregation all answer through it, so their numbers agree by construction.
+// q is clamped to [0, 1]; an empty or zero-mass bucket list yields 0.
+func Quantile(buckets []Bucket, q float64) float64 {
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].Count
+	if !(total > 0) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := math.Ceil(q * total)
+	if need < 1 {
+		need = 1
+	}
+	for _, b := range buckets {
+		if b.Count >= need {
+			return b.Le
+		}
+	}
+	return buckets[len(buckets)-1].Le
+}
+
+// QuantileOf returns the nearest-rank q-quantile of raw values by treating
+// each sorted value as its own singleton bucket. vals must be sorted
+// ascending; an empty slice yields 0.
+func QuantileOf(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	buckets := make([]Bucket, len(vals))
+	for i, v := range vals {
+		buckets[i] = Bucket{Le: v, Count: float64(i + 1)}
+	}
+	return Quantile(buckets, q)
+}

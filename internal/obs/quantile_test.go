@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestQuantileKnownDistributions(t *testing.T) {
+	// A uniform distribution over cumulative buckets: 25 observations in
+	// each of (0,1], (1,2], (2,3], (3,4].
+	uniform := []Bucket{
+		{Le: 1, Count: 25}, {Le: 2, Count: 50}, {Le: 3, Count: 75}, {Le: 4, Count: 100},
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.1, 1}, {0.25, 1}, {0.26, 2}, {0.5, 2}, {0.75, 3}, {0.76, 4}, {1, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(uniform, c.q); got != c.want {
+			t.Errorf("uniform q=%v: got %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// A heavily skewed distribution: 990 fast observations, 10 slow ones.
+	skewed := []Bucket{
+		{Le: 0.01, Count: 990}, {Le: 1, Count: 995}, {Le: math.Inf(1), Count: 1000},
+	}
+	if got := Quantile(skewed, 0.5); got != 0.01 {
+		t.Errorf("skewed p50: got %v, want 0.01", got)
+	}
+	if got := Quantile(skewed, 0.99); got != 0.01 {
+		t.Errorf("skewed p99: got %v, want 0.01", got)
+	}
+	if got := Quantile(skewed, 0.995); got != 1.0 {
+		t.Errorf("skewed p99.5: got %v, want 1", got)
+	}
+	if got := Quantile(skewed, 0.999); !math.IsInf(got, 1) {
+		t.Errorf("skewed p99.9: got %v, want +Inf", got)
+	}
+}
+
+func TestQuantileDegenerateInputs(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("nil buckets: got %v", got)
+	}
+	empty := []Bucket{{Le: 1, Count: 0}, {Le: math.Inf(1), Count: 0}}
+	if got := Quantile(empty, 0.5); got != 0 {
+		t.Errorf("zero-count buckets: got %v", got)
+	}
+	one := []Bucket{{Le: 7, Count: 1}}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := Quantile(one, q); got != 7 {
+			t.Errorf("single observation q=%v: got %v, want 7", q, got)
+		}
+	}
+}
+
+func TestQuantileOfSortedValues(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.1, 1}, {0.5, 5}, {0.9, 9}, {0.91, 10}, {1, 10},
+	}
+	for _, c := range cases {
+		if got := QuantileOf(vals, c.q); got != c.want {
+			t.Errorf("q=%v: got %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := QuantileOf(nil, 0.5); got != 0 {
+		t.Errorf("empty values: got %v", got)
+	}
+}
+
+// TestQuantileMatchesHistogram pins the satellite contract: the shared
+// helper, fed a Histogram's cumulative buckets, answers exactly what the
+// Histogram's own Quantile method answers — the straggler detector and the
+// /query pNN path reduce through one implementation.
+func TestQuantileMatchesHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{0.1, 0.5, 1, 5})
+	obsv := []float64{0.05, 0.05, 0.3, 0.3, 0.3, 0.9, 2, 2, 2, 10}
+	for _, v := range obsv {
+		h.Observe(v)
+	}
+	sort.Float64s(obsv)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 1} {
+		fromHist := h.Quantile(q)
+		// Rebuild the cumulative buckets the exposition carries.
+		bounds := []float64{0.1, 0.5, 1, 5, math.Inf(1)}
+		buckets := make([]Bucket, len(bounds))
+		for i, le := range bounds {
+			var cum float64
+			for _, v := range obsv {
+				if v <= le {
+					cum++
+				}
+			}
+			buckets[i] = Bucket{Le: le, Count: cum}
+		}
+		if got := Quantile(buckets, q); got != fromHist {
+			t.Errorf("q=%v: helper %v, histogram %v", q, got, fromHist)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Duration is a time.Duration that (un)marshals as a Go duration string
+// ("30s", "1m"), so alert-rule files stay human-editable.
+type Duration time.Duration
+
+// UnmarshalJSON accepts "30s"-style strings or raw nanosecond numbers.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return err
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// MarshalJSON emits the duration string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Rule kinds.
+const (
+	KindThreshold = "threshold" // a series' latest value crosses Value
+	KindRate      = "rate"      // a counter's per-second increase crosses Value
+	KindAbsence   = "absence"   // a series stopped reporting for Window
+)
+
+// Rule is one alert rule, declarable in Go or in the -alerts JSON file: an
+// array of these objects. Example:
+//
+//	[{"name": "straggling-node", "expr": "cosmic_cluster_straggler",
+//	  "kind": "threshold", "op": ">", "value": 0, "for": "2s"}]
+type Rule struct {
+	// Name identifies the alert in /alerts, logs, and the
+	// cosmic_alert_firing{alert=...} gauge.
+	Name string `json:"name"`
+	// Expr selects the series the rule watches (metric base name plus
+	// optional {label="value"} matchers). Each matched series gets its own
+	// state machine.
+	Expr string `json:"expr"`
+	// Kind is threshold, rate, or absence.
+	Kind string `json:"kind"`
+	// Op compares the observed value against Value: >, >=, <, <= (default
+	// >). Ignored for absence rules.
+	Op string `json:"op,omitempty"`
+	// Value is the comparison bound. Ignored for absence rules.
+	Value float64 `json:"value,omitempty"`
+	// Window is the evaluation lookback: staleness bound for threshold,
+	// rate window for rate, silence bound for absence (default 15s).
+	Window Duration `json:"window,omitempty"`
+	// For keeps a rule pending until its condition has held this long
+	// (default 0: fire on the first true evaluation).
+	For Duration `json:"for,omitempty"`
+}
+
+// Validate fills defaults and rejects nonsense.
+func (r *Rule) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("tsdb: alert rule without a name")
+	}
+	if _, err := ParseSelector(r.Expr); err != nil {
+		return fmt.Errorf("tsdb: alert %q: %v", r.Name, err)
+	}
+	switch r.Kind {
+	case KindThreshold, KindRate, KindAbsence:
+	case "":
+		r.Kind = KindThreshold
+	default:
+		return fmt.Errorf("tsdb: alert %q: unknown kind %q", r.Name, r.Kind)
+	}
+	switch r.Op {
+	case ">", ">=", "<", "<=":
+	case "":
+		r.Op = ">"
+	default:
+		return fmt.Errorf("tsdb: alert %q: unknown op %q", r.Name, r.Op)
+	}
+	if r.Window <= 0 {
+		r.Window = Duration(15 * time.Second)
+	}
+	return nil
+}
+
+// LoadRulesFile reads a JSON array of rules.
+func LoadRulesFile(path string) ([]Rule, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rules []Rule
+	if err := json.Unmarshal(blob, &rules); err != nil {
+		return nil, fmt.Errorf("tsdb: alerts file %s: %v", path, err)
+	}
+	for i := range rules {
+		if err := rules[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return rules, nil
+}
+
+// Alert states.
+const (
+	StateInactive = "inactive"
+	StatePending  = "pending"
+	StateFiring   = "firing"
+)
+
+// instance is one (rule, series) state machine.
+type instance struct {
+	state       string
+	activeSince int64 // ms when the condition most recently became true
+	firedAt     int64
+	value       float64
+	lastTrue    bool
+}
+
+// AlertStatus is one instance's externally visible state.
+type AlertStatus struct {
+	Name          string  `json:"name"`
+	Series        string  `json:"series"`
+	State         string  `json:"state"`
+	Value         float64 `json:"value"`
+	ActiveSinceMS int64   `json:"active_since_ms,omitempty"`
+	FiredAtMS     int64   `json:"fired_at_ms,omitempty"`
+}
+
+// Evaluator runs alert rules against a Store once per scrape tick,
+// advancing each (rule, series) instance through inactive → pending →
+// firing and back. Transitions surface four ways: the
+// cosmic_alert_firing{alert=...} gauge, slog warnings, a flight-recorder
+// mark (so alert context lands in cosmic-diag-* bundles), and the /alerts
+// JSON handler.
+type Evaluator struct {
+	rules  []Rule
+	reg    *obs.Registry
+	logger *slog.Logger
+
+	mu      sync.Mutex
+	flight  *obs.FlightRecorder
+	insts   map[string]map[string]*instance // rule name → series → state
+	lastEMS int64
+}
+
+// NewEvaluator builds an evaluator. reg (nilable) receives the firing
+// gauges, logger (nilable) the transition warnings, flight (nilable) the
+// transition marks.
+func NewEvaluator(rules []Rule, reg *obs.Registry, logger *slog.Logger, flight *obs.FlightRecorder) (*Evaluator, error) {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	e := &Evaluator{
+		rules:  append([]Rule(nil), rules...),
+		reg:    reg,
+		logger: logger,
+		flight: flight,
+		insts:  map[string]map[string]*instance{},
+	}
+	for i := range e.rules {
+		if err := e.rules[i].Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := e.insts[e.rules[i].Name]; dup {
+			return nil, fmt.Errorf("tsdb: duplicate alert name %q", e.rules[i].Name)
+		}
+		e.insts[e.rules[i].Name] = map[string]*instance{}
+	}
+	return e, nil
+}
+
+// SetFlight installs the flight recorder after construction (a worker's
+// recorder exists only once the Director has configured the node).
+func (e *Evaluator) SetFlight(fr *obs.FlightRecorder) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.flight = fr
+	e.mu.Unlock()
+}
+
+// Rules returns the evaluator's validated rules.
+func (e *Evaluator) Rules() []Rule { return e.rules }
+
+// Eval runs every rule against the store at the given timestamp and
+// returns the currently firing instances, sorted by (name, series).
+func (e *Evaluator) Eval(st *Store, nowMillis int64) []AlertStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.lastEMS = nowMillis
+	var firing []AlertStatus
+	for i := range e.rules {
+		rule := &e.rules[i]
+		states := e.insts[rule.Name]
+		sel, _ := ParseSelector(rule.Expr)
+		names := st.Select(sel)
+		// Once seen, a series keeps its state machine even after it stops
+		// reporting — that persistence is what absence rules alert on.
+		for _, name := range names {
+			if _, ok := states[name]; !ok {
+				states[name] = &instance{state: StateInactive}
+			}
+		}
+		if len(states) == 0 && rule.Kind == KindAbsence {
+			// Nothing ever matched: the metric itself is absent.
+			states[rule.Expr] = &instance{state: StateInactive}
+		}
+		keys := make([]string, 0, len(states))
+		for name := range states {
+			keys = append(keys, name)
+		}
+		sort.Strings(keys)
+		nowFiring := 0
+		for _, name := range keys {
+			inst := states[name]
+			cond, val := e.condition(st, rule, name, nowMillis)
+			e.step(rule, name, inst, cond, val, nowMillis)
+			if inst.state == StateFiring {
+				nowFiring++
+				firing = append(firing, e.status(rule.Name, name, inst))
+			}
+		}
+		e.reg.Gauge(obs.Labeled("cosmic_alert_firing", "alert", rule.Name)).Set(float64(nowFiring))
+	}
+	return firing
+}
+
+// condition evaluates one rule against one series, returning whether the
+// rule's predicate holds and the observed value.
+func (e *Evaluator) condition(st *Store, rule *Rule, series string, nowMillis int64) (bool, float64) {
+	window := time.Duration(rule.Window).Milliseconds()
+	pts := st.Range(series, nowMillis-window, nowMillis)
+	switch rule.Kind {
+	case KindAbsence:
+		return len(pts) == 0, float64(len(pts))
+	case KindThreshold:
+		if len(pts) == 0 {
+			return false, 0
+		}
+		v := pts[len(pts)-1].V
+		return cmp(v, rule.Op, rule.Value), v
+	case KindRate:
+		p := reduceWindow("rate", pts, nowMillis)
+		if !p.OK {
+			return false, 0
+		}
+		return cmp(p.V, rule.Op, rule.Value), p.V
+	}
+	return false, 0
+}
+
+// cmp applies a comparison operator.
+func cmp(v float64, op string, bound float64) bool {
+	switch op {
+	case ">":
+		return v > bound
+	case ">=":
+		return v >= bound
+	case "<":
+		return v < bound
+	case "<=":
+		return v <= bound
+	}
+	return false
+}
+
+// step advances one instance's state machine.
+func (e *Evaluator) step(rule *Rule, series string, inst *instance, cond bool, val float64, nowMillis int64) {
+	inst.value = val
+	switch {
+	case cond && !inst.lastTrue:
+		inst.activeSince = nowMillis
+	case !cond:
+		if inst.state == StateFiring {
+			e.logger.Info("alert resolved", "alert", rule.Name, "series", series, "value", val)
+			e.flight.Record(obs.FlightEvent{Dir: obs.FlightMark, Type: "alert-resolved:" + rule.Name})
+		}
+		inst.state = StateInactive
+		inst.activeSince = 0
+		inst.firedAt = 0
+	}
+	inst.lastTrue = cond
+	if !cond {
+		return
+	}
+	if inst.state == StateFiring {
+		return
+	}
+	if nowMillis-inst.activeSince >= time.Duration(rule.For).Milliseconds() {
+		inst.state = StateFiring
+		inst.firedAt = nowMillis
+		e.logger.Warn("alert firing",
+			"alert", rule.Name, "series", series, "kind", rule.Kind,
+			"op", rule.Op, "bound", rule.Value, "value", val)
+		e.flight.Record(obs.FlightEvent{Dir: obs.FlightMark, Type: "alert-firing:" + rule.Name})
+	} else {
+		inst.state = StatePending
+	}
+}
+
+// status snapshots one instance.
+func (e *Evaluator) status(rule, series string, inst *instance) AlertStatus {
+	return AlertStatus{
+		Name: rule, Series: series, State: inst.state, Value: inst.value,
+		ActiveSinceMS: inst.activeSince, FiredAtMS: inst.firedAt,
+	}
+}
+
+// AlertsDoc is the /alerts response.
+type AlertsDoc struct {
+	EvaluatedMS int64         `json:"evaluated_ms"`
+	Rules       []AlertsRule  `json:"rules"`
+	Firing      []AlertStatus `json:"firing"`
+}
+
+// AlertsRule is one rule plus its instances' states.
+type AlertsRule struct {
+	Rule
+	States []AlertStatus `json:"states"`
+}
+
+// Snapshot returns the full /alerts document: every rule with every
+// instance's state (sorted), plus the flat firing list.
+func (e *Evaluator) Snapshot() AlertsDoc {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	doc := AlertsDoc{EvaluatedMS: e.lastEMS, Firing: []AlertStatus{}}
+	for i := range e.rules {
+		rule := e.rules[i]
+		ar := AlertsRule{Rule: rule, States: []AlertStatus{}}
+		states := e.insts[rule.Name]
+		keys := make([]string, 0, len(states))
+		for name := range states {
+			keys = append(keys, name)
+		}
+		sort.Strings(keys)
+		for _, name := range keys {
+			stt := e.status(rule.Name, name, states[name])
+			ar.States = append(ar.States, stt)
+			if stt.State == StateFiring {
+				doc.Firing = append(doc.Firing, stt)
+			}
+		}
+		doc.Rules = append(doc.Rules, ar)
+	}
+	return doc
+}
+
+// Handler serves the /alerts JSON document.
+func (e *Evaluator) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(e.Snapshot()) //nolint:errcheck // best-effort HTTP write
+	})
+}
+
+// DefaultClusterRules is the Go-declared rule set every Director installs:
+// the cluster-health conditions that should page regardless of what the
+// operator's -alerts file adds.
+func DefaultClusterRules() []Rule {
+	return []Rule{
+		{
+			Name: "node-straggling", Expr: "cosmic_cluster_straggler",
+			Kind: KindThreshold, Op: ">", Value: 0,
+			Window: Duration(15 * time.Second),
+		},
+		{
+			Name: "scrape-errors", Expr: "cosmic_cluster_scrape_errors_total",
+			Kind: KindRate, Op: ">", Value: 0,
+			Window: Duration(10 * time.Second), For: Duration(2 * time.Second),
+		},
+	}
+}

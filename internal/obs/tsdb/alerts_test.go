@@ -1,0 +1,283 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func writeFile(path, s string) error { return os.WriteFile(path, []byte(s), 0o644) }
+
+func TestRuleValidateDefaults(t *testing.T) {
+	r := Rule{Name: "x", Expr: "m"}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != KindThreshold || r.Op != ">" || time.Duration(r.Window) != 15*time.Second {
+		t.Fatalf("defaults not applied: %+v", r)
+	}
+	for _, bad := range []Rule{
+		{Expr: "m"},                                  // no name
+		{Name: "x", Expr: ""},                        // no expr
+		{Name: "x", Expr: "m", Kind: "sideways"},     // bad kind
+		{Name: "x", Expr: "m", Op: "!="},             // bad op
+		{Name: "x", Expr: `m{oops`, Kind: "absence"}, // bad selector
+	} {
+		bad := bad
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("rule %+v validated", bad)
+		}
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	var r Rule
+	if err := json.Unmarshal([]byte(`{"name":"x","expr":"m","window":"30s","for":2000000000}`), &r); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(r.Window) != 30*time.Second || time.Duration(r.For) != 2*time.Second {
+		t.Fatalf("durations %v / %v", time.Duration(r.Window), time.Duration(r.For))
+	}
+	blob, err := json.Marshal(Duration(90 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != `"1m30s"` {
+		t.Fatalf("marshal %s", blob)
+	}
+}
+
+func TestEvaluatorThresholdLifecycle(t *testing.T) {
+	st := NewStore(Options{})
+	reg := obs.NewRegistry()
+	fr := obs.NewFlightRecorder(64)
+	e, err := NewEvaluator([]Rule{{
+		Name: "hot", Expr: "temp", Kind: KindThreshold, Op: ">", Value: 10,
+		Window: Duration(5 * time.Second), For: Duration(2 * time.Second),
+	}}, reg, nil, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateOf := func(series string) string {
+		doc := e.Snapshot()
+		for _, s := range doc.Rules[0].States {
+			if s.Series == series {
+				return s.State
+			}
+		}
+		return "<absent>"
+	}
+	gauge := func() float64 {
+		for _, s := range reg.Snapshot() {
+			if s.Name == obs.Labeled("cosmic_alert_firing", "alert", "hot") {
+				return s.Value
+			}
+		}
+		return -1
+	}
+
+	st.Append("temp", 1000, 5)
+	if f := e.Eval(st, 1000); len(f) != 0 || stateOf("temp") != StateInactive {
+		t.Fatalf("cool value: firing=%v state=%s", f, stateOf("temp"))
+	}
+
+	// Condition turns true: pending until it has held For=2s.
+	st.Append("temp", 2000, 50)
+	if f := e.Eval(st, 2000); len(f) != 0 || stateOf("temp") != StatePending {
+		t.Fatalf("first hot tick: firing=%v state=%s", f, stateOf("temp"))
+	}
+	if gauge() != 0 {
+		t.Fatalf("gauge %v while pending", gauge())
+	}
+
+	st.Append("temp", 4000, 51)
+	f := e.Eval(st, 4000)
+	if len(f) != 1 || f[0].State != StateFiring || f[0].Value != 51 || stateOf("temp") != StateFiring {
+		t.Fatalf("held 2s: firing=%+v state=%s", f, stateOf("temp"))
+	}
+	if gauge() != 1 {
+		t.Fatalf("gauge %v while firing", gauge())
+	}
+
+	// Condition clears: resolved back to inactive, gauge drops.
+	st.Append("temp", 5000, 3)
+	if f := e.Eval(st, 5000); len(f) != 0 || stateOf("temp") != StateInactive {
+		t.Fatalf("cooled: firing=%v state=%s", f, stateOf("temp"))
+	}
+	if gauge() != 0 {
+		t.Fatalf("gauge %v after resolve", gauge())
+	}
+
+	// Both transitions left flight marks.
+	var marks []string
+	for _, ev := range fr.Snapshot() {
+		marks = append(marks, ev.Type)
+	}
+	joined := strings.Join(marks, " ")
+	if !strings.Contains(joined, "alert-firing:hot") || !strings.Contains(joined, "alert-resolved:hot") {
+		t.Fatalf("flight marks %v", marks)
+	}
+}
+
+func TestEvaluatorPendingResetsWhenConditionFlaps(t *testing.T) {
+	st := NewStore(Options{})
+	e, err := NewEvaluator([]Rule{{
+		Name: "hot", Expr: "temp", Value: 10,
+		Window: Duration(5 * time.Second), For: Duration(3 * time.Second),
+	}}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Append("temp", 1000, 50)
+	e.Eval(st, 1000) // pending, activeSince=1000
+	st.Append("temp", 2000, 1)
+	e.Eval(st, 2000) // back to inactive
+	st.Append("temp", 3000, 50)
+	e.Eval(st, 3000) // pending again — the For clock must restart
+	st.Append("temp", 4500, 50)
+	if f := e.Eval(st, 4500); len(f) != 0 {
+		t.Fatalf("fired %v only 1.5s after re-activation (For=3s)", f)
+	}
+	st.Append("temp", 6000, 50)
+	if f := e.Eval(st, 6000); len(f) != 1 {
+		t.Fatalf("did not fire 3s after re-activation")
+	}
+}
+
+func TestEvaluatorAbsence(t *testing.T) {
+	st := NewStore(Options{})
+	e, err := NewEvaluator([]Rule{{
+		Name: "silent", Expr: "heartbeat", Kind: KindAbsence,
+		Window: Duration(3 * time.Second),
+	}}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The metric has never existed: absent from the start.
+	if f := e.Eval(st, 1000); len(f) != 1 || f[0].Series != "heartbeat" {
+		t.Fatalf("never-seen metric: firing=%v", f)
+	}
+	// It appears: resolved.
+	st.Append("heartbeat", 2000, 1)
+	if f := e.Eval(st, 2000); len(f) != 0 {
+		t.Fatalf("reporting metric still firing: %v", f)
+	}
+	// It keeps reporting: quiet.
+	st.Append("heartbeat", 4000, 1)
+	if f := e.Eval(st, 4000); len(f) != 0 {
+		t.Fatalf("reporting metric fired: %v", f)
+	}
+	// It goes silent past the window: the seen-series state machine fires
+	// even though Select no longer returns fresh samples.
+	if f := e.Eval(st, 9000); len(f) != 1 {
+		t.Fatalf("silent metric did not fire")
+	}
+}
+
+func TestEvaluatorRateRule(t *testing.T) {
+	st := NewStore(Options{})
+	e, err := NewEvaluator([]Rule{{
+		Name: "errors", Expr: "errs_total", Kind: KindRate, Op: ">", Value: 0,
+		Window: Duration(10 * time.Second),
+	}}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flat counter: rate 0, no alert.
+	st.Append("errs_total", 1000, 5)
+	st.Append("errs_total", 2000, 5)
+	if f := e.Eval(st, 2000); len(f) != 0 {
+		t.Fatalf("flat counter fired: %v", f)
+	}
+	// Counter moves: rate > 0, fires immediately (For=0).
+	st.Append("errs_total", 3000, 6)
+	if f := e.Eval(st, 3000); len(f) != 1 {
+		t.Fatal("moving counter did not fire")
+	}
+}
+
+func TestEvaluatorPerSeriesInstances(t *testing.T) {
+	st := NewStore(Options{})
+	e, err := NewEvaluator([]Rule{{
+		Name: "lag", Expr: "lag", Value: 10, Window: Duration(5 * time.Second),
+	}}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Append(`lag{node="1"}`, 1000, 50)
+	st.Append(`lag{node="2"}`, 1000, 1)
+	f := e.Eval(st, 1000)
+	if len(f) != 1 || f[0].Series != `lag{node="1"}` {
+		t.Fatalf("firing %v, want only node 1", f)
+	}
+	doc := e.Snapshot()
+	if len(doc.Rules[0].States) != 2 {
+		t.Fatalf("states %+v, want one per series", doc.Rules[0].States)
+	}
+}
+
+func TestEvaluatorRejectsDuplicateNames(t *testing.T) {
+	_, err := NewEvaluator([]Rule{
+		{Name: "x", Expr: "m"}, {Name: "x", Expr: "n"},
+	}, nil, nil, nil)
+	if err == nil {
+		t.Fatal("duplicate rule names accepted")
+	}
+}
+
+func TestAlertsHandlerJSON(t *testing.T) {
+	st := NewStore(Options{})
+	e, err := NewEvaluator(DefaultClusterRules(), nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Append("cosmic_cluster_straggler", 1000, 1)
+	e.Eval(st, 1000)
+	rec := httptest.NewRecorder()
+	e.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/alerts", nil))
+	if rec.Code != 200 {
+		t.Fatalf("HTTP %d", rec.Code)
+	}
+	var doc AlertsDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body)
+	}
+	if doc.EvaluatedMS != 1000 || len(doc.Rules) != 2 {
+		t.Fatalf("doc %+v", doc)
+	}
+	if len(doc.Firing) != 1 || doc.Firing[0].Name != "node-straggling" || doc.Firing[0].State != StateFiring {
+		t.Fatalf("firing %+v", doc.Firing)
+	}
+	if !strings.Contains(rec.Body.String(), `"state":"firing"`) {
+		t.Fatalf("the literal the CI smoke greps for is missing:\n%s", rec.Body)
+	}
+}
+
+func TestLoadRulesFile(t *testing.T) {
+	path := t.TempDir() + "/alerts.json"
+	blob := `[{"name":"ci","expr":"cosmic_node_rounds_total","kind":"threshold","op":">","value":0,"window":"30s"}]`
+	if err := writeFile(path, blob); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := LoadRulesFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Name != "ci" || time.Duration(rules[0].Window) != 30*time.Second {
+		t.Fatalf("rules %+v", rules)
+	}
+	if _, err := LoadRulesFile(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := writeFile(path, `[{"expr":"m"}]`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRulesFile(path); err == nil {
+		t.Fatal("nameless rule accepted")
+	}
+}

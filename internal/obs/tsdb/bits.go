@@ -1,0 +1,74 @@
+package tsdb
+
+import "fmt"
+
+// bstream is an append-only MSB-first bit stream. The codec writes variable-
+// width fields (flag bits, bucketed deltas, XOR windows) without byte
+// alignment; the final byte is zero-padded on the low bits.
+type bstream struct {
+	data []byte
+	// free is how many low bits of the last byte are still writable (0 when
+	// the stream is byte-aligned).
+	free uint
+}
+
+// writeBit appends one bit (the low bit of v).
+func (b *bstream) writeBit(v uint64) {
+	if b.free == 0 {
+		b.data = append(b.data, 0)
+		b.free = 8
+	}
+	b.free--
+	if v&1 != 0 {
+		b.data[len(b.data)-1] |= 1 << b.free
+	}
+}
+
+// writeBits appends the low n bits of v, most significant first.
+func (b *bstream) writeBits(v uint64, n uint) {
+	for n > 0 {
+		n--
+		b.writeBit(v >> n)
+	}
+}
+
+// clone returns an independent copy of the stream's bytes.
+func (b *bstream) clone() []byte {
+	return append([]byte(nil), b.data...)
+}
+
+// breader reads a bstream back, MSB-first.
+type breader struct {
+	data []byte
+	byt  int
+	bit  uint // bits already consumed from data[byt]
+}
+
+func newBReader(data []byte) *breader { return &breader{data: data} }
+
+// readBit returns the next bit.
+func (r *breader) readBit() (uint64, error) {
+	if r.byt >= len(r.data) {
+		return 0, fmt.Errorf("tsdb: bit stream exhausted at byte %d", r.byt)
+	}
+	v := uint64(r.data[r.byt]>>(7-r.bit)) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.byt++
+	}
+	return v, nil
+}
+
+// readBits returns the next n bits as an unsigned integer.
+func (r *breader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | bit
+	}
+	return v, nil
+}

@@ -1,0 +1,274 @@
+// Package tsdb is a zero-dependency in-memory time-series store for the
+// observability layer: Gorilla-style compressed chunks (delta-of-delta
+// timestamps, XOR-encoded float values) appended per series, bounded
+// retention with oldest-chunk eviction, an optional downsampled tier, a
+// range-query engine with step aggregation, and an alert evaluator with
+// threshold / rate / absence rules and a firing / pending / resolved state
+// machine. The System Director folds every federated metrics snapshot into
+// one Store per scrape tick and serves it as /query, /dash, and /alerts.
+//
+// Encoding is a pure function of the appended (timestamp, value) stream, so
+// identical streams yield byte-identical chunks — the determinism contract
+// the rest of the system keeps for its artifacts.
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// f64bits and f64from convert between float64 values and their IEEE-754 bit
+// patterns; the codec works on bits so every pattern (NaN payloads included)
+// survives a round trip exactly.
+func f64bits(v float64) uint64 { return math.Float64bits(v) }
+func f64from(b uint64) float64 { return math.Float64frombits(b) }
+
+// Point is one sample: a millisecond Unix timestamp and a value.
+type Point struct {
+	T int64
+	V float64
+}
+
+// Chunk is one append-only compressed run of samples from a single series.
+//
+// Bit layout (MSB-first; no byte alignment between fields):
+//
+//	sample 0:  ts int64 (64 bits raw)   value float64 (64 bits raw)
+//	sample n:  dod bucket + value XOR
+//
+// where dod = (tₙ-tₙ₋₁) - (tₙ₋₁-tₙ₋₂) is encoded as
+//
+//	0                                  dod == 0
+//	10  + 7  bits (dod+63)             dod ∈ [-63, 64]
+//	110 + 9  bits (dod+255)            dod ∈ [-255, 256]
+//	1110 + 12 bits (dod+2047)          dod ∈ [-2047, 2048]
+//	1111 + 64 bits raw                 otherwise
+//
+// and the value's XOR with its predecessor as
+//
+//	0                                  xor == 0
+//	10  + meaningful bits              window (leading, sigbits) reused
+//	11  + 5 bits leading + 6 bits (sigbits-1) + sigbits meaningful bits
+//
+// Leading-zero counts are clamped to 31 so they fit 5 bits. All 2^64 value
+// bit patterns round-trip exactly, NaN and ±Inf included.
+type Chunk struct {
+	b     bstream
+	count int
+	minT  int64
+	maxT  int64
+
+	prevT     int64
+	prevDelta int64
+	prevV     uint64
+	// leading/sigbits describe the previous XOR window; sigbits == 0 marks
+	// "no window yet" (the first XOR always writes an explicit window).
+	leading uint
+	sigbits uint
+}
+
+// NewChunk creates an empty chunk.
+func NewChunk() *Chunk { return &Chunk{} }
+
+// Count returns how many samples the chunk holds.
+func (c *Chunk) Count() int { return c.count }
+
+// MinT and MaxT bound the chunk's timestamps (undefined when empty).
+func (c *Chunk) MinT() int64 { return c.minT }
+
+// MaxT returns the newest timestamp in the chunk.
+func (c *Chunk) MaxT() int64 { return c.maxT }
+
+// Bytes returns the encoded stream (the final byte zero-padded). The slice
+// aliases the chunk's buffer; treat it as read-only.
+func (c *Chunk) Bytes() []byte { return c.b.data }
+
+// Append adds one sample. Timestamps must be strictly increasing within a
+// chunk; the Store enforces this per series.
+func (c *Chunk) Append(t int64, v float64) {
+	vb := f64bits(v)
+	if c.count == 0 {
+		c.b.writeBits(uint64(t), 64)
+		c.b.writeBits(vb, 64)
+		c.minT = t
+	} else {
+		delta := t - c.prevT
+		dod := delta - c.prevDelta
+		switch {
+		case dod == 0:
+			c.b.writeBit(0)
+		case dod >= -63 && dod <= 64:
+			c.b.writeBits(0b10, 2)
+			c.b.writeBits(uint64(dod+63), 7)
+		case dod >= -255 && dod <= 256:
+			c.b.writeBits(0b110, 3)
+			c.b.writeBits(uint64(dod+255), 9)
+		case dod >= -2047 && dod <= 2048:
+			c.b.writeBits(0b1110, 4)
+			c.b.writeBits(uint64(dod+2047), 12)
+		default:
+			c.b.writeBits(0b1111, 4)
+			c.b.writeBits(uint64(dod), 64)
+		}
+		c.prevDelta = delta
+
+		xor := c.prevV ^ vb
+		if xor == 0 {
+			c.b.writeBit(0)
+		} else {
+			c.b.writeBit(1)
+			leading := uint(bits.LeadingZeros64(xor))
+			if leading > 31 {
+				leading = 31
+			}
+			trailing := uint(bits.TrailingZeros64(xor))
+			sig := 64 - leading - trailing
+			if c.sigbits != 0 && leading >= c.leading && 64-leading-trailing <= c.sigbits &&
+				trailing >= 64-c.leading-c.sigbits {
+				// The previous window still covers every meaningful bit.
+				c.b.writeBit(0)
+				c.b.writeBits(xor>>(64-c.leading-c.sigbits), c.sigbits)
+			} else {
+				c.b.writeBit(1)
+				c.b.writeBits(uint64(leading), 5)
+				c.b.writeBits(uint64(sig-1), 6)
+				c.b.writeBits(xor>>trailing, sig)
+				c.leading, c.sigbits = leading, sig
+			}
+		}
+	}
+	c.prevT = t
+	c.prevV = vb
+	c.maxT = t
+	c.count++
+}
+
+// Iter returns an iterator over the chunk's samples in append order. The
+// iterator reads a snapshot of the byte stream, so it stays valid while the
+// chunk keeps growing.
+func (c *Chunk) Iter() *ChunkIter {
+	return &ChunkIter{r: *newBReader(c.b.clone()), remain: c.count}
+}
+
+// ChunkIter decodes a chunk sample by sample.
+type ChunkIter struct {
+	r      breader
+	remain int
+	first  bool
+
+	t     int64
+	delta int64
+	v     uint64
+
+	leading uint
+	sigbits uint
+
+	err error
+}
+
+// Next advances to the next sample, reporting false at the end or on a
+// corrupt stream (see Err).
+func (it *ChunkIter) Next() bool {
+	if it.err != nil || it.remain == 0 {
+		return false
+	}
+	it.remain--
+	if !it.first {
+		it.first = true
+		ts, err := it.r.readBits(64)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		vb, err := it.r.readBits(64)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.t, it.v = int64(ts), vb
+		return true
+	}
+
+	dod, err := it.readDoD()
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.delta += dod
+	it.t += it.delta
+
+	bit, err := it.r.readBit()
+	if err != nil {
+		it.err = err
+		return false
+	}
+	if bit == 1 {
+		ctrl, err := it.r.readBit()
+		if err != nil {
+			it.err = err
+			return false
+		}
+		if ctrl == 1 {
+			lead, err := it.r.readBits(5)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			sig, err := it.r.readBits(6)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.leading, it.sigbits = uint(lead), uint(sig)+1
+		} else if it.sigbits == 0 {
+			it.err = fmt.Errorf("tsdb: XOR window reuse before any window")
+			return false
+		}
+		win, err := it.r.readBits(it.sigbits)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.v ^= win << (64 - it.leading - it.sigbits)
+	}
+	return true
+}
+
+// readDoD decodes one delta-of-delta field.
+func (it *ChunkIter) readDoD() (int64, error) {
+	// Count leading 1-bits of the bucket selector (at most four).
+	var ones uint
+	for ones < 4 {
+		b, err := it.r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			break
+		}
+		ones++
+	}
+	switch ones {
+	case 0:
+		return 0, nil
+	case 1:
+		v, err := it.r.readBits(7)
+		return int64(v) - 63, err
+	case 2:
+		v, err := it.r.readBits(9)
+		return int64(v) - 255, err
+	case 3:
+		v, err := it.r.readBits(12)
+		return int64(v) - 2047, err
+	default:
+		v, err := it.r.readBits(64)
+		return int64(v), err
+	}
+}
+
+// At returns the current sample.
+func (it *ChunkIter) At() Point { return Point{T: it.t, V: f64from(it.v)} }
+
+// Err reports a decoding failure (nil on clean exhaustion).
+func (it *ChunkIter) Err() error { return it.err }

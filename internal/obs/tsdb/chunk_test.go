@@ -1,0 +1,162 @@
+package tsdb
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// roundTrip encodes the samples into one chunk and decodes them back,
+// failing on any bit-level mismatch.
+func roundTrip(t *testing.T, pts []Point) *Chunk {
+	t.Helper()
+	c := NewChunk()
+	for _, p := range pts {
+		c.Append(p.T, p.V)
+	}
+	if c.Count() != len(pts) {
+		t.Fatalf("count %d, want %d", c.Count(), len(pts))
+	}
+	it := c.Iter()
+	for i, want := range pts {
+		if !it.Next() {
+			t.Fatalf("decode stopped at sample %d/%d: %v", i, len(pts), it.Err())
+		}
+		got := it.At()
+		if got.T != want.T {
+			t.Fatalf("sample %d: timestamp %d, want %d", i, got.T, want.T)
+		}
+		if math.Float64bits(got.V) != math.Float64bits(want.V) {
+			t.Fatalf("sample %d: value bits %#x, want %#x (%v vs %v)",
+				i, math.Float64bits(got.V), math.Float64bits(want.V), got.V, want.V)
+		}
+	}
+	if it.Next() {
+		t.Fatalf("decoder yielded more than %d samples", len(pts))
+	}
+	if it.Err() != nil {
+		t.Fatalf("iterator error after clean decode: %v", it.Err())
+	}
+	return c
+}
+
+func TestChunkRoundTripRandomWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for walk := 0; walk < 50; walk++ {
+		n := 1 + rng.Intn(400)
+		pts := make([]Point, n)
+		ts := int64(1.7546e12) + rng.Int63n(1e9)
+		v := rng.NormFloat64() * 1000
+		for i := range pts {
+			// Scrape-like cadence with jitter, occasionally a big gap.
+			ts += 250 + rng.Int63n(20) - 10
+			if rng.Intn(50) == 0 {
+				ts += rng.Int63n(1e7)
+			}
+			v += rng.NormFloat64()
+			pts[i] = Point{T: ts, V: v}
+		}
+		roundTrip(t, pts)
+	}
+}
+
+func TestChunkRoundTripConstantSeries(t *testing.T) {
+	pts := make([]Point, 300)
+	for i := range pts {
+		pts[i] = Point{T: int64(1000 + 250*i), V: 3.25}
+	}
+	c := roundTrip(t, pts)
+	// A constant series at a constant cadence costs 2 bits/sample after the
+	// 16-byte header and the second sample's 13-bit delta bootstrap: the
+	// compression the retention math banks on.
+	if got, max := len(c.Bytes()), 16+(13+(len(pts)-2)*2+7)/8; got > max {
+		t.Fatalf("constant series used %d bytes for %d samples, want ≤ %d", got, len(pts), max)
+	}
+}
+
+func TestChunkRoundTripNaNInf(t *testing.T) {
+	nanPayload := math.Float64frombits(0x7ff8000000000123) // non-default NaN payload
+	pts := []Point{
+		{T: 1000, V: math.NaN()},
+		{T: 1250, V: math.Inf(1)},
+		{T: 1500, V: math.Inf(-1)},
+		{T: 1750, V: nanPayload},
+		{T: 2000, V: 0},
+		{T: 2250, V: math.Copysign(0, -1)}, // -0 must stay -0
+		{T: 2500, V: math.MaxFloat64},
+		{T: 2750, V: math.SmallestNonzeroFloat64},
+	}
+	roundTrip(t, pts)
+}
+
+func TestChunkRoundTripExtremeTimestamps(t *testing.T) {
+	pts := []Point{
+		{T: 0, V: 1},
+		{T: 1, V: 2},
+		{T: 1 << 40, V: 3},     // dod far outside every bucket
+		{T: 1<<40 + 1, V: 4},   // large negative dod
+		{T: 1<<40 + 300, V: 5}, // mid-bucket dod
+	}
+	roundTrip(t, pts)
+}
+
+func TestChunkDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]Point, 257)
+	ts := int64(1e12)
+	for i := range pts {
+		ts += 250 + rng.Int63n(7)
+		pts[i] = Point{T: ts, V: rng.Float64() * float64(rng.Intn(1000))}
+	}
+	a, b := NewChunk(), NewChunk()
+	for _, p := range pts {
+		a.Append(p.T, p.V)
+	}
+	for _, p := range pts {
+		b.Append(p.T, p.V)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("identical sample streams produced different chunk bytes (%d vs %d)",
+			len(a.Bytes()), len(b.Bytes()))
+	}
+	if a.Count() != b.Count() || a.MinT() != b.MinT() || a.MaxT() != b.MaxT() {
+		t.Fatalf("identical sample streams produced different chunk metadata")
+	}
+}
+
+func TestChunkIterSnapshotSurvivesAppends(t *testing.T) {
+	c := NewChunk()
+	c.Append(1000, 1)
+	c.Append(1250, 2)
+	it := c.Iter()
+	c.Append(1500, 3) // must not corrupt the snapshot iterator
+	var got []Point
+	for it.Next() {
+		got = append(got, it.At())
+	}
+	if it.Err() != nil {
+		t.Fatalf("iterator error: %v", it.Err())
+	}
+	if len(got) != 2 || got[0] != (Point{1000, 1}) || got[1] != (Point{1250, 2}) {
+		t.Fatalf("snapshot iterator saw %v", got)
+	}
+}
+
+func TestChunkTruncatedStreamFailsCleanly(t *testing.T) {
+	c := NewChunk()
+	for i := 0; i < 100; i++ {
+		c.Append(int64(1000+250*i), float64(i)*1.5)
+	}
+	// A reader over a truncated copy must error out, not decode garbage
+	// silently or run past the buffer.
+	trunc := append([]byte(nil), c.Bytes()[:len(c.Bytes())/2]...)
+	it := &ChunkIter{r: *newBReader(trunc), remain: c.Count()}
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if it.Err() == nil {
+		t.Fatalf("truncated stream decoded %d samples without error", n)
+	}
+}

@@ -1,0 +1,162 @@
+package tsdb
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// dashPanel is one dashboard sparkline: a query the page polls and renders.
+type dashPanel struct {
+	Title string
+	Query string
+	Agg   string
+	// Scale multiplies every value client-side (words → bytes).
+	Scale float64
+	// Unit is the axis annotation.
+	Unit string
+}
+
+// dashPanels is the cluster dashboard's fixed panel set. Every query runs
+// against the Director's federated TSDB, so per-node series fan out into
+// one polyline each.
+var dashPanels = []dashPanel{
+	{Title: "round latency p50", Query: "cosmic_round_seconds", Agg: "p50", Unit: "s"},
+	{Title: "round latency p95", Query: "cosmic_round_seconds", Agg: "p95", Unit: "s"},
+	{Title: "bytes sent per node", Query: "cosmic_node_tx_payload_words_total", Agg: "rate", Scale: 8, Unit: "B/s"},
+	{Title: "sigma pipeline depth", Query: "cosmic_sigma_pipeline_depth", Agg: "max", Unit: "chunks"},
+	{Title: "straggler flags", Query: "cosmic_cluster_straggler", Agg: "max", Unit: "0/1"},
+	{Title: "alerts firing", Query: "cosmic_alert_firing", Agg: "last", Unit: "count"},
+	{Title: "heap bytes", Query: "cosmic_go_heap_bytes", Agg: "last", Unit: "B"},
+	{Title: "goroutines", Query: "cosmic_go_goroutines", Agg: "last", Unit: "count"},
+}
+
+var (
+	dashOnce sync.Once
+	dashPage []byte
+)
+
+// DashHandler serves the live cluster dashboard: one self-contained HTML
+// page (inline CSS/JS/SVG, no external assets) that refreshes its
+// sparklines from the sibling /query endpoint every two seconds.
+func DashHandler() http.Handler {
+	dashOnce.Do(func() { dashPage = []byte(renderDash(dashPanels)) })
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(dashPage) //nolint:errcheck // best-effort HTTP write
+	})
+}
+
+// renderDash builds the page: a server-rendered <svg> skeleton per panel
+// (so the document is meaningful markup before any script runs) plus the
+// polling script. Panel metadata is embedded as data- attributes, keeping
+// the panel list single-sourced in Go.
+func renderDash(panels []dashPanel) string {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>CoSMIC cluster dashboard</title>
+<style>
+  body { font: 13px/1.4 system-ui, sans-serif; margin: 1.2em; background: #101418; color: #d8dee6; }
+  h1 { font-size: 1.1em; font-weight: 600; margin: 0 0 .2em; }
+  #meta { color: #7c8894; margin-bottom: 1em; }
+  #grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(320px, 1fr)); gap: 12px; }
+  .panel { background: #171d24; border: 1px solid #242c36; border-radius: 6px; padding: 8px 10px; }
+  .panel h2 { font-size: .85em; font-weight: 600; margin: 0 0 4px; color: #aeb9c4; }
+  .panel .now { float: right; color: #6fd18c; font-variant-numeric: tabular-nums; }
+  svg { width: 100%; height: 90px; display: block; }
+  .axis { stroke: #242c36; stroke-width: 1; }
+  .legend { font-size: .75em; color: #7c8894; margin-top: 2px; min-height: 1.2em; }
+  .err { color: #e07a7a; }
+</style>
+</head>
+<body>
+<h1>CoSMIC cluster dashboard</h1>
+<div id="meta">live range queries over the Director&#39;s in-memory TSDB (/query) &middot; window 2m &middot; refresh 2s</div>
+<div id="grid">
+`)
+	for i, p := range panels {
+		fmt.Fprintf(&b, `<div class="panel" data-q="%s" data-agg="%s" data-scale="%g" data-unit="%s">
+<h2>%s <span class="now" id="now%d">&ndash;</span></h2>
+<svg id="svg%d" viewBox="0 0 300 90" preserveAspectRatio="none"><line class="axis" x1="0" y1="89" x2="300" y2="89"/></svg>
+<div class="legend" id="leg%d"></div>
+</div>
+`, p.Query, p.Agg, scaleOr1(p.Scale), p.Unit, p.Title, i, i, i)
+	}
+	b.WriteString(`</div>
+<script>
+const COLORS = ["#6fd18c","#6fa8dc","#e0b76f","#d98cc4","#8ce0dd","#e07a7a","#b3a1e6","#a0c46f"];
+const panels = Array.from(document.querySelectorAll('.panel'));
+function fmtVal(v, unit) {
+  if (v == null || typeof v === 'string') return String(v);
+  const a = Math.abs(v);
+  let s;
+  if (a >= 1e9) s = (v/1e9).toFixed(2) + 'G';
+  else if (a >= 1e6) s = (v/1e6).toFixed(2) + 'M';
+  else if (a >= 1e3) s = (v/1e3).toFixed(2) + 'k';
+  else if (a >= 1 || a === 0) s = v.toFixed(2);
+  else s = v.toPrecision(3);
+  return s + (unit ? ' ' + unit : '');
+}
+function draw(i, panel, doc) {
+  const svg = document.getElementById('svg'+i);
+  const leg = document.getElementById('leg'+i);
+  const now = document.getElementById('now'+i);
+  const scale = parseFloat(panel.dataset.scale) || 1;
+  const series = doc.series || [];
+  let lo = Infinity, hi = -Infinity, lastVal = null;
+  const lines = series.map(s => s.points
+    .filter(p => p[1] !== null && typeof p[1] === 'number')
+    .map(p => [p[0], p[1]*scale]));
+  for (const pts of lines) for (const [, v] of pts) { lo = Math.min(lo, v); hi = Math.max(hi, v); }
+  if (!isFinite(lo)) { leg.textContent = 'no data yet'; return; }
+  if (hi === lo) { hi = lo + 1; }
+  const t0 = doc.start_ms, t1 = doc.end_ms;
+  let html = '<line class="axis" x1="0" y1="89" x2="300" y2="89"/>';
+  lines.forEach((pts, si) => {
+    if (!pts.length) return;
+    const d = pts.map(([t, v]) =>
+      ((t - t0)/(t1 - t0)*300).toFixed(1) + ',' + (85 - (v - lo)/(hi - lo)*78).toFixed(1)).join(' ');
+    html += '<polyline fill="none" stroke-width="1.5" stroke="' + COLORS[si % COLORS.length] + '" points="' + d + '"/>';
+    lastVal = pts[pts.length-1][1];
+  });
+  svg.innerHTML = html;
+  now.textContent = fmtVal(lastVal, panel.dataset.unit);
+  leg.innerHTML = series.map((s, si) =>
+    '<span style="color:' + COLORS[si % COLORS.length] + '">&#9644;</span> ' +
+    s.name.replace(/&/g,'&amp;').replace(/</g,'&lt;')).join(' &nbsp; ') +
+    ' &nbsp; <span>[' + fmtVal(lo, '') + ' .. ' + fmtVal(hi, '') + ']</span>';
+}
+async function tick() {
+  for (let i = 0; i < panels.length; i++) {
+    const p = panels[i];
+    const url = '/query?q=' + encodeURIComponent(p.dataset.q) +
+      '&agg=' + encodeURIComponent(p.dataset.agg) + '&start=-120s&step=2s';
+    try {
+      const resp = await fetch(url);
+      if (!resp.ok) throw new Error('HTTP ' + resp.status);
+      draw(i, p, await resp.json());
+    } catch (e) {
+      document.getElementById('leg'+i).innerHTML = '<span class="err">' + String(e) + '</span>';
+    }
+  }
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+`)
+	return b.String()
+}
+
+// scaleOr1 defaults a zero scale to the identity.
+func scaleOr1(s float64) float64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}

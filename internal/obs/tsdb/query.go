@@ -1,0 +1,498 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Selector names the series a query or alert rule reads: a metric base name
+// plus label equality matchers. A selector matches every series whose base
+// name equals Base and whose label set contains all of Labels.
+type Selector struct {
+	Base   string
+	Labels map[string]string
+}
+
+// ParseSelector parses `name` or `name{k="v",k2="v2"}`.
+func ParseSelector(s string) (Selector, error) {
+	sel := Selector{Labels: map[string]string{}}
+	i := strings.IndexByte(s, '{')
+	if i < 0 {
+		sel.Base = strings.TrimSpace(s)
+		if sel.Base == "" {
+			return sel, fmt.Errorf("tsdb: empty selector")
+		}
+		return sel, nil
+	}
+	sel.Base = strings.TrimSpace(s[:i])
+	body := strings.TrimSpace(s[i:])
+	if sel.Base == "" || !strings.HasPrefix(body, "{") || !strings.HasSuffix(body, "}") {
+		return sel, fmt.Errorf("tsdb: malformed selector %q", s)
+	}
+	body = body[1 : len(body)-1]
+	if strings.TrimSpace(body) == "" {
+		return sel, nil
+	}
+	for _, pair := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return sel, fmt.Errorf("tsdb: malformed matcher %q in %q", pair, s)
+		}
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return sel, fmt.Errorf("tsdb: matcher value %q in %q must be quoted", v, s)
+		}
+		sel.Labels[k] = v[1 : len(v)-1]
+	}
+	return sel, nil
+}
+
+// parseSeriesName splits a stored series name into base and labels; it is
+// the inverse of obs.Labeled. Label values are assumed not to contain commas
+// or quotes (the registry's label vocabulary is node IDs, domains, and
+// bucket bounds).
+func parseSeriesName(name string) (string, map[string]string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, nil
+	}
+	base := name[:i]
+	body := strings.TrimSuffix(name[i+1:], "}")
+	labels := map[string]string{}
+	for _, pair := range strings.Split(body, ",") {
+		if k, v, ok := strings.Cut(pair, "="); ok {
+			labels[k] = strings.Trim(v, `"`)
+		}
+	}
+	return base, labels
+}
+
+// matches reports whether the series name satisfies the selector.
+func (sel Selector) matches(name string) bool {
+	base, labels := parseSeriesName(name)
+	if base != sel.Base {
+		return false
+	}
+	for k, want := range sel.Labels {
+		if labels[k] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Select returns the retained series names matching sel, sorted.
+func (st *Store) Select(sel Selector) []string {
+	var out []string
+	for _, name := range st.SeriesNames() {
+		if sel.matches(name) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// QueryPoint is one aggregated step: a Unix-millisecond timestamp and the
+// window's value (absent when the window held no samples). It marshals as
+// [t, v] with null for absent values, so the JSON shape is deterministic.
+type QueryPoint struct {
+	T  int64
+	V  float64
+	OK bool
+}
+
+// MarshalJSON emits [t, v] or [t, null].
+func (p QueryPoint) MarshalJSON() ([]byte, error) {
+	if !p.OK {
+		return []byte(fmt.Sprintf("[%d,null]", p.T)), nil
+	}
+	if math.IsNaN(p.V) || math.IsInf(p.V, 0) {
+		return []byte(fmt.Sprintf("[%d,%q]", p.T, strconv.FormatFloat(p.V, 'g', -1, 64))), nil
+	}
+	return []byte(fmt.Sprintf("[%d,%s]", p.T, strconv.FormatFloat(p.V, 'g', -1, 64))), nil
+}
+
+// UnmarshalJSON parses the [t, v] form back (v: number, null, or a quoted
+// non-finite float).
+func (p *QueryPoint) UnmarshalJSON(b []byte) error {
+	var raw [2]json.RawMessage
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw[0], &p.T); err != nil {
+		return err
+	}
+	if string(raw[1]) == "null" {
+		p.V, p.OK = 0, false
+		return nil
+	}
+	if len(raw[1]) > 0 && raw[1][0] == '"' {
+		var s string
+		if err := json.Unmarshal(raw[1], &s); err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return err
+		}
+		p.V, p.OK = v, true
+		return nil
+	}
+	if err := json.Unmarshal(raw[1], &p.V); err != nil {
+		return err
+	}
+	p.OK = true
+	return nil
+}
+
+// QuerySeries is one series of a range-query result.
+type QuerySeries struct {
+	Name   string       `json:"name"`
+	Points []QueryPoint `json:"points"`
+}
+
+// QueryResult is the /query response document.
+type QueryResult struct {
+	Query   string        `json:"query"`
+	Agg     string        `json:"agg"`
+	StartMS int64         `json:"start_ms"`
+	EndMS   int64         `json:"end_ms"`
+	StepMS  int64         `json:"step_ms"`
+	Series  []QuerySeries `json:"series"`
+}
+
+// QueryRange evaluates a range query: the selector's series are aggregated
+// into (end-start)/step windows, each window (tᵢ-step, tᵢ] reduced by agg:
+//
+//	avg, min, max   over the window's samples
+//	last            the window's newest sample
+//	rate            per-second increase across the window, counter-reset
+//	                aware (a drop restarts the accumulation)
+//	p50 … p99.9     histogram quantile: selects <base>_bucket series, groups
+//	                by the remaining labels, reduces each group's cumulative
+//	                bucket counts through obs.Quantile
+//
+// Series are returned sorted by name; every series carries exactly
+// (end-start)/step points, so the JSON shape is deterministic.
+func (st *Store) QueryRange(sel Selector, startMillis, endMillis, stepMillis int64, agg string) (*QueryResult, error) {
+	if stepMillis <= 0 {
+		return nil, fmt.Errorf("tsdb: non-positive step")
+	}
+	if endMillis <= startMillis {
+		return nil, fmt.Errorf("tsdb: empty range [%d, %d]", startMillis, endMillis)
+	}
+	steps := int((endMillis - startMillis + stepMillis - 1) / stepMillis)
+	if steps > 100000 {
+		return nil, fmt.Errorf("tsdb: %d steps exceeds the 100000-step cap", steps)
+	}
+	res := &QueryResult{
+		Query: sel.String(), Agg: agg,
+		StartMS: startMillis, EndMS: endMillis, StepMS: stepMillis,
+	}
+	if q, ok := quantileArg(agg); ok {
+		series, err := st.quantileRange(sel, startMillis, stepMillis, steps, q)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = series
+		return res, nil
+	}
+	for _, name := range st.Select(sel) {
+		pts := st.Range(name, startMillis, startMillis+int64(steps)*stepMillis)
+		qs := QuerySeries{Name: name, Points: make([]QueryPoint, steps)}
+		j := 0
+		for i := 0; i < steps; i++ {
+			lo := startMillis + int64(i)*stepMillis
+			hi := lo + stepMillis
+			first := j
+			for j < len(pts) && pts[j].T <= hi {
+				j++
+			}
+			qs.Points[i] = reduceWindow(agg, pts[first:j], hi)
+		}
+		res.Series = append(res.Series, qs)
+	}
+	return res, nil
+}
+
+// String renders the selector back to its query form, labels sorted.
+func (sel Selector) String() string {
+	if len(sel.Labels) == 0 {
+		return sel.Base
+	}
+	keys := make([]string, 0, len(sel.Labels))
+	for k := range sel.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(sel.Base)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, sel.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// reduceWindow folds one window's samples under the given aggregation.
+func reduceWindow(agg string, pts []Point, tMillis int64) QueryPoint {
+	out := QueryPoint{T: tMillis}
+	if len(pts) == 0 {
+		return out
+	}
+	switch agg {
+	case "avg", "":
+		sum := 0.0
+		for _, p := range pts {
+			sum += p.V
+		}
+		out.V, out.OK = sum/float64(len(pts)), true
+	case "min":
+		m := pts[0].V
+		for _, p := range pts[1:] {
+			m = math.Min(m, p.V)
+		}
+		out.V, out.OK = m, true
+	case "max":
+		m := pts[0].V
+		for _, p := range pts[1:] {
+			m = math.Max(m, p.V)
+		}
+		out.V, out.OK = m, true
+	case "last":
+		out.V, out.OK = pts[len(pts)-1].V, true
+	case "rate":
+		if len(pts) < 2 {
+			return out
+		}
+		inc := 0.0
+		for i := 1; i < len(pts); i++ {
+			d := pts[i].V - pts[i-1].V
+			if d < 0 {
+				// Counter reset: the new value is the increase since zero.
+				d = pts[i].V
+			}
+			inc += d
+		}
+		secs := float64(pts[len(pts)-1].T-pts[0].T) / 1000
+		if secs <= 0 {
+			return out
+		}
+		out.V, out.OK = inc/secs, true
+	}
+	return out
+}
+
+// quantileArg parses a pNN aggregation name ("p50", "p99.9") into a
+// quantile in [0, 1].
+func quantileArg(agg string) (float64, bool) {
+	if len(agg) < 2 || agg[0] != 'p' {
+		return 0, false
+	}
+	pct, err := strconv.ParseFloat(agg[1:], 64)
+	if err != nil || pct < 0 || pct > 100 {
+		return 0, false
+	}
+	return pct / 100, true
+}
+
+// quantileRange evaluates a pNN aggregation: cumulative <base>_bucket
+// series grouped by their non-le labels, each group's windows reduced to
+// obs.Quantile over the window-final bucket counts.
+func (st *Store) quantileRange(sel Selector, startMillis, stepMillis int64, steps int, q float64) ([]QuerySeries, error) {
+	bsel := Selector{Base: sel.Base + "_bucket", Labels: sel.Labels}
+	names := st.Select(bsel)
+	if len(names) == 0 {
+		return nil, nil
+	}
+	// Group bucket series by their identity without le; remember each
+	// member's upper bound.
+	type member struct {
+		name string
+		le   float64
+	}
+	groups := map[string][]member{}
+	var order []string
+	for _, name := range names {
+		base, labels := parseSeriesName(name)
+		leStr, ok := labels["le"]
+		if !ok {
+			continue
+		}
+		le, err := parseLe(leStr)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: series %q: %v", name, err)
+		}
+		delete(labels, "le")
+		group := groupName(strings.TrimSuffix(base, "_bucket"), labels)
+		if _, seen := groups[group]; !seen {
+			order = append(order, group)
+		}
+		groups[group] = append(groups[group], member{name: name, le: le})
+	}
+	sort.Strings(order)
+	var out []QuerySeries
+	for _, group := range order {
+		members := groups[group]
+		sort.Slice(members, func(i, j int) bool { return members[i].le < members[j].le })
+		ranges := make([][]Point, len(members))
+		idx := make([]int, len(members))
+		for i, m := range members {
+			ranges[i] = st.Range(m.name, startMillis, startMillis+int64(steps)*stepMillis)
+		}
+		qs := QuerySeries{Name: group, Points: make([]QueryPoint, steps)}
+		buckets := make([]obs.Bucket, len(members))
+		for i := 0; i < steps; i++ {
+			hi := startMillis + int64(i+1)*stepMillis
+			complete := true
+			for mi := range members {
+				pts := ranges[mi]
+				for idx[mi] < len(pts) && pts[idx[mi]].T <= hi {
+					idx[mi]++
+				}
+				if idx[mi] == 0 {
+					complete = false
+					continue
+				}
+				buckets[mi] = obs.Bucket{Le: members[mi].le, Count: pts[idx[mi]-1].V}
+			}
+			pt := QueryPoint{T: hi}
+			if complete {
+				pt.V, pt.OK = obs.Quantile(buckets, q), true
+			}
+			qs.Points[i] = pt
+		}
+		out = append(out, qs)
+	}
+	return out, nil
+}
+
+// parseLe parses a bucket upper bound, accepting Prometheus' "+Inf".
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// groupName reassembles a series identity from base name and labels, keys
+// sorted — the name a quantile series reports.
+func groupName(base string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return base
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// QueryHandler serves the store's range-query API:
+//
+//	GET /query?q=<selector>&agg=<agg>&start=<t>&end=<t>&step=<dur>
+//
+// start/end accept Unix seconds ("1754640000", fractions allowed) or
+// offsets relative to now ("-60s"); end defaults to now, start to end-5m,
+// step to (end-start)/60. agg is avg (default), min, max, last, rate, or
+// pNN. Without q the handler answers the store's Stats as JSON — the
+// compression/retention readout the CI smoke asserts on.
+func (st *Store) QueryHandler() http.Handler {
+	return st.queryHandler(time.Now)
+}
+
+// queryHandler is QueryHandler with an injectable clock for tests.
+func (st *Store) queryHandler(now func() time.Time) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		qp := req.URL.Query()
+		if qp.Get("q") == "" {
+			json.NewEncoder(w).Encode(st.Stats()) //nolint:errcheck // best-effort HTTP write
+			return
+		}
+		sel, err := ParseSelector(qp.Get("q"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		nowMS := now().UnixMilli()
+		end, err := parseTime(qp.Get("end"), nowMS, nowMS)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("end: %v", err))
+			return
+		}
+		start, err := parseTime(qp.Get("start"), nowMS, end-5*time.Minute.Milliseconds())
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("start: %v", err))
+			return
+		}
+		step := (end - start) / 60
+		if s := qp.Get("step"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("step: %v", err))
+				return
+			}
+			step = d.Milliseconds()
+		}
+		if step <= 0 {
+			step = 1
+		}
+		res, err := st.QueryRange(sel, start, end, step, qp.Get("agg"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		json.NewEncoder(w).Encode(res) //nolint:errcheck // best-effort HTTP write
+	})
+}
+
+// parseTime parses a query timestamp: empty → def, "-30s" → now-30s,
+// otherwise Unix seconds (fractions allowed). Returns Unix milliseconds.
+func parseTime(s string, nowMillis, def int64) (int64, error) {
+	if s == "" {
+		return def, nil
+	}
+	if strings.HasPrefix(s, "-") {
+		d, err := time.ParseDuration(s[1:])
+		if err != nil {
+			return 0, err
+		}
+		return nowMillis - d.Milliseconds(), nil
+	}
+	secs, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	return int64(secs * 1000), nil
+}
+
+// httpError writes a JSON error document.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck // best-effort
+}

@@ -1,0 +1,292 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSelector(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{in: "cosmic_round_seconds", want: "cosmic_round_seconds"},
+		{in: `m{node="3"}`, want: `m{node="3"}`},
+		{in: `m{node="3", dom="2"}`, want: `m{dom="2",node="3"}`},
+		{in: "m{}", want: "m"},
+		{in: "", err: true},
+		{in: "{}", err: true},
+		{in: `m{node=3}`, err: true},
+		{in: `m{node}`, err: true},
+	}
+	for _, c := range cases {
+		sel, err := ParseSelector(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseSelector(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSelector(%q): %v", c.in, err)
+			continue
+		}
+		if got := sel.String(); got != c.want {
+			t.Errorf("ParseSelector(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSelectorMatchesSubset(t *testing.T) {
+	st := NewStore(Options{})
+	for _, name := range []string{
+		`m{node="1",dom="0"}`, `m{node="2",dom="0"}`, `m{node="1",dom="1"}`, `other{node="1"}`, "m",
+	} {
+		st.Append(name, 1000, 1)
+	}
+	sel, err := ParseSelector(`m{node="1"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := st.Select(sel)
+	want := []string{`m{node="1",dom="0"}`, `m{node="1",dom="1"}`}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Select = %v, want %v", got, want)
+	}
+	// Bare selector matches every labeling of the base name plus the bare one.
+	bare, _ := ParseSelector("m")
+	if got := st.Select(bare); len(got) != 4 {
+		t.Fatalf("bare Select = %v, want 4 series", got)
+	}
+}
+
+func seedStore(t *testing.T) *Store {
+	t.Helper()
+	st := NewStore(Options{})
+	// 10 samples at 1s cadence, values 1..10.
+	for i := 1; i <= 10; i++ {
+		st.Append("m", int64(1000*i), float64(i))
+	}
+	return st
+}
+
+func TestQueryRangeAggregations(t *testing.T) {
+	st := seedStore(t)
+	sel, _ := ParseSelector("m")
+	// Windows of 2s over (0, 10s]: {1,2} {3,4} {5,6} {7,8} {9,10}.
+	cases := map[string][]float64{
+		"avg":  {1.5, 3.5, 5.5, 7.5, 9.5},
+		"min":  {1, 3, 5, 7, 9},
+		"max":  {2, 4, 6, 8, 10},
+		"last": {2, 4, 6, 8, 10},
+		"rate": {1, 1, 1, 1, 1}, // slope of the ramp within each window
+	}
+	for agg, want := range cases {
+		res, err := st.QueryRange(sel, 0, 10000, 2000, agg)
+		if err != nil {
+			t.Fatalf("%s: %v", agg, err)
+		}
+		if len(res.Series) != 1 {
+			t.Fatalf("%s: %d series", agg, len(res.Series))
+		}
+		pts := res.Series[0].Points
+		if len(pts) != len(want) {
+			t.Fatalf("%s: %d points, want %d", agg, len(pts), len(want))
+		}
+		for i, w := range want {
+			if !pts[i].OK || pts[i].V != w {
+				t.Fatalf("%s: window %d = %+v, want %v", agg, i, pts[i], w)
+			}
+			if wantT := int64(2000 * (i + 1)); pts[i].T != wantT {
+				t.Fatalf("%s: window %d stamped %d, want %d", agg, i, pts[i].T, wantT)
+			}
+		}
+	}
+}
+
+func TestQueryRangeEmptyWindowsAreNull(t *testing.T) {
+	st := NewStore(Options{})
+	st.Append("m", 1000, 1)
+	st.Append("m", 9000, 2)
+	res, err := st.QueryRange(Selector{Base: "m"}, 0, 10000, 2000, "avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Series[0].Points
+	wantOK := []bool{true, false, false, false, true}
+	for i, ok := range wantOK {
+		if pts[i].OK != ok {
+			t.Fatalf("window %d OK=%v, want %v (%+v)", i, pts[i].OK, ok, pts)
+		}
+	}
+	blob, err := json.Marshal(pts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != "[4000,null]" {
+		t.Fatalf("empty window marshals as %s", blob)
+	}
+}
+
+func TestQueryRangeRateCounterReset(t *testing.T) {
+	st := NewStore(Options{})
+	// Counter climbs to 100, resets (process restart), climbs again: the
+	// increase over (0, 4s] is 50+50 then 30 since zero, then +40 = 120.
+	st.Append("c", 1000, 50)
+	st.Append("c", 2000, 100)
+	st.Append("c", 3000, 30) // reset
+	st.Append("c", 4000, 70)
+	res, err := st.QueryRange(Selector{Base: "c"}, 0, 4000, 4000, "rate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Series[0].Points[0]
+	if !p.OK || p.V != 120.0/3.0 {
+		t.Fatalf("rate across reset = %+v, want %v", p, 120.0/3.0)
+	}
+}
+
+func TestQueryRangeQuantileFromBuckets(t *testing.T) {
+	st := NewStore(Options{})
+	// Two nodes exporting cumulative buckets of the same histogram. Node 1
+	// concentrates low, node 2 high.
+	app := func(node string, tMillis int64, c01, c1, cInf float64) {
+		st.Append(`lat_bucket{node="`+node+`",le="0.1"}`, tMillis, c01)
+		st.Append(`lat_bucket{node="`+node+`",le="1"}`, tMillis, c1)
+		st.Append(`lat_bucket{node="`+node+`",le="+Inf"}`, tMillis, cInf)
+	}
+	app("1", 1000, 10, 12, 12) // p50 in the 0.1 bucket
+	app("2", 1000, 1, 2, 12)   // p50 in the +Inf bucket
+	app("1", 2000, 30, 40, 40) // p95: need 38 → le=1 bucket
+	app("2", 2000, 1, 2, 12)
+
+	res, err := st.QueryRange(Selector{Base: "lat"}, 0, 2000, 1000, "p50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("%d quantile series, want 2 (one per node): %+v", len(res.Series), res.Series)
+	}
+	if res.Series[0].Name != `lat{node="1"}` || res.Series[1].Name != `lat{node="2"}` {
+		t.Fatalf("series names %q, %q", res.Series[0].Name, res.Series[1].Name)
+	}
+	if p := res.Series[0].Points[0]; !p.OK || p.V != 0.1 {
+		t.Fatalf("node 1 p50 = %+v, want 0.1", p)
+	}
+	n2 := res.Series[1].Points[0]
+	if !n2.OK {
+		t.Fatalf("node 2 p50 missing")
+	}
+	blob, _ := json.Marshal(n2)
+	if !strings.Contains(string(blob), "+Inf") {
+		t.Fatalf("node 2 p50 marshals as %s, want quoted +Inf", blob)
+	}
+
+	res, err = st.QueryRange(Selector{Base: "lat"}, 0, 2000, 1000, "p95")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.Series[0].Points[1]; !p.OK || p.V != 1 {
+		t.Fatalf("node 1 p95 at t=2000 = %+v, want 1", p)
+	}
+	// Labeled selectors narrow the bucket match.
+	res, err = st.QueryRange(Selector{Base: "lat", Labels: map[string]string{"node": "2"}}, 0, 2000, 1000, "p50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 || res.Series[0].Name != `lat{node="2"}` {
+		t.Fatalf("labeled quantile selected %+v", res.Series)
+	}
+}
+
+func TestQueryRangeRejectsBadArgs(t *testing.T) {
+	st := seedStore(t)
+	sel, _ := ParseSelector("m")
+	if _, err := st.QueryRange(sel, 0, 10000, 0, "avg"); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := st.QueryRange(sel, 10000, 10000, 1000, "avg"); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if _, err := st.QueryRange(sel, 0, 1e9, 1, "avg"); err == nil {
+		t.Fatal("step-count cap not enforced")
+	}
+}
+
+func TestQueryHandlerJSONShape(t *testing.T) {
+	st := seedStore(t)
+	now := time.UnixMilli(10000)
+	h := st.queryHandler(func() time.Time { return now })
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/query?q=m&agg=max&start=-10s&step=2s", nil))
+	if rec.Code != 200 {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body)
+	}
+	var res QueryResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body)
+	}
+	if res.Query != "m" || res.Agg != "max" || res.StartMS != 0 || res.EndMS != 10000 || res.StepMS != 2000 {
+		t.Fatalf("envelope %+v", res)
+	}
+	if len(res.Series) != 1 || res.Series[0].Name != "m" || len(res.Series[0].Points) != 5 {
+		t.Fatalf("series %+v", res.Series)
+	}
+
+	// Unix-seconds timestamps work too.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/query?q=m&start=0&end=10&step=5s", nil))
+	if rec.Code != 200 {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body)
+	}
+
+	// No q: the Stats document.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/query", nil))
+	var stats Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("stats JSON: %v\n%s", err, rec.Body)
+	}
+	if stats.Series != 1 || stats.Samples != 10 {
+		t.Fatalf("stats %+v", stats)
+	}
+
+	// Malformed input is a 400 with a JSON error, not a panic.
+	for _, q := range []string{
+		"/query?q=m{", "/query?q=m&start=bogus", "/query?q=m&step=bogus", "/query?q=m&start=-1x",
+	} {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", q, nil))
+		if rec.Code != 400 {
+			t.Fatalf("%s: HTTP %d, want 400", q, rec.Code)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+			t.Fatalf("%s: error doc %s", q, rec.Body)
+		}
+	}
+}
+
+func TestDashHandlerServesSelfContainedPage(t *testing.T) {
+	rec := httptest.NewRecorder()
+	DashHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/dash", nil))
+	if rec.Code != 200 {
+		t.Fatalf("HTTP %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"<svg", "cosmic_round_seconds", "/query?q=", "<script>"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("dashboard page lacks %q", want)
+		}
+	}
+	for _, external := range []string{"http://", "https://", "src=", "href="} {
+		if strings.Contains(body, external) {
+			t.Fatalf("dashboard page references external asset (%q)", external)
+		}
+	}
+}

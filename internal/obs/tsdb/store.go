@@ -1,0 +1,275 @@
+package tsdb
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// Retention bounds how far back raw samples are kept; closed chunks
+	// whose newest sample falls behind the horizon are evicted on append
+	// (0 = 15 minutes).
+	Retention time.Duration
+	// MaxSamplesPerChunk closes the head chunk after this many samples
+	// (0 = 240).
+	MaxSamplesPerChunk int
+	// Downsample, when > 0, keeps an averaged lower-resolution tier: samples
+	// from evicted raw chunks are folded into one point per Downsample
+	// window, retained for DownsampleRetention.
+	Downsample time.Duration
+	// DownsampleRetention bounds the downsampled tier (0 = 4× Retention).
+	DownsampleRetention time.Duration
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.Retention <= 0 {
+		o.Retention = 15 * time.Minute
+	}
+	if o.MaxSamplesPerChunk <= 0 {
+		o.MaxSamplesPerChunk = 240
+	}
+	if o.Downsample > 0 && o.DownsampleRetention <= 0 {
+		o.DownsampleRetention = 4 * o.Retention
+	}
+	return o
+}
+
+// dsAcc accumulates one in-progress downsample window for a series.
+type dsAcc struct {
+	bucket int64 // window index (t / resolution)
+	sum    float64
+	count  int64
+}
+
+// series is one named sample stream: closed chunks oldest-first plus the
+// growing head.
+type series struct {
+	name   string
+	chunks []*Chunk
+	head   *Chunk
+	lastT  int64
+	acc    dsAcc
+}
+
+// retained returns sample and byte totals across the series' chunks.
+func (s *series) retained() (samples int, bytes int) {
+	for _, c := range s.chunks {
+		samples += c.Count()
+		bytes += len(c.Bytes())
+	}
+	if s.head != nil {
+		samples += s.head.Count()
+		bytes += len(s.head.Bytes())
+	}
+	return samples, bytes
+}
+
+// Store holds many compressed series under one lock. Appends, queries, and
+// stat snapshots are safe for concurrent use; the scrape loop is the single
+// writer in practice.
+type Store struct {
+	opts Options
+
+	mu      sync.Mutex
+	series  map[string]*series
+	tier    *Store // downsampled tier (nil when disabled); has no tier itself
+	dropped int64  // out-of-order / duplicate-timestamp samples discarded
+}
+
+// NewStore creates a store.
+func NewStore(opts Options) *Store {
+	st := &Store{opts: opts.withDefaults(), series: map[string]*series{}}
+	if st.opts.Downsample > 0 {
+		st.tier = &Store{
+			opts: Options{
+				Retention:          st.opts.DownsampleRetention,
+				MaxSamplesPerChunk: st.opts.MaxSamplesPerChunk,
+			}.withDefaults(),
+			series: map[string]*series{},
+		}
+	}
+	return st
+}
+
+// Append adds one sample to the named series at the given Unix-millisecond
+// timestamp. Samples at or before the series' newest timestamp are dropped
+// (appends must be monotone per series; the scrape loop's ticks are).
+func (st *Store) Append(name string, tMillis int64, v float64) {
+	st.mu.Lock()
+	st.appendLocked(name, tMillis, v)
+	st.mu.Unlock()
+}
+
+// AppendSet folds one snapshot (e.g. obs.Federation.Snapshot) into the
+// store at a single timestamp, evicting chunks that fell behind the
+// retention horizon.
+func (st *Store) AppendSet(tMillis int64, samples []obs.Sample) {
+	st.mu.Lock()
+	for _, s := range samples {
+		st.appendLocked(s.Name, tMillis, s.Value)
+	}
+	st.mu.Unlock()
+}
+
+// appendLocked is Append with st.mu held.
+func (st *Store) appendLocked(name string, t int64, v float64) {
+	s, ok := st.series[name]
+	if !ok {
+		s = &series{name: name, acc: dsAcc{bucket: -1}}
+		st.series[name] = s
+	}
+	if s.head == nil {
+		s.head = NewChunk()
+	}
+	if s.head.Count() > 0 || len(s.chunks) > 0 {
+		if t <= s.lastT {
+			st.dropped++
+			return
+		}
+	}
+	if s.head.Count() >= st.opts.MaxSamplesPerChunk {
+		s.chunks = append(s.chunks, s.head)
+		s.head = NewChunk()
+	}
+	s.head.Append(t, v)
+	s.lastT = t
+	st.evictLocked(s, t)
+}
+
+// evictLocked drops closed chunks whose newest sample is older than the
+// retention horizon relative to now, folding them into the downsampled tier
+// first when one is configured.
+func (st *Store) evictLocked(s *series, nowMillis int64) {
+	horizon := nowMillis - st.opts.Retention.Milliseconds()
+	n := 0
+	for _, c := range s.chunks {
+		if c.MaxT() >= horizon {
+			break
+		}
+		if st.tier != nil {
+			st.downsampleLocked(s, c)
+		}
+		n++
+	}
+	if n > 0 {
+		s.chunks = append(s.chunks[:0], s.chunks[n:]...)
+	}
+}
+
+// downsampleLocked folds one evicted chunk into the tier: per-window
+// averages at the configured resolution, flushed when the stream crosses a
+// window boundary (the partial tail window stays in the series accumulator
+// until a later eviction completes it).
+func (st *Store) downsampleLocked(s *series, c *Chunk) {
+	res := st.opts.Downsample.Milliseconds()
+	it := c.Iter()
+	for it.Next() {
+		p := it.At()
+		if math.IsNaN(p.V) || math.IsInf(p.V, 0) {
+			continue
+		}
+		b := p.T / res
+		if b != s.acc.bucket {
+			st.flushAccLocked(s)
+			s.acc.bucket = b
+		}
+		s.acc.sum += p.V
+		s.acc.count++
+	}
+}
+
+// flushAccLocked writes the finished downsample window (if any) into the
+// tier, stamped at the window's end.
+func (st *Store) flushAccLocked(s *series) {
+	if s.acc.count > 0 {
+		res := st.opts.Downsample.Milliseconds()
+		st.tier.Append(s.name, (s.acc.bucket+1)*res, s.acc.sum/float64(s.acc.count))
+	}
+	s.acc = dsAcc{bucket: -1}
+}
+
+// SeriesNames returns every retained series name, sorted.
+func (st *Store) SeriesNames() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, 0, len(st.series))
+	for name := range st.series {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Range returns the series' samples with start < T ≤ end in time order,
+// serving older ground from the downsampled tier when the raw window no
+// longer reaches back far enough.
+func (st *Store) Range(name string, startMillis, endMillis int64) []Point {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.series[name]
+	var raw []Point
+	if ok {
+		chunks := s.chunks
+		if s.head != nil && s.head.Count() > 0 {
+			chunks = append(append([]*Chunk(nil), s.chunks...), s.head)
+		}
+		for _, c := range chunks {
+			if c.MaxT() <= startMillis || c.MinT() > endMillis {
+				continue
+			}
+			it := c.Iter()
+			for it.Next() {
+				p := it.At()
+				if p.T > startMillis && p.T <= endMillis {
+					raw = append(raw, p)
+				}
+			}
+		}
+	}
+	if st.tier == nil {
+		return raw
+	}
+	// The tier covers ground the raw window has already evicted.
+	cut := endMillis
+	if len(raw) > 0 {
+		cut = raw[0].T - 1
+	}
+	old := st.tier.Range(name, startMillis, cut)
+	return append(old, raw...)
+}
+
+// Stats summarizes the store's retained state.
+type Stats struct {
+	Series         int     `json:"series"`
+	Samples        int     `json:"samples"`
+	Bytes          int     `json:"bytes"`
+	BytesPerSample float64 `json:"bytes_per_sample"`
+	Dropped        int64   `json:"dropped"`
+	TierSamples    int     `json:"tier_samples,omitempty"`
+}
+
+// Stats returns retained series/sample/byte totals; BytesPerSample is the
+// store-wide compression ratio (0 when empty).
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	out := Stats{Series: len(st.series), Dropped: st.dropped}
+	for _, s := range st.series {
+		n, b := s.retained()
+		out.Samples += n
+		out.Bytes += b
+	}
+	st.mu.Unlock()
+	if out.Samples > 0 {
+		out.BytesPerSample = float64(out.Bytes) / float64(out.Samples)
+	}
+	if st.tier != nil {
+		out.TierSamples = st.tier.Stats().Samples
+	}
+	return out
+}

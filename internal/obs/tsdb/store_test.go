@@ -1,0 +1,147 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestStoreRangeAndOutOfOrderDrop(t *testing.T) {
+	st := NewStore(Options{Retention: time.Hour})
+	st.Append("m", 1000, 1)
+	st.Append("m", 2000, 2)
+	st.Append("m", 2000, 99) // duplicate timestamp: dropped
+	st.Append("m", 1500, 99) // out of order: dropped
+	st.Append("m", 3000, 3)
+	pts := st.Range("m", 0, 10000)
+	want := []Point{{1000, 1}, {2000, 2}, {3000, 3}}
+	if len(pts) != len(want) {
+		t.Fatalf("got %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("got %v, want %v", pts, want)
+		}
+	}
+	if got := st.Stats().Dropped; got != 2 {
+		t.Fatalf("dropped %d, want 2", got)
+	}
+	// Range bounds are (start, end].
+	if pts := st.Range("m", 1000, 2000); len(pts) != 1 || pts[0] != (Point{2000, 2}) {
+		t.Fatalf("half-open range returned %v", pts)
+	}
+}
+
+func TestStoreEvictionUnderRetention(t *testing.T) {
+	st := NewStore(Options{Retention: 10 * time.Second, MaxSamplesPerChunk: 10})
+	// 600 samples at 1s cadence: far beyond the 10s retention.
+	for i := 0; i < 600; i++ {
+		st.Append("m", int64(1000*i), float64(i))
+	}
+	now := int64(1000 * 599)
+	pts := st.Range("m", 0, now)
+	if len(pts) == 0 {
+		t.Fatal("no samples retained")
+	}
+	// Everything inside the horizon must still be there…
+	horizon := now - (10 * time.Second).Milliseconds()
+	for _, p := range pts {
+		if p.T < horizon-10*1000*2 { // chunks evict whole: allow up to 2 chunk-widths of slack
+			t.Fatalf("sample at %d survived far past the %d horizon", p.T, horizon)
+		}
+	}
+	var inWindow int
+	for _, p := range pts {
+		if p.T > horizon {
+			inWindow++
+		}
+	}
+	if inWindow < 10 {
+		t.Fatalf("only %d in-window samples retained", inWindow)
+	}
+	// …and the store must actually have shed chunks.
+	if s := st.Stats(); s.Samples > 40 {
+		t.Fatalf("retention kept %d samples of 600", s.Samples)
+	}
+}
+
+func TestStoreDownsampledTier(t *testing.T) {
+	st := NewStore(Options{
+		Retention:          10 * time.Second,
+		MaxSamplesPerChunk: 10,
+		Downsample:         5 * time.Second,
+	})
+	for i := 0; i < 600; i++ {
+		st.Append("m", int64(1000*i), float64(i))
+	}
+	stats := st.Stats()
+	if stats.TierSamples == 0 {
+		t.Fatal("eviction never fed the downsampled tier")
+	}
+	// A query reaching far behind raw retention answers from the tier.
+	pts := st.Range("m", 0, 599000)
+	var old int
+	for _, p := range pts {
+		if p.T < 580000 {
+			old++
+		}
+	}
+	if old == 0 {
+		t.Fatalf("range over evicted ground returned no tier samples (got %d total)", len(pts))
+	}
+	// Tier values are window averages of the linear ramp: every tier sample
+	// flushed at the end of window [w, w+5s) averages values w/1000..w/1000+4,
+	// i.e. w/1000 + 2. (The tier has its own retention, so the very oldest
+	// windows are gone too — check whichever survived.)
+	checked := 0
+	for _, p := range pts {
+		if p.T%5000 == 0 && p.T < 580000 {
+			if want := float64(p.T/1000-5) + 2; p.V != want {
+				t.Fatalf("tier window ending %d averaged to %v, want %v", p.T, p.V, want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatalf("no tier samples to verify; got %v", pts[:min(10, len(pts))])
+	}
+}
+
+func TestStoreAppendSetAndStats(t *testing.T) {
+	st := NewStore(Options{})
+	st.AppendSet(1000, []obs.Sample{{Name: "a", Value: 1}, {Name: "b", Value: 2}})
+	st.AppendSet(2000, []obs.Sample{{Name: "a", Value: 3}, {Name: "b", Value: 4}})
+	names := st.SeriesNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("series %v", names)
+	}
+	s := st.Stats()
+	if s.Series != 2 || s.Samples != 4 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.BytesPerSample <= 0 {
+		t.Fatalf("bytes/sample %v", s.BytesPerSample)
+	}
+}
+
+// TestStoreScrapeStreamCompression pins the acceptance bound the CI smoke
+// asserts live: a realistic scrape stream (steady timestamps, counters and
+// near-constant gauges) compresses to ≤ 4 bytes/sample once chunks fill.
+func TestStoreScrapeStreamCompression(t *testing.T) {
+	st := NewStore(Options{Retention: time.Hour})
+	names := []string{"rounds_total", "tx_words_total", "heap_bytes", "pipeline_depth"}
+	for i := 0; i < 2000; i++ {
+		t_ := int64(1.7e12) + int64(250*i)
+		st.AppendSet(t_, []obs.Sample{
+			{Name: names[0], Value: float64(i * 3)},
+			{Name: names[1], Value: float64(i * 4096)},
+			{Name: names[2], Value: float64(5e6 + 1000*(i%7))},
+			{Name: names[3], Value: float64(i % 4)},
+		})
+	}
+	s := st.Stats()
+	if s.BytesPerSample > 4 {
+		t.Fatalf("scrape-like stream compressed to %.2f bytes/sample, want ≤ 4", s.BytesPerSample)
+	}
+}

@@ -40,6 +40,13 @@ type nodeObs struct {
 	lastRoundSeconds *obs.Gauge
 	// roundSeconds is the master's per-round wall-time distribution.
 	roundSeconds *obs.Histogram
+
+	// roundSeq, roundTx, and roundRx are the stepwise per-round samples the
+	// TSDB scrape loop turns into time series: the round sequence number and
+	// the payload words this node moved during the round just completed
+	// (derived by differencing the cumulative counters at round boundaries).
+	roundSeq, roundTx, roundRx *obs.Gauge
+	prevTxWords, prevRxWords   int64
 }
 
 // newNodeObs resolves one node's instruments; nil observer → nil (disabled).
@@ -65,6 +72,9 @@ func newNodeObs(o *obs.Observer, id uint32, role Role) *nodeObs {
 		rounds:         reg.Counter(obs.Labeled("cosmic_node_rounds_total", "node", node)),
 		lastRoundSeconds: reg.Gauge(
 			obs.Labeled("cosmic_node_last_round_seconds", "node", node)),
+		roundSeq: reg.Gauge(obs.Labeled("cosmic_node_round_seq", "node", node)),
+		roundTx:  reg.Gauge(obs.Labeled("cosmic_node_round_tx_words", "node", node)),
+		roundRx:  reg.Gauge(obs.Labeled("cosmic_node_round_rx_words", "node", node)),
 	}
 	if role == RoleMasterSigma {
 		no.roundSeconds = reg.Histogram(obs.Labeled("cosmic_round_seconds", "node", node), roundSecondsBuckets)
@@ -117,14 +127,22 @@ func (no *nodeObs) chunkFolded(last bool) {
 	}
 }
 
-// roundDone records one completed round at this node.
-func (no *nodeObs) roundDone(d time.Duration) {
+// roundDone records one completed round at this node: the cumulative round
+// counter and latency, plus the stepwise gauges (sequence number and the
+// words moved within just this round). Rounds complete on a single
+// goroutine per node, so the prev counters need no synchronization.
+func (no *nodeObs) roundDone(seq uint32, d time.Duration) {
 	if no == nil {
 		return
 	}
 	no.rounds.Inc()
 	no.lastRoundSeconds.Set(d.Seconds())
 	no.roundSeconds.Observe(d.Seconds())
+	no.roundSeq.Set(float64(seq))
+	tx, rx := no.txWords.Value(), no.rxWords.Value()
+	no.roundTx.Set(float64(tx - no.prevTxWords))
+	no.roundRx.Set(float64(rx - no.prevRxWords))
+	no.prevTxWords, no.prevRxWords = tx, rx
 }
 
 // traceArgs builds the span arguments that let the merger draw flow arrows:
