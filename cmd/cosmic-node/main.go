@@ -42,6 +42,8 @@ func main() {
 	httpAddr := flag.String("http", "", "serve /metrics, /healthz, /query, /dash, /alerts, and /debug/pprof/ on this address while training")
 	tracePath := flag.String("trace", "", "write this node's Chrome trace-event JSON here on exit (merge with cosmic-trace)")
 	chunkWords := flag.Int("chunk-words", 0, "assert the cluster's streaming-chunk boundary (0 = accept the Director's; a mismatch is an error)")
+	reconnect := flag.Bool("reconnect", false, "redial the upstream Sigma with backoff when the data-plane connection drops (pair with cosmic-run -min-quorum)")
+	reconnectWait := flag.Duration("reconnect-wait", 0, "give up redialing after this long (0 = 30s)")
 	scrapeInterval := flag.Duration("scrape-interval", 250*time.Millisecond, "how often the node samples its own registry into the local TSDB")
 	retention := flag.Duration("retention", 15*time.Minute, "how long the node's local TSDB keeps raw samples")
 	alertsFile := flag.String("alerts", "", "JSON file of alert rules evaluated against the node's local TSDB every sample tick")
@@ -109,10 +111,12 @@ func main() {
 			obs.CycleProfilePath, *httpAddr)
 	}
 	err := deploy.RunWorkerOpts(*join, deploy.WorkerOptions{
-		Obs:        o,
-		Logger:     logger,
-		ChunkWords: *chunkWords,
-		HTTPAddr:   *httpAddr,
+		Obs:           o,
+		Logger:        logger,
+		ChunkWords:    *chunkWords,
+		HTTPAddr:      *httpAddr,
+		Reconnect:     *reconnect,
+		ReconnectWait: *reconnectWait,
 		OnNode: func(n *runtime.Node) {
 			if ae, ok := n.Engine().(*runtime.AccelEngine); ok {
 				cycles.Set(ae.CycleProfile)

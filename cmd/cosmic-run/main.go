@@ -51,6 +51,8 @@ func main() {
 	alertsFile := flag.String("alerts", "", "multi-process mode: JSON file of alert rules evaluated every scrape tick (see README)")
 	chunkWords := flag.Int("chunk-words", 0, "streaming-chunk boundary in vector elements (0 = default 4096; must be a power of two)")
 	monolithic := flag.Bool("monolithic", false, "ship whole-vector frames instead of streaming chunks (pre-streaming wire behavior)")
+	roundTimeout := flag.Duration("round-timeout", 0, "bound each aggregation round (0 = wait forever; required by -min-quorum, which defaults it to 2s)")
+	minQuorum := flag.Int("min-quorum", 0, "fold a timed-out round once at least this many members arrived instead of failing the run (0 = fail-fast)")
 	flag.Parse()
 
 	if *listen != "" {
@@ -81,6 +83,7 @@ func main() {
 			MiniBatch: *batch, Rounds: *rounds, Threads: *threads,
 			Average:    true,
 			ChunkWords: *chunkWords, Monolithic: *monolithic,
+			RoundTimeout: *roundTimeout, MinQuorum: *minQuorum,
 			Simulate: *useSim,
 		}, opts, *tracePath, *profilePath)
 		return
@@ -129,7 +132,12 @@ func main() {
 		Rounds:       *rounds,
 		ChunkWords:   *chunkWords,
 		Monolithic:   *monolithic,
+		RoundTimeout: *roundTimeout,
+		MinQuorum:    *minQuorum,
 		Obs:          o,
+	}
+	if cfg.MinQuorum > 0 && cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 2 * time.Second
 	}
 	if *useSim {
 		prog, err := cosmic.Compile(alg.DSLSource(), alg.DSLParams(), cosmic.UltraScalePlus,
@@ -156,6 +164,9 @@ func main() {
 		100*(1-res.FinalLoss/res.InitialLoss))
 	fmt.Printf("rounds:    p50 %v, p95 %v, max %v; network %.2f MB sent\n",
 		res.RoundP50, res.RoundP95, res.RoundMax, float64(res.NetworkSentBytes)/1e6)
+	if res.ExcludedRounds > 0 {
+		fmt.Printf("quorum:    %d rounds folded without the full member set\n", res.ExcludedRounds)
+	}
 	if res.AccelCycles > 0 {
 		fmt.Printf("simulated: %d total accelerator cycles across the cluster\n", res.AccelCycles)
 	}
@@ -216,6 +227,9 @@ func runDistributed(addr string, spec deploy.Spec, opts deploy.MasterOptions, tr
 	fmt.Printf("rounds:    p50 %v, p95 %v, max %v; network %.2f MB sent\n",
 		res.Stats.RoundP50, res.Stats.RoundP95, res.Stats.RoundMax,
 		float64(res.Stats.NetworkSentBytes)/1e6)
+	if res.Stats.ExcludedRounds > 0 {
+		fmt.Printf("quorum:    %d rounds folded without the full member set\n", res.Stats.ExcludedRounds)
+	}
 	if profilePath != "" {
 		if err := obs.TraceToProfile(opts.Obs.Tracer().Events()).WriteFile(profilePath); err != nil {
 			fatal(err)

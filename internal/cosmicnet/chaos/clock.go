@@ -1,0 +1,148 @@
+// Package chaos is a deterministic fault-injection transport for CoSMIC's
+// wire layer: a cosmicnet.Transport whose connections delay, drop, reorder,
+// throttle, partition, and kill frames according to a seeded schedule, so a
+// cluster's behavior under network misbehavior replays bit-identically from
+// a seed. The fabric is frame-aware — it parses the length-prefixed framing
+// at each conn's write side and applies faults at frame boundaries (plus a
+// mid-frame variant for conn kills), which is what makes fault decisions a
+// pure function of (seed, link, frame index).
+//
+// Two deployment shapes share the fault engine: NewNetwork wires a fully
+// in-process fabric (no sockets — tests run thousands of faulty rounds per
+// second), and Network.WrapTransport interposes the same fault rules on a
+// real transport's connections for process-level deployments.
+package chaos
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the fault engine: latency sleeps, bandwidth
+// serialization, and partition windows all read one clock, so a test can
+// swap in a virtual clock and replay a schedule without wall-time cost.
+type Clock interface {
+	// Now is the elapsed time since the clock's origin.
+	Now() time.Duration
+	// Sleep blocks the caller for d of this clock's time.
+	Sleep(d time.Duration)
+}
+
+// realClock is wall time, origin at construction.
+type realClock struct {
+	start time.Time
+}
+
+// NewRealClock returns a Clock backed by wall time.
+func NewRealClock() Clock { return &realClock{start: time.Now()} }
+
+func (c *realClock) Now() time.Duration    { return time.Since(c.start) }
+func (c *realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// VirtualClock is a logical clock: Sleep parks the caller on a deadline
+// heap and Advance (or the auto-advance driver) releases sleepers by moving
+// virtual now forward. Schedules replay identically no matter how loaded
+// the host machine is.
+type VirtualClock struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	now      time.Duration
+	pending  deadlineHeap
+	stopAuto chan struct{}
+	autoOnce sync.Once
+}
+
+// NewVirtualClock returns a virtual clock at time zero.
+func NewVirtualClock() *VirtualClock {
+	vc := &VirtualClock{}
+	vc.cond = sync.NewCond(&vc.mu)
+	return vc
+}
+
+// Now returns the current virtual time.
+func (vc *VirtualClock) Now() time.Duration {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.now
+}
+
+// Sleep blocks until virtual now has advanced by at least d.
+func (vc *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	vc.mu.Lock()
+	deadline := vc.now + d
+	heap.Push(&vc.pending, deadline)
+	vc.cond.Broadcast() // the auto-advance driver watches the heap
+	for vc.now < deadline {
+		vc.cond.Wait()
+	}
+	vc.pending.remove(deadline)
+	vc.mu.Unlock()
+}
+
+// Advance moves virtual time forward by d, releasing every sleeper whose
+// deadline it passes.
+func (vc *VirtualClock) Advance(d time.Duration) {
+	vc.mu.Lock()
+	vc.now += d
+	vc.mu.Unlock()
+	vc.cond.Broadcast()
+}
+
+// StartAuto runs a driver that jumps virtual time to the earliest pending
+// deadline whenever sleepers exist, with a short real-time idle grace so
+// concurrent goroutines get to register their sleeps. Call the returned
+// stop function when done.
+func (vc *VirtualClock) StartAuto() (stop func()) {
+	ch := make(chan struct{})
+	vc.mu.Lock()
+	vc.stopAuto = ch
+	vc.mu.Unlock()
+	go func() {
+		for {
+			select {
+			case <-ch:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+			vc.mu.Lock()
+			if len(vc.pending) > 0 && vc.pending[0] > vc.now {
+				vc.now = vc.pending[0]
+				vc.cond.Broadcast()
+			}
+			vc.mu.Unlock()
+		}
+	}()
+	return func() {
+		vc.autoOnce.Do(func() { close(ch) })
+	}
+}
+
+// deadlineHeap is a min-heap of sleep deadlines.
+type deadlineHeap []time.Duration
+
+func (h deadlineHeap) Len() int           { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h deadlineHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x any)        { *h = append(*h, x.(time.Duration)) }
+func (h *deadlineHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// remove drops one instance of deadline from the heap (the sleeper that
+// owned it has woken).
+func (h *deadlineHeap) remove(deadline time.Duration) {
+	for i, d := range *h {
+		if d == deadline {
+			heap.Remove(h, i)
+			return
+		}
+	}
+}

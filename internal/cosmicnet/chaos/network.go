@@ -1,0 +1,546 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cosmicnet"
+)
+
+// Network is an in-process fabric of named endpoints whose connections
+// route every frame through the schedule's fault rules. Each ordered pair
+// of endpoint names is one link with its own PRNG stream (seeded from the
+// schedule seed and the link's name), so fault decisions replay exactly —
+// per link, per frame index — across runs and are unaffected by what other
+// links do.
+type Network struct {
+	sched *Schedule
+	clock Clock
+
+	mu        sync.Mutex
+	listeners map[string]*listener
+	links     map[string]*linkState
+	nextPort  int
+}
+
+// NewNetwork builds a fabric over the schedule. A nil clock selects wall
+// time; pass a VirtualClock to replay latency schedules without wall-time
+// cost.
+func NewNetwork(sched *Schedule, clock Clock) *Network {
+	if sched == nil {
+		sched = &Schedule{Seed: 1}
+	}
+	if clock == nil {
+		clock = NewRealClock()
+	}
+	return &Network{
+		sched:     sched,
+		clock:     clock,
+		listeners: make(map[string]*listener),
+		links:     make(map[string]*linkState),
+	}
+}
+
+// Endpoint returns the named endpoint's Transport. The name is what the
+// schedule's link rules match against.
+func (nw *Network) Endpoint(name string) cosmicnet.Transport {
+	return endpoint{nw: nw, name: name}
+}
+
+// endpoint is one named attachment point on the fabric.
+type endpoint struct {
+	nw   *Network
+	name string
+}
+
+// Listen opens an in-process listener. The addr argument is advisory (the
+// fabric assigns chaos:// addresses); the bound address comes from the
+// returned listener.
+func (e endpoint) Listen(addr string) (*cosmicnet.Listener, error) {
+	_ = addr
+	nw := e.nw
+	nw.mu.Lock()
+	nw.nextPort++
+	a := chaosAddr(fmt.Sprintf("chaos://%s/%d", e.name, nw.nextPort))
+	ln := &listener{nw: nw, name: e.name, addr: a, ch: make(chan net.Conn, 64)}
+	nw.listeners[string(a)] = ln
+	nw.mu.Unlock()
+	return &cosmicnet.Listener{Listener: ln}, nil
+}
+
+// Dial connects to a fabric listener address, applying this endpoint's
+// outbound link faults on the way there and the listener endpoint's
+// outbound faults on the way back.
+func (e endpoint) Dial(addr string) (*cosmicnet.Conn, error) {
+	nw := e.nw
+	nw.mu.Lock()
+	ln := nw.listeners[addr]
+	nw.mu.Unlock()
+	if ln == nil {
+		return nil, fmt.Errorf("chaos: connection refused: %s", addr)
+	}
+	fwd := nw.newPipe(e.name, ln.name) // dialer writes here
+	rev := nw.newPipe(ln.name, e.name) // listener side writes here
+	client := &conn{out: fwd, in: rev, local: endpointAddr(e.name), remote: ln.addr}
+	server := &conn{out: rev, in: fwd, local: ln.addr, remote: endpointAddr(e.name)}
+	// A mid-frame kill severs the whole connection, both directions, as a
+	// dying peer or a RST would.
+	kill := func() {
+		closePipePair(fwd, rev)
+	}
+	fwd.onKill = kill
+	rev.onKill = kill
+	if !ln.offer(server) {
+		closePipePair(fwd, rev)
+		return nil, fmt.Errorf("chaos: connection refused: %s", addr)
+	}
+	return &cosmicnet.Conn{Conn: client}, nil
+}
+
+// linkState is the shared fault state of one ordered endpoint pair: the
+// resolved rules, the PRNG decision stream, and whether a kill-once rule
+// has fired. Reconnections on a link continue the same decision stream.
+type linkState struct {
+	faults linkFaults
+	mu     sync.Mutex
+	rng    *rand.Rand
+	killed bool
+}
+
+// allowKill consumes one kill event; under once semantics only the first
+// connection on the link dies.
+func (ls *linkState) allowKill(once bool) bool {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if once && ls.killed {
+		return false
+	}
+	ls.killed = true
+	return true
+}
+
+func (nw *Network) linkState(from, to string) *linkState {
+	key := from + "\x00" + to
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if ls, ok := nw.links[key]; ok {
+		return ls
+	}
+	ls := &linkState{faults: nw.sched.faultsFor(from, to)}
+	ls.rng = rand.New(rand.NewSource(nw.sched.Seed ^ int64(fnv64(key))))
+	nw.links[key] = ls
+	return ls
+}
+
+func (nw *Network) newPipe(from, to string) *pipe {
+	p := &pipe{clock: nw.clock, link: nw.linkState(from, to)}
+	p.rcond = sync.NewCond(&p.rmu)
+	p.deliver = p.pushRead
+	return p
+}
+
+// fnv64 is FNV-1a over s, the link-name half of each link's PRNG seed.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// pipe is one direction of a connection: writers push bytes in, the fault
+// engine parses frame boundaries and decides each frame's fate, survivors
+// land in the read buffer (or the wrapped transport's socket). The read
+// buffer is unbounded, so a slow reader never deadlocks the fabric; the
+// wire framing's own flow is bounded by the runtime's round structure.
+type pipe struct {
+	clock  Clock
+	link   *linkState
+	onKill func()
+
+	// wmu serializes writers and is held across fault delays: a link
+	// delivers in order, later frames queue behind a delayed one.
+	wmu       sync.Mutex
+	acc       []byte
+	frames    int
+	killCtr   int
+	held      []byte
+	busyUntil time.Duration
+	wclosed   atomic.Bool
+
+	// deliver hands surviving bytes to the reader side (in-process) or the
+	// underlying socket (wrapped transports).
+	deliver func(b []byte) error
+
+	rmu     sync.Mutex
+	rcond   *sync.Cond
+	rbuf    []byte
+	rclosed bool
+}
+
+// Write accepts bytes from the sender, cuts them at frame boundaries, and
+// runs each complete frame through the fault engine. Dropped frames still
+// count as written — the sender sees success, as with a one-way loss on a
+// real network path.
+func (p *pipe) Write(b []byte) (int, error) {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if p.wclosed.Load() {
+		return 0, io.ErrClosedPipe
+	}
+	p.acc = append(p.acc, b...)
+	for {
+		frame, ok := p.nextFrame()
+		if !ok {
+			break
+		}
+		if err := p.handleFrame(frame); err != nil {
+			return 0, err
+		}
+		if p.wclosed.Load() {
+			return 0, io.ErrClosedPipe
+		}
+	}
+	return len(b), nil
+}
+
+// nextFrame cuts one complete length-prefixed frame off the accumulator.
+// Bytes that cannot be a cosmicnet frame (absurd length prefix) flush as
+// one opaque pseudo-frame so a garbage stream cannot stall or hoard memory.
+func (p *pipe) nextFrame() ([]byte, bool) {
+	if len(p.acc) == 0 {
+		return nil, false
+	}
+	if len(p.acc) < 4 {
+		return nil, false
+	}
+	total := int64(binary.LittleEndian.Uint32(p.acc))
+	if total <= 0 || total > int64(cosmicnet.FrameCap()) {
+		frame := p.acc
+		p.acc = nil
+		return frame, true
+	}
+	frameLen := int(4 + total)
+	if len(p.acc) < frameLen {
+		return nil, false
+	}
+	frame := p.acc[:frameLen]
+	p.acc = p.acc[frameLen:]
+	if len(p.acc) == 0 {
+		p.acc = nil
+	}
+	return frame, true
+}
+
+// handleFrame decides one frame's fate. Random draws happen in a fixed
+// order (drop, reorder, jitter) regardless of the outcome, so the decision
+// stream depends only on the link's seed and the frame index.
+func (p *pipe) handleFrame(frame []byte) error {
+	p.frames++
+	f := &p.link.faults
+	r := &f.rule
+	var dropRoll, reorderRoll, jitterRoll float64
+	if f.hasRule {
+		p.link.mu.Lock()
+		if r.Drop > 0 {
+			dropRoll = p.link.rng.Float64()
+		}
+		if r.Reorder > 0 {
+			reorderRoll = p.link.rng.Float64()
+		}
+		if r.Jitter > 0 {
+			jitterRoll = p.link.rng.Float64()
+		}
+		p.link.mu.Unlock()
+	}
+	isData := len(frame) >= 5 && cosmicnet.TypeOf(frame[4]).DataFrame()
+	eligible := f.hasRule && (!r.DataOnly || isData)
+	if eligible && r.KillFrame > 0 {
+		p.killCtr++
+		if p.killCtr == r.KillFrame && p.link.allowKill(r.KillOnce) {
+			// Mid-frame kill: deliver a truncated prefix, then sever the
+			// connection. The peer reads a partial frame and then EOF.
+			cut := len(frame) / 2
+			if cut < 5 && len(frame) > 5 {
+				cut = 5
+			}
+			if err := p.deliver(frame[:cut]); err != nil {
+				return err
+			}
+			if p.onKill != nil {
+				p.onKill()
+			}
+			return io.ErrClosedPipe
+		}
+	}
+	if f.partitioned(p.clock.Now()) {
+		return nil
+	}
+	if eligible && r.Drop > 0 && dropRoll < r.Drop {
+		return nil
+	}
+	if eligible && r.Reorder > 0 && p.held == nil && reorderRoll < r.Reorder {
+		// Hold this frame; it departs after the link's next frame.
+		p.held = append([]byte(nil), frame...)
+		return nil
+	}
+	p.delay(len(frame), jitterRoll)
+	if err := p.deliver(frame); err != nil {
+		return err
+	}
+	if p.held != nil {
+		held := p.held
+		p.held = nil
+		if err := p.deliver(held); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// delay sleeps out the frame's propagation latency, jitter, and bandwidth
+// serialization on the fault clock.
+func (p *pipe) delay(nbytes int, jitterRoll float64) {
+	f := &p.link.faults
+	if !f.hasRule {
+		return
+	}
+	r := &f.rule
+	d := r.Latency
+	if r.Jitter > 0 {
+		d += time.Duration(jitterRoll * float64(r.Jitter))
+	}
+	if r.Bandwidth > 0 {
+		now := p.clock.Now()
+		tx := time.Duration(float64(nbytes) / float64(r.Bandwidth) * float64(time.Second))
+		start := now
+		if p.busyUntil > start {
+			start = p.busyUntil
+		}
+		p.busyUntil = start + tx
+		d += p.busyUntil - now
+	}
+	if d > 0 {
+		p.clock.Sleep(d)
+	}
+}
+
+// pushRead appends delivered bytes to the read buffer.
+func (p *pipe) pushRead(b []byte) error {
+	p.rmu.Lock()
+	defer p.rmu.Unlock()
+	if p.rclosed {
+		return io.ErrClosedPipe
+	}
+	p.rbuf = append(p.rbuf, b...)
+	p.rcond.Broadcast()
+	return nil
+}
+
+// Read returns buffered bytes, blocking while none are available. A closed
+// pipe drains its buffer before reporting EOF, as a TCP FIN would.
+func (p *pipe) Read(b []byte) (int, error) {
+	p.rmu.Lock()
+	defer p.rmu.Unlock()
+	for len(p.rbuf) == 0 && !p.rclosed {
+		p.rcond.Wait()
+	}
+	if len(p.rbuf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(b, p.rbuf)
+	p.rbuf = p.rbuf[n:]
+	if len(p.rbuf) == 0 {
+		p.rbuf = nil
+	}
+	return n, nil
+}
+
+// closeRead stops deliveries and unblocks readers (data-then-EOF).
+func (p *pipe) closeRead() {
+	p.rmu.Lock()
+	p.rclosed = true
+	p.rmu.Unlock()
+	p.rcond.Broadcast()
+}
+
+// closeWrite makes subsequent writes fail.
+func (p *pipe) closeWrite() { p.wclosed.Store(true) }
+
+func closePipePair(a, b *pipe) {
+	a.closeWrite()
+	b.closeWrite()
+	a.closeRead()
+	b.closeRead()
+}
+
+// conn is one side of an in-process chaos connection.
+type conn struct {
+	out, in       *pipe
+	local, remote net.Addr
+	closeOnce     sync.Once
+}
+
+func (c *conn) Read(b []byte) (int, error)  { return c.in.Read(b) }
+func (c *conn) Write(b []byte) (int, error) { return c.out.Write(b) }
+
+// Close severs both directions: the peer drains buffered bytes then sees
+// EOF, and its writes start failing.
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() { closePipePair(c.out, c.in) })
+	return nil
+}
+
+func (c *conn) LocalAddr() net.Addr  { return c.local }
+func (c *conn) RemoteAddr() net.Addr { return c.remote }
+
+// Deadlines are accepted and ignored: the runtime's data plane does not use
+// them, and the fault clock governs all timing on the fabric.
+func (c *conn) SetDeadline(t time.Time) error      { return nil }
+func (c *conn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *conn) SetWriteDeadline(t time.Time) error { return nil }
+
+// chaosAddr is the fabric's address scheme.
+type chaosAddr string
+
+func (a chaosAddr) Network() string { return "chaos" }
+func (a chaosAddr) String() string  { return string(a) }
+
+func endpointAddr(name string) chaosAddr { return chaosAddr("chaos://" + name) }
+
+// listener accepts in-process connections.
+type listener struct {
+	nw   *Network
+	name string
+	addr chaosAddr
+
+	mu     sync.Mutex
+	closed bool
+	ch     chan net.Conn
+}
+
+// offer hands a freshly dialed server-side conn to Accept.
+func (l *listener) offer(c net.Conn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	select {
+	case l.ch <- c:
+		return true
+	default:
+		return false // accept backlog full: refuse, as a kernel would
+	}
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, ok := <-l.ch
+	if !ok {
+		return nil, fmt.Errorf("chaos: listener %s closed", l.addr)
+	}
+	return c, nil
+}
+
+func (l *listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	l.nw.mu.Lock()
+	delete(l.nw.listeners, string(l.addr))
+	l.nw.mu.Unlock()
+	close(l.ch)
+	for c := range l.ch {
+		c.Close()
+	}
+	return nil
+}
+
+func (l *listener) Addr() net.Addr { return l.addr }
+
+// WrapTransport interposes the schedule's fault rules on a real transport:
+// Listen and Dial delegate to inner, and every connection's outbound bytes
+// route through the fault engine before reaching the socket. Peer names are
+// unknown at the socket level, so each side applies the rules of its own
+// outbound links with To "*"; name is this process's endpoint name in the
+// schedule. Reads pass through untouched — in a wrapped deployment each
+// process faults its own sends, which covers both directions of every link.
+func (nw *Network) WrapTransport(inner cosmicnet.Transport, name string) cosmicnet.Transport {
+	if inner == nil {
+		inner = cosmicnet.TCP
+	}
+	return &wrapTransport{nw: nw, inner: inner, name: name}
+}
+
+type wrapTransport struct {
+	nw    *Network
+	inner cosmicnet.Transport
+	name  string
+}
+
+func (w *wrapTransport) Dial(addr string) (*cosmicnet.Conn, error) {
+	c, err := w.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &cosmicnet.Conn{Conn: w.nw.wrapConn(c.Conn, w.name)}, nil
+}
+
+func (w *wrapTransport) Listen(addr string) (*cosmicnet.Listener, error) {
+	ln, err := w.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &cosmicnet.Listener{Listener: &wrapListener{nw: w.nw, inner: ln.Listener, name: w.name}}, nil
+}
+
+type wrapListener struct {
+	nw    *Network
+	inner net.Listener
+	name  string
+}
+
+func (l *wrapListener) Accept() (net.Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.nw.wrapConn(c, l.name), nil
+}
+
+func (l *wrapListener) Close() error   { return l.inner.Close() }
+func (l *wrapListener) Addr() net.Addr { return l.inner.Addr() }
+
+// wrapConn faults the write path of one real connection.
+type wrappedConn struct {
+	net.Conn
+	out *pipe
+}
+
+func (nw *Network) wrapConn(raw net.Conn, from string) net.Conn {
+	p := nw.newPipe(from, "*")
+	p.deliver = func(b []byte) error {
+		_, err := raw.Write(b)
+		return err
+	}
+	p.onKill = func() { raw.Close() }
+	return &wrappedConn{Conn: raw, out: p}
+}
+
+func (c *wrappedConn) Write(b []byte) (int, error) { return c.out.Write(b) }
+
+func (c *wrappedConn) Close() error {
+	c.out.closeWrite()
+	return c.Conn.Close()
+}

@@ -1,0 +1,330 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schedule is a parsed fault schedule: a PRNG seed plus per-link fault
+// rules and partition windows. The same schedule, seed, and frame sequence
+// produce the same fault decisions on every run — replay a failure by
+// replaying its schedule.
+//
+// The grammar is line-oriented; # starts a comment:
+//
+//	seed <int>
+//	link <from>-><to> [latency <dur>] [jitter <dur>] [drop <p>] [reorder <p>]
+//	     [bandwidth <bytes-per-sec>] [kill-frame <n> [once]] [data-only]
+//	partition <a>-><b> at <dur> [heal <dur>]
+//	partition <a><-><b> at <dur> [heal <dur>]
+//
+// Endpoint names match the names given to Network.Endpoint (node IDs in the
+// runtime's case); "*" matches any endpoint. For link rules the last
+// matching rule wins wholesale. data-only restricts the rule's drop,
+// reorder, and kill faults to data frames (model/partial/group-aggregate),
+// leaving control traffic (hello, done, stats) intact — the usual choice
+// for training-survival scenarios, since a dropped MsgDone only tests
+// whether shutdown wedges. Partition windows accumulate: a frame is dropped
+// while any window covering its link is open.
+type Schedule struct {
+	Seed       int64
+	Links      []LinkRule
+	Partitions []PartitionRule
+}
+
+// LinkRule is one link's fault configuration, applied to frames flowing
+// from From to To.
+type LinkRule struct {
+	From, To string
+	// Latency and Jitter delay each frame by Latency + U[0,Jitter).
+	Latency, Jitter time.Duration
+	// Drop and Reorder are per-frame probabilities in [0,1]. A reordered
+	// frame is held and swapped with the next frame on the link.
+	Drop, Reorder float64
+	// Bandwidth caps the link in bytes per second (0 = unlimited); frames
+	// serialize behind each other as on a real pipe.
+	Bandwidth int64
+	// KillFrame, when > 0, severs the connection mid-frame at the KillFrame-th
+	// frame (1-based): the peer receives a truncated frame then EOF. With
+	// KillOnce only the first connection on the link is killed; otherwise
+	// every connection dies at its KillFrame-th frame.
+	KillFrame int
+	KillOnce  bool
+	// DataOnly restricts drop/reorder/kill to data frames.
+	DataOnly bool
+}
+
+// PartitionRule blackholes a link (one-way, or both directions with
+// TwoWay) from At until Heal; Heals false means the partition never heals.
+type PartitionRule struct {
+	From, To string
+	TwoWay   bool
+	At       time.Duration
+	Heal     time.Duration
+	Heals    bool
+}
+
+// matches reports whether the rule's endpoint pattern covers the link
+// from→to (either direction for two-way partitions).
+func matchEnd(pat, name string) bool { return pat == "*" || pat == name }
+
+func (r *LinkRule) matches(from, to string) bool {
+	return matchEnd(r.From, from) && matchEnd(r.To, to)
+}
+
+func (p *PartitionRule) matches(from, to string) bool {
+	if matchEnd(p.From, from) && matchEnd(p.To, to) {
+		return true
+	}
+	return p.TwoWay && matchEnd(p.From, to) && matchEnd(p.To, from)
+}
+
+// ParseSchedule parses the fault-schedule grammar.
+func ParseSchedule(src string) (*Schedule, error) {
+	s := &Schedule{Seed: 1}
+	for ln, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		var err error
+		switch fields[0] {
+		case "seed":
+			err = parseSeed(s, fields[1:])
+		case "link":
+			err = parseLink(s, fields[1:])
+		case "partition":
+			err = parsePartition(s, fields[1:])
+		default:
+			err = fmt.Errorf("unknown directive %q", fields[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("chaos: line %d: %w", ln+1, err)
+		}
+	}
+	return s, nil
+}
+
+func parseSeed(s *Schedule, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("seed wants one integer")
+	}
+	v, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("seed: %w", err)
+	}
+	s.Seed = v
+	return nil
+}
+
+// parseEnds splits "a->b" or "a<->b" into endpoints.
+func parseEnds(tok string) (from, to string, twoWay bool, err error) {
+	if i := strings.Index(tok, "<->"); i >= 0 {
+		from, to, twoWay = tok[:i], tok[i+3:], true
+	} else if i := strings.Index(tok, "->"); i >= 0 {
+		from, to = tok[:i], tok[i+2:]
+	} else {
+		return "", "", false, fmt.Errorf("link %q wants from->to", tok)
+	}
+	if from == "" || to == "" {
+		return "", "", false, fmt.Errorf("link %q has an empty endpoint", tok)
+	}
+	return from, to, twoWay, nil
+}
+
+func parseLink(s *Schedule, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("link wants from->to")
+	}
+	from, to, twoWay, err := parseEnds(args[0])
+	if err != nil {
+		return err
+	}
+	if twoWay {
+		return fmt.Errorf("link rules are one-way; add the reverse rule explicitly")
+	}
+	r := LinkRule{From: from, To: to}
+	args = args[1:]
+	for len(args) > 0 {
+		key := args[0]
+		args = args[1:]
+		switch key {
+		case "once":
+			if r.KillFrame == 0 {
+				return fmt.Errorf("once must follow kill-frame")
+			}
+			r.KillOnce = true
+			continue
+		case "data-only":
+			r.DataOnly = true
+			continue
+		}
+		if len(args) == 0 {
+			return fmt.Errorf("%s wants a value", key)
+		}
+		val := args[0]
+		args = args[1:]
+		switch key {
+		case "latency", "jitter":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return fmt.Errorf("%s %q: want a non-negative duration", key, val)
+			}
+			if key == "latency" {
+				r.Latency = d
+			} else {
+				r.Jitter = d
+			}
+		case "drop", "reorder":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return fmt.Errorf("%s %q: want a probability in [0,1]", key, val)
+			}
+			if key == "drop" {
+				r.Drop = p
+			} else {
+				r.Reorder = p
+			}
+		case "bandwidth":
+			b, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || b <= 0 {
+				return fmt.Errorf("bandwidth %q: want positive bytes per second", val)
+			}
+			r.Bandwidth = b
+		case "kill-frame":
+			k, err := strconv.Atoi(val)
+			if err != nil || k <= 0 {
+				return fmt.Errorf("kill-frame %q: want a positive frame ordinal", val)
+			}
+			r.KillFrame = k
+		default:
+			return fmt.Errorf("unknown link option %q", key)
+		}
+	}
+	s.Links = append(s.Links, r)
+	return nil
+}
+
+func parsePartition(s *Schedule, args []string) error {
+	if len(args) < 3 || args[1] != "at" {
+		return fmt.Errorf("partition wants: <a>-><b> at <dur> [heal <dur>]")
+	}
+	from, to, twoWay, err := parseEnds(args[0])
+	if err != nil {
+		return err
+	}
+	at, err := time.ParseDuration(args[2])
+	if err != nil || at < 0 {
+		return fmt.Errorf("partition at %q: want a non-negative duration", args[2])
+	}
+	p := PartitionRule{From: from, To: to, TwoWay: twoWay, At: at}
+	switch {
+	case len(args) == 3:
+	case len(args) == 5 && args[3] == "heal":
+		h, err := time.ParseDuration(args[4])
+		if err != nil || h < at {
+			return fmt.Errorf("partition heal %q: want a duration >= at", args[4])
+		}
+		p.Heal, p.Heals = h, true
+	default:
+		return fmt.Errorf("partition wants: <a>-><b> at <dur> [heal <dur>]")
+	}
+	s.Partitions = append(s.Partitions, p)
+	return nil
+}
+
+// String renders the schedule back in the grammar (parse∘String is the
+// identity on the semantic content).
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d\n", s.Seed)
+	for _, r := range s.Links {
+		fmt.Fprintf(&b, "link %s->%s", r.From, r.To)
+		if r.Latency > 0 {
+			fmt.Fprintf(&b, " latency %s", r.Latency)
+		}
+		if r.Jitter > 0 {
+			fmt.Fprintf(&b, " jitter %s", r.Jitter)
+		}
+		if r.Drop > 0 {
+			fmt.Fprintf(&b, " drop %s", strconv.FormatFloat(r.Drop, 'g', -1, 64))
+		}
+		if r.Reorder > 0 {
+			fmt.Fprintf(&b, " reorder %s", strconv.FormatFloat(r.Reorder, 'g', -1, 64))
+		}
+		if r.Bandwidth > 0 {
+			fmt.Fprintf(&b, " bandwidth %d", r.Bandwidth)
+		}
+		if r.KillFrame > 0 {
+			fmt.Fprintf(&b, " kill-frame %d", r.KillFrame)
+			if r.KillOnce {
+				b.WriteString(" once")
+			}
+		}
+		if r.DataOnly {
+			b.WriteString(" data-only")
+		}
+		b.WriteByte('\n')
+	}
+	for _, p := range s.Partitions {
+		arrow := "->"
+		if p.TwoWay {
+			arrow = "<->"
+		}
+		fmt.Fprintf(&b, "partition %s%s%s at %s", p.From, arrow, p.To, p.At)
+		if p.Heals {
+			fmt.Fprintf(&b, " heal %s", p.Heal)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// faultsFor resolves the faults governing one link: the last matching link
+// rule plus every partition window covering the link.
+func (s *Schedule) faultsFor(from, to string) linkFaults {
+	var f linkFaults
+	for i := range s.Links {
+		if s.Links[i].matches(from, to) {
+			f.rule = s.Links[i]
+			f.hasRule = true
+		}
+	}
+	for i := range s.Partitions {
+		if s.Partitions[i].matches(from, to) {
+			w := window{at: s.Partitions[i].At, heal: s.Partitions[i].Heal, heals: s.Partitions[i].Heals}
+			f.partitions = append(f.partitions, w)
+		}
+	}
+	sort.Slice(f.partitions, func(i, j int) bool { return f.partitions[i].at < f.partitions[j].at })
+	return f
+}
+
+// linkFaults is a link's resolved fault configuration.
+type linkFaults struct {
+	rule       LinkRule
+	hasRule    bool
+	partitions []window
+}
+
+// window is one partition interval on a link.
+type window struct {
+	at, heal time.Duration
+	heals    bool
+}
+
+// partitioned reports whether any partition window covers time t.
+func (f *linkFaults) partitioned(t time.Duration) bool {
+	for _, w := range f.partitions {
+		if t >= w.at && (!w.heals || t < w.heal) {
+			return true
+		}
+	}
+	return false
+}

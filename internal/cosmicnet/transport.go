@@ -1,0 +1,25 @@
+package cosmicnet
+
+// Transport abstracts how nodes reach each other: opening data-plane
+// listeners and dialing peers. The production transport is plain TCP; the
+// chaos fault-injection fabric (internal/cosmicnet/chaos) substitutes an
+// in-process network or a fault-wrapped TCP so the same runtime code runs
+// under deterministic adversarial conditions.
+type Transport interface {
+	// Listen opens a framed listener. addr is advisory — an in-process
+	// transport may assign its own address scheme; the bound address is
+	// recovered from the listener.
+	Listen(addr string) (*Listener, error)
+	// Dial connects to a peer's listener address.
+	Dial(addr string) (*Conn, error)
+}
+
+// tcpTransport is the production transport: real TCP sockets.
+type tcpTransport struct{}
+
+func (tcpTransport) Listen(addr string) (*Listener, error) { return Listen(addr) }
+func (tcpTransport) Dial(addr string) (*Conn, error)       { return Dial(addr) }
+
+// TCP is the default Transport, used whenever a NodeConfig leaves its
+// Transport nil.
+var TCP Transport = tcpTransport{}

@@ -63,6 +63,19 @@ func (t MsgType) String() string {
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
 
+// DataFrame reports whether t carries vector payload (model broadcasts,
+// partial updates, group aggregates) as opposed to control traffic. The
+// chaos transport's data-only fault rules key on this split: dropping a
+// partial degrades a round, dropping a MsgDone wedges shutdown.
+func (t MsgType) DataFrame() bool {
+	return t == MsgModel || t == MsgPartial || t == MsgGroupAggregate
+}
+
+// TypeOf extracts the message type from a raw wire type byte, stripping the
+// extension flags. It lets frame-boundary middleware (the chaos transport)
+// classify frames without knowing the flag layout.
+func TypeOf(typeByte byte) MsgType { return MsgType(typeByte &^ flagMask) }
+
 // Frame is one protocol message.
 type Frame struct {
 	Type MsgType

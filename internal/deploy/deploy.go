@@ -64,6 +64,16 @@ type Spec struct {
 	LearningRate float64 `json:"learning_rate"`
 	Average      bool    `json:"average"`
 
+	// RoundTimeout bounds each aggregation round at every Sigma
+	// (nanoseconds on the wire; 0 = wait forever). MinQuorum, when > 0,
+	// turns a round timeout into exclude-and-continue: the Sigma folds the
+	// round with the members that arrived (at least MinQuorum of them,
+	// its own contribution included) and marks the absentees suspect until
+	// they speak again. The Director distributes both, so every Sigma in
+	// the hierarchy applies the same policy.
+	RoundTimeout time.Duration `json:"round_timeout,omitempty"`
+	MinQuorum    int           `json:"min_quorum,omitempty"`
+
 	// ChunkWords is the cluster-wide streaming-chunk boundary in vector
 	// elements (0 = the runtime default; must be a power of two). Every
 	// node must agree on it — fixed boundaries are what keep the
@@ -110,6 +120,13 @@ func (s *Spec) Validate() error {
 	}
 	if !runtime.ValidChunkWords(s.ChunkWords) {
 		return fmt.Errorf("deploy: chunk_words %d is not a power of two", s.ChunkWords)
+	}
+	if s.MinQuorum < 0 {
+		return fmt.Errorf("deploy: min_quorum %d", s.MinQuorum)
+	}
+	if s.MinQuorum > 0 && s.RoundTimeout <= 0 {
+		// Quorum mode is meaningless without a bounded round.
+		s.RoundTimeout = 2 * time.Second
 	}
 	if _, err := dataset.ByName(s.Benchmark); err != nil {
 		return err
@@ -308,8 +325,9 @@ func (cv *clusterView) handler() http.HandlerFunc {
 
 // buildNode constructs the local node for a config: engine, shard, and the
 // runtime Node. o, when non-nil, receives the node's telemetry; logger,
-// when non-nil, its structured diagnostics.
-func buildNode(cfg workerConfig, o *obs.Observer, logger *slog.Logger) (*runtime.Node, error) {
+// when non-nil, its structured diagnostics. reconnect/reconnectWait are the
+// local process's redial policy (a per-worker choice, not distributed).
+func buildNode(cfg workerConfig, o *obs.Observer, logger *slog.Logger, reconnect bool, reconnectWait time.Duration) (*runtime.Node, error) {
 	bench, err := dataset.ByName(cfg.Spec.Benchmark)
 	if err != nil {
 		return nil, err
@@ -337,21 +355,25 @@ func buildNode(cfg workerConfig, o *obs.Observer, logger *slog.Logger) (*runtime
 		engine = &runtime.RefEngine{Alg: alg, Threads: cfg.Spec.Threads, LR: lr, Agg: cfg.Spec.agg()}
 	}
 	return runtime.StartNode(runtime.NodeConfig{
-		ID:           cfg.NodeID,
-		Role:         runtime.Role(cfg.Role),
-		Group:        cfg.Group,
-		UpstreamAddr: cfg.UpstreamAddr,
-		Members:      cfg.Members,
-		MemberIDs:    cfg.MemberIDs,
-		ChunkWords:   cfg.Spec.ChunkWords,
-		Monolithic:   cfg.Spec.Monolithic,
-		Engine:       engine,
-		ModelSize:    alg.ModelSize(),
-		Agg:          cfg.Spec.agg(),
-		LR:           lr,
-		ShardBatch:   perNode,
-		Obs:          o,
-		Logger:       logger,
+		ID:            cfg.NodeID,
+		Role:          runtime.Role(cfg.Role),
+		Group:         cfg.Group,
+		UpstreamAddr:  cfg.UpstreamAddr,
+		Members:       cfg.Members,
+		MemberIDs:     cfg.MemberIDs,
+		ChunkWords:    cfg.Spec.ChunkWords,
+		Monolithic:    cfg.Spec.Monolithic,
+		Engine:        engine,
+		ModelSize:     alg.ModelSize(),
+		Agg:           cfg.Spec.agg(),
+		LR:            lr,
+		ShardBatch:    perNode,
+		RoundTimeout:  cfg.Spec.RoundTimeout,
+		MinQuorum:     cfg.Spec.MinQuorum,
+		Reconnect:     reconnect,
+		ReconnectWait: reconnectWait,
+		Obs:           o,
+		Logger:        logger,
 	}, shard)
 }
 
@@ -436,7 +458,7 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 		Members: len(topo.Members[0]), MemberIDs: topo.MasterMemberIDs(),
 		Spec: spec, LR: lr,
 	}
-	master, err := buildNode(masterCfg, opts.Obs, opts.Logger)
+	master, err := buildNode(masterCfg, opts.Obs, opts.Logger, false, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -487,11 +509,16 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 		defer srv.Close()
 	}
 
-	// Phase 0: admit every worker's join connection.
+	// Phase 0: admit every worker's join connection. A slot's conn can be
+	// replaced mid-run by the rejoin acceptor (quorum mode), so access goes
+	// through the mutex once training starts.
 	type joined struct {
+		mu   sync.Mutex
 		conn *cosmicnet.Conn
+		cfg  workerConfig
+		dead bool
 	}
-	workers := make([]joined, 0, spec.Nodes-1)
+	workers := make([]*joined, 0, spec.Nodes-1)
 	for len(workers) < spec.Nodes-1 {
 		raw, err := control.Accept()
 		if err != nil {
@@ -503,16 +530,16 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 			conn.Close()
 			continue
 		}
-		workers = append(workers, joined{conn: conn})
+		workers = append(workers, &joined{conn: conn})
 	}
 
-	sendConfig := func(w joined, cfg workerConfig) error {
+	sendConfig := func(conn *cosmicnet.Conn, cfg workerConfig) error {
 		cfg.MasterUnixUS = time.Now().UnixMicro()
 		blob, err := json.Marshal(cfg)
 		if err != nil {
 			return err
 		}
-		return w.conn.Send(&cosmicnet.Frame{Type: cosmicnet.MsgConfig, Text: string(blob)})
+		return conn.Send(&cosmicnet.Frame{Type: cosmicnet.MsgConfig, Text: string(blob)})
 	}
 
 	// Phase 1: configure group Sigmas (workers 0..Groups-2 become node IDs
@@ -526,7 +553,8 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 			UpstreamAddr: master.Addr(), Members: len(topo.Members[g]),
 			MemberIDs: topo.MemberIDs(g), Spec: spec, LR: lr,
 		}
-		if err := sendConfig(w, cfg); err != nil {
+		w.cfg = cfg
+		if err := sendConfig(w.conn, cfg); err != nil {
 			return nil, err
 		}
 		ack, err := w.conn.Recv()
@@ -544,9 +572,63 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 			NodeID: uint32(id), Role: int(runtime.RoleDelta), Group: group,
 			UpstreamAddr: sigmaAddr[group], Spec: spec, LR: lr,
 		}
-		if err := sendConfig(w, cfg); err != nil {
+		w.cfg = cfg
+		if err := sendConfig(w.conn, cfg); err != nil {
 			return nil, err
 		}
+	}
+
+	// Rejoin acceptor (quorum mode): a restarted worker process dials the
+	// control port and sends MsgHello exactly like a fresh join; hand it the
+	// config of a dead Delta slot so it can redial its Sigma and resume.
+	// Sigma rejoin is not supported — a Sigma's listener address is baked
+	// into its Deltas' configs, so a dead Sigma strands its group. The
+	// goroutine exits when the deferred control.Close() fires.
+	if spec.MinQuorum > 0 {
+		go func() {
+			for {
+				raw, err := control.Accept()
+				if err != nil {
+					return
+				}
+				conn := &cosmicnet.Conn{Conn: raw}
+				conn.SetDeadline(time.Now().Add(3 * time.Second))
+				f, err := conn.Recv()
+				conn.SetDeadline(time.Time{})
+				if err != nil || f.Type != cosmicnet.MsgHello {
+					conn.Close()
+					continue
+				}
+				var slot *joined
+				for _, w := range workers {
+					w.mu.Lock()
+					ok := w.dead && runtime.Role(w.cfg.Role) == runtime.RoleDelta
+					w.mu.Unlock()
+					if ok {
+						slot = w
+						break
+					}
+				}
+				if slot == nil {
+					conn.Close()
+					continue
+				}
+				slot.mu.Lock()
+				cfg := slot.cfg
+				slot.mu.Unlock()
+				if err := sendConfig(conn, cfg); err != nil {
+					conn.Close()
+					continue
+				}
+				slot.mu.Lock()
+				slot.conn = conn
+				slot.dead = false
+				slot.mu.Unlock()
+				if opts.Logger != nil {
+					opts.Logger.Info("worker rejoined", "node", cfg.NodeID)
+				}
+			}
+		}()
 	}
 
 	// Wait for the data plane to assemble, then train.
@@ -597,10 +679,28 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 					lat[strconv.Itoa(int(mst.ID))] = mst.LastRoundSeconds
 				}
 				for wi, w := range workers {
-					st, err := scrapeWorker(w.conn, seq)
+					w.mu.Lock()
+					conn, alive := w.conn, !w.dead
+					w.mu.Unlock()
+					if !alive {
+						view.scrapeError(uint32(wi + 1))
+						scrapeErrs[wi].Inc()
+						continue
+					}
+					st, err := scrapeWorker(conn, seq)
 					if err != nil {
 						view.scrapeError(uint32(wi + 1))
 						scrapeErrs[wi].Inc()
+						// In quorum mode a hard connection error (not a slow
+						// reply) frees the slot for the rejoin acceptor.
+						if ne, ok := err.(net.Error); spec.MinQuorum > 0 && (!ok || !ne.Timeout()) {
+							w.mu.Lock()
+							if !w.dead && w.conn == conn {
+								w.dead = true
+								conn.Close()
+							}
+							w.mu.Unlock()
+						}
 						continue
 					}
 					view.update(st)
@@ -629,12 +729,14 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 	res.InitialLoss = ml.MeanLoss(alg, model, full)
 
 	trained, stats, err := master.DriveTraining(runtime.DriveConfig{
-		Groups:      spec.Groups,
-		ModelSize:   alg.ModelSize(),
-		Agg:         spec.agg(),
-		LR:          lr,
-		MiniBatch:   spec.MiniBatch,
-		TraceIDBase: opts.TraceIDBase,
+		Groups:       spec.Groups,
+		ModelSize:    alg.ModelSize(),
+		Agg:          spec.agg(),
+		LR:           lr,
+		MiniBatch:    spec.MiniBatch,
+		RoundTimeout: spec.RoundTimeout,
+		MinQuorum:    spec.MinQuorum,
+		TraceIDBase:  opts.TraceIDBase,
 	}, model, spec.Rounds)
 	if err != nil {
 		return nil, err
@@ -651,8 +753,10 @@ func RunMasterOpts(controlAddr string, spec Spec, opts MasterOptions) (*Result, 
 	// Give the workers a moment to read the Done before the control
 	// connections drop.
 	for _, w := range workers {
+		w.mu.Lock()
 		w.conn.SetDeadline(time.Now().Add(2 * time.Second))
 		w.conn.Close()
+		w.mu.Unlock()
 	}
 	return res, nil
 }
@@ -677,6 +781,12 @@ type WorkerOptions struct {
 	// MsgStats replies so the Director's /cluster roster (and cosmic-prof)
 	// can find this node's profiling endpoints.
 	HTTPAddr string
+	// Reconnect makes this worker's node redial its upstream Sigma (with
+	// backoff, bounded by ReconnectWait; 0 = 30s) when the data-plane
+	// connection drops mid-run, instead of exiting. Pair it with a quorum
+	// spec so the Sigma keeps folding rounds while this node is away.
+	Reconnect     bool
+	ReconnectWait time.Duration
 }
 
 // dialControl dials the Director's control address, retrying with backoff
@@ -746,7 +856,7 @@ func RunWorkerOpts(controlAddr string, opts WorkerOptions) error {
 			return fmt.Errorf("deploy: worker wants chunk-words %d but the Director's spec uses %d", want, got)
 		}
 	}
-	node, err := buildNode(cfg, opts.Obs, opts.Logger)
+	node, err := buildNode(cfg, opts.Obs, opts.Logger, opts.Reconnect, opts.ReconnectWait)
 	if err != nil {
 		return err
 	}

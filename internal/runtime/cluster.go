@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/cosmicnet"
 	"repro/internal/dsl"
 	"repro/internal/ml"
 	"repro/internal/obs"
@@ -30,6 +31,17 @@ type ClusterOptions struct {
 	MiniBatch int
 	// RoundTimeout bounds each aggregation round (0 = forever).
 	RoundTimeout time.Duration
+	// MinQuorum, when > 0, makes every Sigma (master included) fold a
+	// timed-out round with the members that arrived instead of failing —
+	// see NodeConfig.MinQuorum. A node death then costs rounds, not the run.
+	MinQuorum int
+	// Reconnect makes worker nodes redial their upstream (with backoff
+	// bounded by ReconnectWait) when the connection drops mid-run.
+	Reconnect     bool
+	ReconnectWait time.Duration
+	// Transports, when non-nil, supplies each node's Transport (nil entries
+	// fall back to cosmicnet.TCP). The chaos fabric plugs in here.
+	Transports func(nodeID int) cosmicnet.Transport
 	// ChunkWords is the fixed streaming-chunk boundary in vector elements
 	// (0 = the default; must be a power of two).
 	ChunkWords int
@@ -80,6 +92,9 @@ type TrainStats struct {
 	// moved during the run — each transfer counted once sent and once
 	// received, as a switch port would see it.
 	NetworkSentBytes, NetworkReceivedBytes int64
+	// ExcludedRounds counts the master's rounds folded without a full
+	// member set (quorum mode only).
+	ExcludedRounds int
 }
 
 // Launch assigns roles, starts every node, and waits until the hierarchy is
@@ -100,27 +115,33 @@ func Launch(opts ClusterOptions) (*Cluster, error) {
 	c := &Cluster{opts: opts, topo: topo, runErr: make(chan error, opts.Nodes)}
 	baseCfg := func(id int) NodeConfig {
 		cfg := NodeConfig{
-			ID:           uint32(id),
-			Group:        topo.GroupOf[id],
-			Engine:       opts.Engines(id),
-			ModelSize:    opts.ModelSize,
-			Agg:          opts.Agg,
-			LR:           opts.LR,
-			ShardBatch:   perNode,
-			RoundTimeout: opts.RoundTimeout,
-			ChunkWords:   opts.ChunkWords,
-			Monolithic:   opts.Monolithic,
-			NetWorkers:   opts.NetWorkers,
-			AggWorkers:   opts.AggWorkers,
-			RingCapacity: opts.RingCapacity,
-			Logf:         opts.Logf,
-			Obs:          opts.Obs,
-			Logger:       opts.Logger,
-			FlightSize:   opts.FlightSize,
-			DiagDir:      opts.DiagDir,
+			ID:            uint32(id),
+			Group:         topo.GroupOf[id],
+			Engine:        opts.Engines(id),
+			ModelSize:     opts.ModelSize,
+			Agg:           opts.Agg,
+			LR:            opts.LR,
+			ShardBatch:    perNode,
+			RoundTimeout:  opts.RoundTimeout,
+			ChunkWords:    opts.ChunkWords,
+			Monolithic:    opts.Monolithic,
+			NetWorkers:    opts.NetWorkers,
+			AggWorkers:    opts.AggWorkers,
+			RingCapacity:  opts.RingCapacity,
+			Logf:          opts.Logf,
+			Obs:           opts.Obs,
+			Logger:        opts.Logger,
+			FlightSize:    opts.FlightSize,
+			DiagDir:       opts.DiagDir,
+			MinQuorum:     opts.MinQuorum,
+			Reconnect:     opts.Reconnect,
+			ReconnectWait: opts.ReconnectWait,
 		}
 		if opts.PerNodeObs != nil {
 			cfg.Obs = opts.PerNodeObs(id)
+		}
+		if opts.Transports != nil {
+			cfg.Transport = opts.Transports(id)
 		}
 		return cfg
 	}
@@ -194,6 +215,13 @@ func (c *Cluster) NetworkBytes() (sent, received int64) {
 // Train drives the given number of mini-batch rounds from the master and
 // returns the final model.
 func (c *Cluster) Train(model []float64, rounds int) ([]float64, TrainStats, error) {
+	// In quorum mode a node death must not abort the run — the timed-out
+	// round folds on the survivors instead — so the fail channel stays out
+	// of the wait (Shutdown still collects the exit errors).
+	fail := c.runErr
+	if c.opts.MinQuorum > 0 {
+		fail = nil
+	}
 	final, stats, err := c.master.DriveTraining(DriveConfig{
 		Groups:       c.topo.Groups,
 		ModelSize:    c.opts.ModelSize,
@@ -201,7 +229,8 @@ func (c *Cluster) Train(model []float64, rounds int) ([]float64, TrainStats, err
 		LR:           c.opts.LR,
 		MiniBatch:    c.opts.MiniBatch,
 		RoundTimeout: c.opts.RoundTimeout,
-		Fail:         c.runErr,
+		MinQuorum:    c.opts.MinQuorum,
+		Fail:         fail,
 		TraceIDBase:  c.opts.TraceIDBase,
 		Diagnostics:  c.DumpDiagnostics,
 	}, model, rounds)

@@ -23,6 +23,10 @@ type DriveConfig struct {
 	MiniBatch int
 	// RoundTimeout bounds each round's aggregation waits (0 = forever).
 	RoundTimeout time.Duration
+	// MinQuorum, when > 0, folds a timed-out round with the members that
+	// arrived (at least MinQuorum of them) instead of failing the run; see
+	// NodeConfig.MinQuorum.
+	MinQuorum int
 	// Fail, when non-nil, aborts a round when a node failure arrives.
 	Fail <-chan error
 	// TraceIDBase, when nonzero, turns on distributed trace propagation:
@@ -79,7 +83,8 @@ func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]fl
 			roundArgs[obs.ArgTraceID] = obs.IDString(traceID)
 		}
 		roundSp := tr.Begin("runtime", "round", m.obs.threadID())
-		m.agg.Reset()
+		m.agg.Reset(uint32(seq))
+		excludedRound := m.preExcludeSuspects(uint32(seq), cfg.MinQuorum)
 		// Apply-on-complete: the moment chunk idx has every member's
 		// contribution, the update rule of the stack (Equations 2 and 3b)
 		// lands on that span of the model. No member can complete a chunk
@@ -128,12 +133,20 @@ func (m *Node) DriveTraining(cfg DriveConfig, model []float64, rounds int) ([]fl
 				err, m.lastSeenSummary(), dump)
 		}
 		if !ok {
-			lastSeen := m.lastSeenSummary()
-			dump := diag("round-timeout")
-			m.logger.Error("round timed out waiting for contributions",
-				"round", seq, "last_seen", lastSeen, "diagnostics", dump)
-			return nil, stats, fmt.Errorf("runtime: round %d timed out waiting for contributions (last seen: %s; flight dump: %s)",
-				seq, lastSeen, dump)
+			if m.quorumFold(uint32(seq), cfg.MinQuorum, cfg.RoundTimeout) {
+				excludedRound = true
+			} else {
+				lastSeen := m.lastSeenSummary()
+				dump := diag("round-timeout")
+				m.logger.Error("round timed out waiting for contributions",
+					"round", seq, "last_seen", lastSeen, "diagnostics", dump)
+				return nil, stats, fmt.Errorf("runtime: round %d timed out waiting for contributions (last seen: %s; flight dump: %s)",
+					seq, lastSeen, dump)
+			}
+		}
+		if excludedRound {
+			stats.ExcludedRounds++
+			m.obs.roundExcluded()
 		}
 		d := time.Since(start)
 		stats.RoundDurations = append(stats.RoundDurations, d)

@@ -59,6 +59,23 @@ type NodeConfig struct {
 	// contributions each round (0 = forever). With a timeout, a dead
 	// member fails the round instead of wedging the cluster.
 	RoundTimeout time.Duration
+	// MinQuorum, when > 0, turns a round timeout into exclude-and-continue:
+	// instead of failing, the Sigma folds the round with the contributions
+	// that arrived — as long as at least MinQuorum members (its own
+	// contribution included) are present — and marks the absentees suspect.
+	// Suspects are pre-excluded from later rounds until they speak again
+	// (a fresh hello or data from a newer round), so one dead member costs
+	// one RoundTimeout, not one per round. 0 keeps fail-fast behavior.
+	MinQuorum int
+	// Reconnect makes a non-master node redial its upstream with bounded
+	// exponential backoff when the connection drops mid-run, re-announcing
+	// itself with a hello, instead of failing. ReconnectWait bounds the
+	// total redial budget (0 = 30s).
+	Reconnect     bool
+	ReconnectWait time.Duration
+	// Transport opens this node's listener and upstream connection. nil
+	// selects cosmicnet.TCP; the chaos fabric substitutes its own.
+	Transport cosmicnet.Transport
 	// NetWorkers and AggWorkers size the Sigma thread pools.
 	NetWorkers, AggWorkers int
 	// RingCapacity bounds the circular buffer.
@@ -97,9 +114,11 @@ var discardLogger = slog.New(slog.NewTextHandler(io.Discard, nil))
 
 // Node is one running member of the cluster.
 type Node struct {
-	cfg    NodeConfig
-	obs    *nodeObs
-	logger *slog.Logger
+	cfg NodeConfig
+	// transport is the resolved Transport (cosmicnet.TCP by default).
+	transport cosmicnet.Transport
+	obs       *nodeObs
+	logger    *slog.Logger
 	// chunkWords is the resolved fixed chunk boundary.
 	chunkWords int
 	// flight is the node's bounded forensic ring of wire events; always on
@@ -114,9 +133,12 @@ type Node struct {
 	// cursor is the node's position in its data shard.
 	cursor int
 
-	ln       *cosmicnet.Listener
-	upMu     sync.Mutex
-	upstream *cosmicnet.Conn
+	ln   *cosmicnet.Listener
+	upMu sync.Mutex
+	// upstream is the current upstream connection; sentBase/recvBase carry
+	// the byte counters of connections replaced by a reconnect.
+	upstream           *cosmicnet.Conn
+	sentBase, recvBase int64
 	// sendMu serializes upstream frame writes: with fold-on-arrival
 	// forwarding, per-chunk completion callbacks send from concurrent
 	// aggregation workers.
@@ -128,17 +150,28 @@ type Node struct {
 	netPool *Pool
 	aggPool *Pool
 	// downstream are the member connections a Sigma forwards models to.
-	downstream   []*cosmicnet.Conn
-	downstreamMu sync.Mutex
+	// Dead ones are pruned on send failure; downSentBase/downRecvBase carry
+	// the pruned connections' byte counters.
+	downstream                 []*cosmicnet.Conn
+	downstreamMu               sync.Mutex
+	downSentBase, downRecvBase int64
 
 	helloMu    sync.Mutex
 	helloCond  *sync.Cond
 	helloCount int
 
-	wg      sync.WaitGroup
-	stopped chan struct{}
-	errOnce sync.Once
-	err     error
+	// suspects maps a member ID to the round that timed it out (quorum
+	// mode). A suspect is pre-excluded from new rounds until it clears.
+	suspectMu sync.Mutex
+	suspects  map[uint32]uint32
+
+	wg        sync.WaitGroup
+	stopped   chan struct{}
+	closing   atomic.Bool
+	closeCh   chan struct{}
+	closeOnce sync.Once
+	errOnce   sync.Once
+	err       error
 }
 
 // Addr returns the node's listen address (Sigma roles).
@@ -304,6 +337,12 @@ func StartNode(cfg NodeConfig, shard []ml.Sample) (*Node, error) {
 		cfg.ChunkWords = ChunkSize
 	}
 	n := &Node{cfg: cfg, data: shard, stopped: make(chan struct{}), chunkWords: cfg.ChunkWords}
+	n.transport = cfg.Transport
+	if n.transport == nil {
+		n.transport = cosmicnet.TCP
+	}
+	n.closeCh = make(chan struct{})
+	n.suspects = make(map[uint32]uint32)
 	n.obs = newNodeObs(cfg.Obs, cfg.ID, cfg.Role)
 	n.flight = obs.NewFlightRecorder(cfg.FlightSize)
 	logger := cfg.Logger
@@ -316,7 +355,7 @@ func StartNode(cfg NodeConfig, shard []ml.Sample) (*Node, error) {
 		if len(cfg.MemberIDs) == 0 {
 			return nil, fmt.Errorf("runtime: node %d: %v role requires MemberIDs", cfg.ID, cfg.Role)
 		}
-		ln, err := cosmicnet.Listen("127.0.0.1:0")
+		ln, err := n.transport.Listen("127.0.0.1:0")
 		if err != nil {
 			return nil, err
 		}
@@ -406,11 +445,17 @@ func (n *Node) readLoop(conn *cosmicnet.Conn) {
 			if n.obs != nil {
 				n.obs.recvFrame(n.obs.framesHello, len(f.Payload))
 			}
+			// A fresh hello from a suspect member is a rejoin: stop
+			// pre-excluding it from the next round.
+			n.clearSuspect(f.From, 0, true)
 			n.helloMu.Lock()
 			n.helloCount++
 			n.helloMu.Unlock()
 			n.helloCond.Broadcast()
 		case cosmicnet.MsgPartial, cosmicnet.MsgGroupAggregate:
+			// Data from a round newer than the one that timed the member out
+			// means it caught back up on its existing connection.
+			n.clearSuspect(f.From, f.Seq, false)
 			if n.obs != nil {
 				ctr, name := n.obs.framesPartial, "recv-partial"
 				if f.Type == cosmicnet.MsgGroupAggregate {
@@ -511,12 +556,15 @@ func (n *Node) pushLocalChunks(seq uint32, vec []float64, weight float64) error 
 // member connections.
 func (n *Node) NetworkBytes() (sent, received int64) {
 	n.upMu.Lock()
+	sent, received = n.sentBase, n.recvBase
 	if n.upstream != nil {
 		sent += n.upstream.BytesSent()
 		received += n.upstream.BytesReceived()
 	}
 	n.upMu.Unlock()
 	n.downstreamMu.Lock()
+	sent += n.downSentBase
+	received += n.downRecvBase
 	for _, c := range n.downstream {
 		sent += c.BytesSent()
 		received += c.BytesReceived()
@@ -536,25 +584,178 @@ func (n *Node) WaitMembers(k int) {
 	n.helloMu.Unlock()
 }
 
+// markSuspect flags a member that missed a quorum fold: it stays
+// pre-excluded from later rounds until it speaks again.
+func (n *Node) markSuspect(id, seq uint32) {
+	n.suspectMu.Lock()
+	_, already := n.suspects[id]
+	n.suspects[id] = seq
+	n.suspectMu.Unlock()
+	if !already {
+		n.logger.Warn("member suspect", "member", id, "round", seq)
+		n.flight.Record(obs.FlightEvent{Dir: obs.FlightMark, Type: "member-suspect", Peer: id, Seq: seq})
+		n.obs.suspect(id, 1)
+	}
+}
+
+// clearSuspect lifts a member's suspect mark when it shows signs of life: a
+// fresh hello (always trusted — it is a reconnect), or data from a round
+// newer than the one that timed it out.
+func (n *Node) clearSuspect(id, seq uint32, hello bool) {
+	n.suspectMu.Lock()
+	marked, was := n.suspects[id]
+	cleared := was && (hello || seq > marked)
+	if cleared {
+		delete(n.suspects, id)
+	}
+	n.suspectMu.Unlock()
+	if cleared {
+		n.logger.Info("member rejoined", "member", id, "round", seq)
+		n.flight.Record(obs.FlightEvent{Dir: obs.FlightMark, Type: "member-rejoined", Peer: id, Seq: seq})
+		n.obs.suspect(id, 0)
+	}
+}
+
+// preExcludeSuspects excludes known-suspect members from a fresh round so a
+// dead member costs one RoundTimeout total, not one per round — but only
+// while enough members remain for a quorum; otherwise the round waits for
+// the suspects like any other member. Reports whether anyone was excluded.
+func (n *Node) preExcludeSuspects(seq uint32, minQuorum int) bool {
+	if minQuorum <= 0 {
+		return false
+	}
+	n.suspectMu.Lock()
+	ids := make([]uint32, 0, len(n.suspects))
+	for id := range n.suspects {
+		ids = append(ids, id)
+	}
+	n.suspectMu.Unlock()
+	if len(ids) == 0 {
+		return false
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Count survivors against the fold set the buffer actually waits on.
+	// cfg.Members is the node's own group size, which undercounts for the
+	// master (its buffer also folds one aggregate per other group's Sigma);
+	// using it here would veto pre-exclusion and re-pay the round timeout
+	// for every round a dead member stays dead.
+	members := n.cfg.Members
+	if len(n.cfg.MemberIDs) > 0 {
+		members = len(n.cfg.MemberIDs)
+	}
+	if members-len(ids) < minQuorum {
+		return false
+	}
+	if n.agg.Exclude(ids) == 0 {
+		return false
+	}
+	n.flight.Record(obs.FlightEvent{Dir: obs.FlightMark, Type: "member-excluded", Seq: seq})
+	n.logger.Warn("round started without suspect members", "round", seq, "excluded", ids)
+	return true
+}
+
+// quorumFold rescues a timed-out round: if a quorum of members delivered
+// full contributions, the absentees are excluded (completing the fold with
+// what arrived) and marked suspect. Reports whether the round was saved.
+func (n *Node) quorumFold(seq uint32, minQuorum int, rewait time.Duration) bool {
+	if minQuorum <= 0 {
+		return false
+	}
+	present, _, missing := n.agg.QuorumStatus()
+	if len(missing) == 0 || len(present) < minQuorum {
+		return false
+	}
+	for _, id := range missing {
+		n.markSuspect(id, seq)
+	}
+	if n.agg.Exclude(missing) == 0 {
+		return false
+	}
+	n.flight.Record(obs.FlightEvent{Dir: obs.FlightMark, Type: "member-excluded", Seq: seq})
+	n.logger.Warn("round folded on quorum", "round", seq,
+		"present", len(present), "excluded", missing)
+	// Exclusion completes every chunk that was only waiting on the missing
+	// members; the short re-wait covers completion callbacks in flight.
+	ok, err := n.agg.WaitComplete(rewait, nil)
+	return err == nil && ok
+}
+
+// connectUpstream dials the node's upstream and announces the node with a
+// hello, replacing (and accounting for) any previous connection.
+func (n *Node) connectUpstream() (*cosmicnet.Conn, error) {
+	up, err := n.transport.Dial(n.cfg.UpstreamAddr)
+	if err != nil {
+		return nil, err
+	}
+	n.upMu.Lock()
+	if n.upstream != nil {
+		n.sentBase += n.upstream.BytesSent()
+		n.recvBase += n.upstream.BytesReceived()
+		n.upstream.Close()
+	}
+	n.upstream = up
+	n.upMu.Unlock()
+	n.flight.Record(obs.FlightEvent{Dir: obs.FlightSend, Type: cosmicnet.MsgHello.String()})
+	if err := up.Send(&cosmicnet.Frame{Type: cosmicnet.MsgHello, From: n.cfg.ID, Text: n.Addr()}); err != nil {
+		return nil, err
+	}
+	return up, nil
+}
+
+// redialUpstream re-establishes a lost upstream connection with bounded
+// exponential backoff: 50ms doubling to a 2s cap, within a total budget of
+// ReconnectWait. Close interrupts the wait.
+func (n *Node) redialUpstream(cause error) (*cosmicnet.Conn, error) {
+	budget := n.cfg.ReconnectWait
+	if budget <= 0 {
+		budget = 30 * time.Second
+	}
+	n.logger.Warn("upstream lost; reconnecting", "err", cause)
+	n.flight.Record(obs.FlightEvent{Dir: obs.FlightMark, Type: "reconnecting"})
+	deadline := time.Now().Add(budget)
+	delay := 50 * time.Millisecond
+	for {
+		if n.closing.Load() {
+			return nil, fmt.Errorf("node %d: closed while reconnecting", n.cfg.ID)
+		}
+		up, err := n.connectUpstream()
+		if err == nil {
+			n.logger.Info("upstream reconnected")
+			n.flight.Record(obs.FlightEvent{Dir: obs.FlightMark, Type: "reconnected"})
+			return up, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("node %d: reconnect budget exhausted: %w", n.cfg.ID, err)
+		}
+		select {
+		case <-n.closeCh:
+			return nil, fmt.Errorf("node %d: closed while reconnecting", n.cfg.ID)
+		case <-time.After(delay):
+		}
+		delay *= 2
+		if delay > 2*time.Second {
+			delay = 2 * time.Second
+		}
+	}
+}
+
 // Run executes the node's role loop until MsgDone. It blocks; callers run
 // it in a goroutine. The master does not use Run — the driver in
 // Cluster.Train plays that role.
 func (n *Node) Run() error {
 	defer close(n.stopped)
-	up, err := cosmicnet.Dial(n.cfg.UpstreamAddr)
+	up, err := n.connectUpstream()
 	if err != nil {
 		n.fail(err)
 		return err
 	}
-	n.upMu.Lock()
-	n.upstream = up
-	n.upMu.Unlock()
-	defer up.Close()
-	n.flight.Record(obs.FlightEvent{Dir: obs.FlightSend, Type: cosmicnet.MsgHello.String()})
-	if err := up.Send(&cosmicnet.Frame{Type: cosmicnet.MsgHello, From: n.cfg.ID, Text: n.Addr()}); err != nil {
-		n.fail(err)
-		return err
-	}
+	defer func() {
+		n.upMu.Lock()
+		if n.upstream != nil {
+			n.upstream.Close()
+		}
+		n.upMu.Unlock()
+	}()
 	if n.cfg.Role == RoleGroupSigma {
 		// All group members must be connected before the first model
 		// forward, or they would miss the round.
@@ -564,8 +765,16 @@ func (n *Node) Run() error {
 	for {
 		f, err := up.Recv()
 		if err != nil {
-			n.fail(fmt.Errorf("node %d: upstream: %w", n.cfg.ID, err))
-			return n.err
+			if n.closing.Load() || !n.cfg.Reconnect {
+				n.fail(fmt.Errorf("node %d: upstream: %w", n.cfg.ID, err))
+				return n.err
+			}
+			up, err = n.redialUpstream(err)
+			if err != nil {
+				n.fail(err)
+				return err
+			}
+			continue
 		}
 		n.flight.Record(obs.FlightEvent{
 			Dir: obs.FlightRecv, Type: f.Type.String(), Peer: f.From,
@@ -611,9 +820,11 @@ func (n *Node) handleModel(f *cosmicnet.Frame) error {
 	case RoleGroupSigma:
 		round := tr.Begin("runtime", "sigma-round", n.obs.threadID())
 		// New round: clear the aggregation state before any member can
-		// respond to the forwarded model.
-		n.agg.Reset()
+		// respond to the forwarded model. Reset arms the stale-round filter
+		// on f.Seq, so an excluded member's late chunks fold into nothing.
+		n.agg.Reset(f.Seq)
 		seq, traceID := f.Seq, f.TraceID
+		excludedRound := n.preExcludeSuspects(seq, n.cfg.MinQuorum)
 		if n.cfg.Monolithic {
 			n.agg.SetOnComplete(nil)
 		} else {
@@ -656,12 +867,19 @@ func (n *Node) handleModel(f *cosmicnet.Frame) error {
 			return err
 		}
 		if !ok {
-			lastSeen := n.lastSeenSummary()
-			dump := n.dumpDiagnostics("round-timeout")
-			n.logger.Error("round timed out waiting for group members",
-				"round", seq, "last_seen", lastSeen, "diagnostics", dump)
-			return fmt.Errorf("node %d: round %d timed out waiting for group members (last seen: %s; flight dump: %s)",
-				n.cfg.ID, seq, lastSeen, dump)
+			if n.quorumFold(seq, n.cfg.MinQuorum, n.cfg.RoundTimeout) {
+				excludedRound = true
+			} else {
+				lastSeen := n.lastSeenSummary()
+				dump := n.dumpDiagnostics("round-timeout")
+				n.logger.Error("round timed out waiting for group members",
+					"round", seq, "last_seen", lastSeen, "diagnostics", dump)
+				return fmt.Errorf("node %d: round %d timed out waiting for group members (last seen: %s; flight dump: %s)",
+					n.cfg.ID, seq, lastSeen, dump)
+			}
+		}
+		if excludedRound {
+			n.obs.roundExcluded()
 		}
 		n.noteRound(seq, time.Since(roundStart))
 		round.EndArgs(traceArgs(f, obs.ArgFlowIn))
@@ -724,7 +942,20 @@ func (n *Node) sendUpstream(f *cosmicnet.Frame) error {
 	})
 	n.sendMu.Lock()
 	defer n.sendMu.Unlock()
-	return n.upstream.Send(f)
+	n.upMu.Lock()
+	up := n.upstream
+	n.upMu.Unlock()
+	if up == nil {
+		return fmt.Errorf("node %d: no upstream connection", n.cfg.ID)
+	}
+	err := up.Send(f)
+	if err != nil && n.cfg.Reconnect && !n.closing.Load() {
+		// The Run loop is (or will be) redialing; this round's contribution
+		// is lost, but the member survives to rejoin the next one.
+		n.logger.Warn("upstream send failed; contribution dropped", "round", f.Seq, "err", err)
+		return nil
+	}
+	return err
 }
 
 // broadcastDownstream forwards a frame to every member connection. Each hop
@@ -734,6 +965,17 @@ func (n *Node) broadcastDownstream(f *cosmicnet.Frame) {
 	n.downstreamMu.Lock()
 	conns := append([]*cosmicnet.Conn(nil), n.downstream...)
 	n.downstreamMu.Unlock()
+	// In quorum mode the sends are bounded: the broadcast walks the members
+	// serially, so one flooded socket (a pre-excluded member that fell
+	// rounds behind and stopped draining) would otherwise block the model
+	// frame for every healthy member and starve the round below quorum. A
+	// member that cannot absorb a frame within the round budget is treated
+	// like one that cannot be written at all: pruned, to rejoin on a fresh
+	// connection.
+	var sendBudget time.Duration
+	if n.cfg.MinQuorum > 0 && n.cfg.RoundTimeout > 0 {
+		sendBudget = n.cfg.RoundTimeout
+	}
 	for _, c := range conns {
 		out := *f
 		if out.TraceID != 0 {
@@ -746,11 +988,40 @@ func (n *Node) broadcastDownstream(f *cosmicnet.Frame) {
 		n.flight.Record(obs.FlightEvent{
 			Dir: obs.FlightSend, Type: out.Type.String(), Seq: out.Seq, Bytes: len(out.Payload) * 8,
 		})
-		if err := c.Send(&out); err != nil {
+		if sendBudget > 0 {
+			c.SetWriteDeadline(time.Now().Add(sendBudget))
+		}
+		err := c.Send(&out)
+		if sendBudget > 0 {
+			c.SetWriteDeadline(time.Time{})
+		}
+		if err != nil {
 			n.cfg.logf("node %d: downstream send: %v", n.cfg.ID, err)
 			n.logger.Warn("downstream send failed", "round", out.Seq, "err", err)
+			// A member connection that cannot be written to is dead: prune
+			// it so later broadcasts stop burning a send on it. A rejoining
+			// member arrives on a fresh connection via the accept loop.
+			n.pruneDownstream(c)
 		}
 	}
+}
+
+// pruneDownstream drops one dead member connection, folding its byte
+// counters into the node totals.
+func (n *Node) pruneDownstream(dead *cosmicnet.Conn) {
+	n.downstreamMu.Lock()
+	for i, c := range n.downstream {
+		if c == dead {
+			n.downSentBase += c.BytesSent()
+			n.downRecvBase += c.BytesReceived()
+			n.downstream[i] = n.downstream[len(n.downstream)-1]
+			n.downstream[len(n.downstream)-1] = nil
+			n.downstream = n.downstream[:len(n.downstream)-1]
+			break
+		}
+	}
+	n.downstreamMu.Unlock()
+	dead.Close()
 }
 
 func (n *Node) forwardDone() {
@@ -762,6 +1033,8 @@ func (n *Node) forwardDone() {
 // the node is mid-run (so a Close mid-training looks like a node crash to
 // its Sigma, which the round timeout then surfaces).
 func (n *Node) Close() {
+	n.closing.Store(true)
+	n.closeOnce.Do(func() { close(n.closeCh) })
 	n.upMu.Lock()
 	if n.upstream != nil {
 		n.upstream.Close()

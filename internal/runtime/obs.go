@@ -47,6 +47,13 @@ type nodeObs struct {
 	// (derived by differencing the cumulative counters at round boundaries).
 	roundSeq, roundTx, roundRx *obs.Gauge
 	prevTxWords, prevRxWords   int64
+
+	// excludedRounds counts rounds this Sigma folded without a full member
+	// set (quorum mode). reg and node back the per-peer suspect gauges,
+	// which are resolved lazily — the peer set only matters under faults.
+	excludedRounds *obs.Counter
+	reg            *obs.Registry
+	node           string
 }
 
 // newNodeObs resolves one node's instruments; nil observer → nil (disabled).
@@ -72,9 +79,12 @@ func newNodeObs(o *obs.Observer, id uint32, role Role) *nodeObs {
 		rounds:         reg.Counter(obs.Labeled("cosmic_node_rounds_total", "node", node)),
 		lastRoundSeconds: reg.Gauge(
 			obs.Labeled("cosmic_node_last_round_seconds", "node", node)),
-		roundSeq: reg.Gauge(obs.Labeled("cosmic_node_round_seq", "node", node)),
-		roundTx:  reg.Gauge(obs.Labeled("cosmic_node_round_tx_words", "node", node)),
-		roundRx:  reg.Gauge(obs.Labeled("cosmic_node_round_rx_words", "node", node)),
+		roundSeq:       reg.Gauge(obs.Labeled("cosmic_node_round_seq", "node", node)),
+		roundTx:        reg.Gauge(obs.Labeled("cosmic_node_round_tx_words", "node", node)),
+		roundRx:        reg.Gauge(obs.Labeled("cosmic_node_round_rx_words", "node", node)),
+		excludedRounds: reg.Counter(obs.Labeled("cosmic_round_excluded_total", "node", node)),
+		reg:            reg,
+		node:           node,
 	}
 	if role == RoleMasterSigma {
 		no.roundSeconds = reg.Histogram(obs.Labeled("cosmic_round_seconds", "node", node), roundSecondsBuckets)
@@ -143,6 +153,25 @@ func (no *nodeObs) roundDone(seq uint32, d time.Duration) {
 	no.roundTx.Set(float64(tx - no.prevTxWords))
 	no.roundRx.Set(float64(rx - no.prevRxWords))
 	no.prevTxWords, no.prevRxWords = tx, rx
+}
+
+// roundExcluded counts one round folded on a quorum instead of the full
+// member set.
+func (no *nodeObs) roundExcluded() {
+	if no == nil {
+		return
+	}
+	no.excludedRounds.Inc()
+}
+
+// suspect publishes this Sigma's view of one member: 1 while the peer is
+// suspect (missing from a fold), 0 once it contributes again.
+func (no *nodeObs) suspect(peer uint32, v float64) {
+	if no == nil {
+		return
+	}
+	no.reg.Gauge(obs.Labeled("cosmic_node_suspect",
+		"node", no.node, "peer", strconv.Itoa(int(peer)))).Set(v)
 }
 
 // traceArgs builds the span arguments that let the merger draw flow arrows:

@@ -18,6 +18,7 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cosmicnet"
@@ -161,9 +162,19 @@ type AggregationBuffer struct {
 	chunkWords int
 	states     []chunkAgg
 	// rank maps a member's node ID to its fold position; nil selects the
-	// legacy arrival-order mode. members = len(rank).
+	// legacy arrival-order mode. members = len(rank); ids is the sorted
+	// member list (ids[rank[id]] == id).
 	rank    map[uint32]int
 	members int
+	ids     []uint32
+	// seqWord gates ordered-mode adds to the current round: once Reset has
+	// armed it, a chunk whose Seq differs is stale traffic from an earlier
+	// round (an excluded member catching up late) and is dropped silently.
+	seqWord atomic.Uint64
+	// excluded flags member ranks dropped from the current round's fold
+	// (quorum mode). An excluded rank's chunks are discarded, so the folded
+	// vector is a pure function of the included member set.
+	excluded []atomic.Bool
 	// onComplete, when set, runs when a chunk index has every member's
 	// contribution folded, before WaitComplete can observe the completion.
 	// span aliases the buffer's accumulated sum for that chunk.
@@ -181,7 +192,13 @@ type AggregationBuffer struct {
 	chunks        int
 	complete      int
 	inflight      int
+	// got counts accepted chunks per member rank this round; a member is
+	// present once it has contributed every chunk index.
+	got []int
 }
+
+// seqArmed marks seqWord as holding a live round sequence.
+const seqArmed = 1 << 32
 
 // chunkAgg is the per-chunk-index fold state of ordered mode.
 type chunkAgg struct {
@@ -190,6 +207,9 @@ type chunkAgg struct {
 	next    int
 	weight  float64
 	started bool
+	// completed records that this index fired its completion, so an
+	// exclusion sweep cannot complete an already-complete chunk twice.
+	completed bool
 	// pending parks out-of-order arrivals (pooled copies) until their rank
 	// comes up.
 	pending []parkedChunk
@@ -246,6 +266,9 @@ func (ab *AggregationBuffer) SetMembers(ids []uint32) error {
 	}
 	ab.rank = rank
 	ab.members = len(rank)
+	ab.ids = sorted
+	ab.excluded = make([]atomic.Bool, len(sorted))
+	ab.got = make([]int, len(sorted))
 	return nil
 }
 
@@ -313,8 +336,14 @@ func (ab *AggregationBuffer) Add(c Chunk) error {
 }
 
 // addOrdered folds chunks of one index in member-rank order, parking
-// early arrivals, and fires onComplete when the index has every member.
+// early arrivals, and fires onComplete when the index has every included
+// member. Stale-round chunks and chunks from excluded members are dropped
+// silently: after a quorum fold moves on, a late member's traffic must not
+// corrupt the next round.
 func (ab *AggregationBuffer) addOrdered(c Chunk) error {
+	if w := ab.seqWord.Load(); w&seqArmed != 0 && uint32(w) != c.Seq {
+		return nil
+	}
 	idx := 0
 	if len(ab.sum) > 0 {
 		idx = c.Offset / ab.chunkWords
@@ -338,6 +367,12 @@ func (ab *AggregationBuffer) addOrdered(c Chunk) error {
 	chunkWeight := 0.0
 
 	st.mu.Lock()
+	if ab.excluded[r].Load() {
+		// Checked under the chunk lock: an exclusion sweep that already
+		// passed this state must not see this member's data fold afterward.
+		st.mu.Unlock()
+		return nil
+	}
 	if !st.started {
 		st.started, startedNow = true, true
 	}
@@ -350,13 +385,13 @@ func (ab *AggregationBuffer) addOrdered(c Chunk) error {
 		// buffer never retains the caller's slice, so pooled wire payloads
 		// can be recycled unconditionally after Add. Ownership of the copy
 		// moves into st.pending; the drain paths Put it after folding
-		// (in-order drain below, or Reset on teardown).
+		// (advanceLocked, or Reset on teardown).
 		data := cosmicnet.GetPayload(len(c.Data))
 		copy(data, c.Data)
 		//cosmic:transfers parked copy owned by st.pending until drained
 		st.pending = append(st.pending, parkedChunk{rank: r, weight: c.Weight, last: c.Last, data: data})
 		st.mu.Unlock()
-	default: // in order: fold, then drain every parked chunk this unblocks
+	default: // in order: fold, then advance past parked and excluded ranks
 		for i, v := range c.Data {
 			span[i] += v
 		}
@@ -367,34 +402,12 @@ func (ab *AggregationBuffer) addOrdered(c Chunk) error {
 			contribs++
 			lastWeight += c.Weight
 		}
-		for drained := true; drained; {
-			drained = false
-			for i := range st.pending {
-				if st.pending[i].rank != st.next {
-					continue
-				}
-				p := st.pending[i]
-				for j, v := range p.data {
-					span[j] += v
-				}
-				cosmicnet.PutPayload(p.data)
-				st.next++
-				st.weight += p.weight
-				folded++
-				if p.last {
-					contribs++
-					lastWeight += p.weight
-				}
-				st.pending[i] = st.pending[len(st.pending)-1]
-				st.pending = st.pending[:len(st.pending)-1]
-				drained = true
-				break
-			}
-		}
-		if st.next == ab.members {
-			completeNow = true
-			chunkWeight = st.weight
-		}
+		var f2, c2 int
+		var lw2 float64
+		f2, c2, lw2, completeNow, chunkWeight = ab.advanceLocked(st, span)
+		folded += f2
+		contribs += c2
+		lastWeight += lw2
 		st.mu.Unlock()
 	}
 
@@ -408,6 +421,7 @@ func (ab *AggregationBuffer) addOrdered(c Chunk) error {
 	ab.chunks += folded
 	ab.contributions += contribs
 	ab.weight += lastWeight
+	ab.got[r]++
 	if startedNow {
 		ab.inflight++
 	}
@@ -420,6 +434,143 @@ func (ab *AggregationBuffer) addOrdered(c Chunk) error {
 	ab.pipeline.Set(float64(depth))
 	ab.done.Broadcast()
 	return nil
+}
+
+// advanceLocked advances st.next past excluded ranks (discarding any parked
+// chunks they delivered) and folds parked chunks as their ranks come up,
+// reporting what folded and whether the chunk index just completed. Call
+// with st.mu held.
+func (ab *AggregationBuffer) advanceLocked(st *chunkAgg, span []float64) (folded, contribs int, lastWeight float64, completeNow bool, chunkWeight float64) {
+	for st.next < ab.members {
+		if ab.excluded[st.next].Load() {
+			for i := 0; i < len(st.pending); {
+				if st.pending[i].rank == st.next {
+					cosmicnet.PutPayload(st.pending[i].data)
+					st.pending[i] = st.pending[len(st.pending)-1]
+					st.pending = st.pending[:len(st.pending)-1]
+					continue
+				}
+				i++
+			}
+			st.next++
+			continue
+		}
+		found := false
+		for i := range st.pending {
+			if st.pending[i].rank != st.next {
+				continue
+			}
+			p := st.pending[i]
+			for j, v := range p.data {
+				span[j] += v
+			}
+			cosmicnet.PutPayload(p.data)
+			st.next++
+			st.weight += p.weight
+			folded++
+			if p.last {
+				contribs++
+				lastWeight += p.weight
+			}
+			st.pending[i] = st.pending[len(st.pending)-1]
+			st.pending = st.pending[:len(st.pending)-1]
+			found = true
+			break
+		}
+		if !found {
+			break
+		}
+	}
+	if st.next >= ab.members && !st.completed {
+		st.completed = true
+		completeNow = true
+		chunkWeight = st.weight
+	}
+	return folded, contribs, lastWeight, completeNow, chunkWeight
+}
+
+// Exclude drops members from the current round's fold: their chunks stop
+// being waited for, anything they parked is discarded, and chunk indexes
+// that were only waiting on them complete immediately (firing OnComplete in
+// index order). It returns how many of the IDs were newly excluded; unknown
+// IDs and repeats are ignored. Exclusions last until the next Reset. This
+// is the exclude-and-continue primitive: a Sigma that times out a round
+// folds with the quorum that arrived instead of wedging on the absent.
+func (ab *AggregationBuffer) Exclude(ids []uint32) int {
+	if ab.rank == nil {
+		return 0
+	}
+	newly := 0
+	for _, id := range ids {
+		r, ok := ab.rank[id]
+		if !ok {
+			continue
+		}
+		if !ab.excluded[r].Swap(true) {
+			newly++
+		}
+	}
+	if newly == 0 {
+		return 0
+	}
+	folded, contribs := 0, 0
+	lastWeight := 0.0
+	startedNow, completed := 0, 0
+	for idx := range ab.states {
+		st := &ab.states[idx]
+		span := ab.sum[idx*ab.chunkWords : idx*ab.chunkWords+ab.spanLen(idx)]
+		st.mu.Lock()
+		f2, c2, lw2, completeNow, chunkWeight := ab.advanceLocked(st, span)
+		if completeNow && !st.started {
+			st.started = true
+			startedNow++
+		}
+		st.mu.Unlock()
+		folded += f2
+		contribs += c2
+		lastWeight += lw2
+		if completeNow {
+			completed++
+			if ab.onComplete != nil {
+				ab.onComplete(idx, span, chunkWeight)
+			}
+		}
+	}
+	ab.wmu.Lock()
+	ab.chunks += folded
+	ab.contributions += contribs
+	ab.weight += lastWeight
+	ab.inflight += startedNow
+	ab.complete += completed
+	ab.inflight -= completed
+	depth := ab.inflight
+	ab.wmu.Unlock()
+	ab.pipeline.Set(float64(depth))
+	ab.done.Broadcast()
+	return newly
+}
+
+// QuorumStatus reports the round's member census: present members (every
+// chunk index accepted), excluded members, and missing members (absent or
+// partial). Each list is sorted by node ID.
+func (ab *AggregationBuffer) QuorumStatus() (present, excluded, missing []uint32) {
+	if ab.rank == nil {
+		return nil, nil, nil
+	}
+	target := len(ab.states)
+	ab.wmu.Lock()
+	defer ab.wmu.Unlock()
+	for r, id := range ab.ids {
+		switch {
+		case ab.excluded[r].Load():
+			excluded = append(excluded, id)
+		case ab.got[r] >= target:
+			present = append(present, id)
+		default:
+			missing = append(missing, id)
+		}
+	}
+	return present, excluded, missing
 }
 
 // WaitComplete blocks until every chunk index has all members folded (and
@@ -506,13 +657,21 @@ func (ab *AggregationBuffer) WaitChunksTimeout(n int, timeout time.Duration) boo
 		ab.WaitChunks(n)
 		return true
 	}
-	deadline := time.Now().Add(timeout)
-	// A watchdog broadcast wakes the waiter when the deadline passes.
+	// One timer, one deadline: the watchdog sets the timed-out flag under
+	// the counter lock before broadcasting, so the waiter cannot miss the
+	// wakeup (a flagless broadcast races with a waiter that re-checks the
+	// clock just before the deadline and then sleeps forever).
+	var timedOut bool
 	stop := make(chan struct{})
 	defer close(stop)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	go func() {
 		select {
-		case <-time.After(timeout):
+		case <-timer.C:
+			ab.wmu.Lock()
+			timedOut = true
+			ab.wmu.Unlock()
 			ab.done.Broadcast()
 		case <-stop:
 		}
@@ -520,7 +679,7 @@ func (ab *AggregationBuffer) WaitChunksTimeout(n int, timeout time.Duration) boo
 	ab.wmu.Lock()
 	defer ab.wmu.Unlock()
 	for ab.chunks < n {
-		if time.Now().After(deadline) {
+		if timedOut {
 			return false
 		}
 		ab.done.Wait()
@@ -570,20 +729,29 @@ func (ab *AggregationBuffer) Sum() ([]float64, float64) {
 	return out, w
 }
 
-// Reset clears the buffer for the next mini-batch, recycling any parked
-// chunks.
-func (ab *AggregationBuffer) Reset() {
+// Reset clears the buffer for mini-batch seq, recycling any parked chunks
+// and lifting exclusions. It also arms the stale-round filter: from here on
+// ordered-mode chunks carrying a different sequence number — a timed-out
+// member's late traffic — are dropped instead of folded.
+func (ab *AggregationBuffer) Reset(seq uint32) {
+	ab.seqWord.Store(seqArmed | uint64(seq))
 	ab.wmu.Lock()
 	ab.weight = 0
 	ab.contributions = 0
 	ab.chunks = 0
 	ab.complete = 0
 	ab.inflight = 0
+	for r := range ab.got {
+		ab.got[r] = 0
+	}
 	ab.wmu.Unlock()
+	for i := range ab.excluded {
+		ab.excluded[i].Store(false)
+	}
 	for i := range ab.states {
 		st := &ab.states[i]
 		st.mu.Lock()
-		st.next, st.weight, st.started = 0, 0, false
+		st.next, st.weight, st.started, st.completed = 0, 0, false, false
 		for _, p := range st.pending {
 			cosmicnet.PutPayload(p.data)
 		}

@@ -122,7 +122,7 @@ func TestAggregationBufferConcurrentSum(t *testing.T) {
 	if ab.Contributions() != contributors {
 		t.Errorf("contributions %d", ab.Contributions())
 	}
-	ab.Reset()
+	ab.Reset(0)
 	if _, w := ab.Sum(); w != 0 {
 		t.Error("reset left weight")
 	}

@@ -119,7 +119,7 @@ func TestOrderedFoldAllocs(t *testing.T) {
 		vec[i] = float64(i)
 	}
 	avg := testing.AllocsPerRun(100, func() {
-		ab.Reset()
+		ab.Reset(0)
 		for _, c := range SplitIntoChunksWords(0, 0, vec, 1, words) {
 			if err := ab.Add(c); err != nil {
 				t.Fatal(err)

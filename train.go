@@ -65,6 +65,13 @@ type ClusterConfig struct {
 	// pre-streaming builds did. Training results are bit-identical either
 	// way.
 	Monolithic bool
+	// RoundTimeout bounds each aggregation round (0 = wait forever).
+	RoundTimeout time.Duration
+	// MinQuorum, when > 0, turns a round timeout into exclude-and-continue:
+	// every Sigma folds the timed-out round with the members that arrived
+	// (at least MinQuorum of them, its own contribution included) and keeps
+	// training, instead of failing the run. Requires RoundTimeout.
+	MinQuorum int
 	// Obs, when non-nil, records per-node frame counters, aggregation
 	// fan-in, ring depth gauges, and per-round spans across the cluster.
 	Obs *Observer
@@ -88,6 +95,9 @@ type TrainResult struct {
 	// NetworkSentBytes/NetworkReceivedBytes sum the frame bytes every node
 	// moved during the run.
 	NetworkSentBytes, NetworkReceivedBytes int64
+	// ExcludedRounds counts the master's rounds folded without the full
+	// member set (quorum mode only).
+	ExcludedRounds int
 	// CycleProfile is the merged per-node cycle attribution (simulator
 	// engine only, nil otherwise): a pprof profile whose samples attribute
 	// every simulated cycle to DFG ops, labeled per node. Write it with
@@ -138,17 +148,19 @@ func Train(alg Algorithm, data []Sample, model []float64, cfg ClusterConfig) (Tr
 	}
 
 	cluster, err := runtime.Launch(runtime.ClusterOptions{
-		Nodes:      cfg.Nodes,
-		Groups:     cfg.Groups,
-		Engines:    func(id int) runtime.Engine { return engines[id] },
-		Shards:     func(id int) []ml.Sample { return shards[id] },
-		ModelSize:  alg.ModelSize(),
-		Agg:        agg,
-		LR:         cfg.LearningRate,
-		MiniBatch:  cfg.MiniBatch,
-		ChunkWords: cfg.ChunkWords,
-		Monolithic: cfg.Monolithic,
-		Obs:        cfg.Obs,
+		Nodes:        cfg.Nodes,
+		Groups:       cfg.Groups,
+		Engines:      func(id int) runtime.Engine { return engines[id] },
+		Shards:       func(id int) []ml.Sample { return shards[id] },
+		ModelSize:    alg.ModelSize(),
+		Agg:          agg,
+		LR:           cfg.LearningRate,
+		MiniBatch:    cfg.MiniBatch,
+		ChunkWords:   cfg.ChunkWords,
+		Monolithic:   cfg.Monolithic,
+		RoundTimeout: cfg.RoundTimeout,
+		MinQuorum:    cfg.MinQuorum,
+		Obs:          cfg.Obs,
 	})
 	if err != nil {
 		return TrainResult{}, err
@@ -167,6 +179,7 @@ func Train(alg Algorithm, data []Sample, model []float64, cfg ClusterConfig) (Tr
 	res.Rounds = stats.Rounds
 	res.RoundP50, res.RoundP95, res.RoundMax = stats.RoundP50, stats.RoundP95, stats.RoundMax
 	res.NetworkSentBytes, res.NetworkReceivedBytes = stats.NetworkSentBytes, stats.NetworkReceivedBytes
+	res.ExcludedRounds = stats.ExcludedRounds
 	res.FinalLoss = ml.MeanLoss(alg, trained, data)
 	var profInputs []profile.Input
 	for i, e := range engines {
